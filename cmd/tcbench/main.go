@@ -1,0 +1,101 @@
+// Command tcbench regenerates the paper's evaluation: Tables 1–3 and
+// Figures 6–10, plus an ablation study of the tree clock's mechanisms.
+//
+// Usage:
+//
+//	tcbench -experiment table2            # one experiment
+//	tcbench -experiment all -scale 0.5    # everything, smaller traces
+//	tcbench -experiment fig10 -fig10-events 1000000 -fig10-threads 10,60,110
+//
+// Experiments: table1, table2, table3, fig6, fig7, fig8, fig9, fig10,
+// ablation, all. Results print to stdout; see EXPERIMENTS.md for the
+// recorded paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"treeclock/internal/bench"
+)
+
+func main() {
+	var (
+		experiment  = flag.String("experiment", "all", "experiment to run: table1|table2|table3|fig6|fig7|fig8|fig9|fig10|ablation|all")
+		scale       = flag.Float64("scale", 1.0, "suite event-count multiplier (1.0 ≈ hundreds of thousands of events per large trace)")
+		repeats     = flag.Int("repeats", 3, "timing repetitions to average (paper: 3)")
+		fig10Events = flag.Int("fig10-events", 400000, "events per scalability trace (paper: 10M)")
+		fig10Thr    = flag.String("fig10-threads", "10,60,110,160,210,260,310,360", "comma-separated thread counts for the scalability sweep")
+	)
+	flag.Parse()
+
+	threads, err := parseInts(*fig10Thr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcbench: bad -fig10-threads: %v\n", err)
+		os.Exit(2)
+	}
+	h := bench.NewHarness(bench.Options{
+		Scale:        *scale,
+		Repeats:      *repeats,
+		Fig10Events:  *fig10Events,
+		Fig10Threads: threads,
+	})
+
+	type exp struct {
+		name string
+		run  func()
+	}
+	all := []exp{
+		{"table1", func() { h.Table1(os.Stdout) }},
+		{"table3", func() { h.Table3(os.Stdout) }},
+		{"table2", func() { h.Table2(os.Stdout) }},
+		{"fig6", func() { h.Figure6(os.Stdout) }},
+		{"fig7", func() { h.Figure7(os.Stdout) }},
+		{"fig8", func() { h.Figure8(os.Stdout) }},
+		{"fig9", func() { h.Figure9(os.Stdout) }},
+		{"fig10", func() { h.Figure10(os.Stdout) }},
+		{"ablation", func() { h.Ablation(os.Stdout) }},
+	}
+
+	want := strings.ToLower(*experiment)
+	ran := false
+	for _, e := range all {
+		if want == "all" || want == e.name {
+			start := time.Now()
+			e.run()
+			fmt.Printf("[%s took %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+			ran = true
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "tcbench: unknown experiment %q\n", *experiment)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		if n < 2 {
+			return nil, fmt.Errorf("thread count %d too small", n)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

@@ -1,0 +1,67 @@
+// Command traceinfo prints the Table 3-style statistics of a trace
+// file: events (N), threads (T), memory locations (M), locks (L), and
+// the synchronization/access event shares.
+//
+// Usage:
+//
+//	traceinfo trace.txt
+//	tracegen -pattern star -threads 16 | traceinfo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"treeclock/internal/trace"
+)
+
+func main() {
+	var (
+		format   = flag.String("format", "text", "trace format: text or bin")
+		validate = flag.Bool("validate", true, "check trace well-formedness")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "traceinfo: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+		name = flag.Arg(0)
+	}
+	var tr *trace.Trace
+	var err error
+	switch *format {
+	case "text":
+		tr, err = trace.ParseText(in)
+	case "bin":
+		tr, err = trace.ReadBinary(in)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "traceinfo: %v\n", err)
+		os.Exit(1)
+	}
+	if *validate {
+		if err := tr.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "traceinfo: %s: INVALID: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	s := trace.ComputeStats(tr)
+	fmt.Printf("%s\n", name)
+	fmt.Printf("  events (N):     %d\n", s.Events)
+	fmt.Printf("  threads (T):    %d\n", s.Threads)
+	fmt.Printf("  locations (M):  %d\n", s.Vars)
+	fmt.Printf("  locks (L):      %d\n", s.Locks)
+	fmt.Printf("  sync events:    %.1f%%\n", s.SyncPct)
+	fmt.Printf("  r/w events:     %.1f%% (%d reads, %d writes)\n", s.RWPct, s.Reads, s.Writes)
+}

@@ -1,0 +1,46 @@
+// Package treeclock implements the tree clock data structure and
+// tree-clock-based partial-order analyses for concurrent executions,
+// reproducing "A Tree Clock Data Structure for Causal Orderings in
+// Concurrent Executions" (Mathur, Pavlogiannis, Tunç, Viswanathan —
+// ASPLOS 2022).
+//
+// A tree clock represents a vector timestamp — one logical time per
+// thread — like a classic vector clock, but stores it hierarchically:
+// the tree records through which thread each time was learned, so join
+// and copy operations touch only the entries that can actually change
+// instead of all k of them. For the happens-before (HB) partial order,
+// tree clocks are vt-optimal: the total data-structure time is within a
+// constant of the number of timestamp entries any implementation must
+// update (the paper's Theorem 1).
+//
+// # Layout
+//
+//   - The clock data structures: NewTreeClock (the contribution) and
+//     NewVectorClock (the Θ(k)-per-operation baseline). Both implement
+//     the same operations (Get, Inc, Join, MonotoneCopy, ...).
+//   - Traces: Event, Trace, ParseTrace / WriteTraceText and friends.
+//   - Streaming engines computing a partial order over a trace, in
+//     tree-clock and vector-clock variants: NewHBTree / NewHBVector,
+//     NewSHBTree / NewSHBVector, NewMAZTree / NewMAZVector. Engines
+//     optionally run a FastTrack-style race analysis.
+//   - Workload generators (GenerateMixed, scenario generators) and the
+//     experiment harness behind cmd/tcbench, which regenerates every
+//     table and figure of the paper (see DESIGN.md and EXPERIMENTS.md).
+//
+// # Quickstart
+//
+//	tr, _ := treeclock.ParseTraceString(`
+//	t0 acq l0
+//	t0 w x0
+//	t0 rel l0
+//	t1 r x0
+//	`)
+//	e := treeclock.NewHBTree(tr.Meta)
+//	det := e.EnableRaceDetection()
+//	e.Process(tr.Events)
+//	for _, race := range det.Acc.Samples {
+//		fmt.Println(race)
+//	}
+//
+// See examples/ for complete programs.
+package treeclock

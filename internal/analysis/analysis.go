@@ -1,0 +1,175 @@
+// Package analysis provides the "+Analysis" component of the paper's
+// evaluation (§6 Setup): detecting conflicting event pairs that are
+// concurrent with respect to the computed partial order. For HB and SHB
+// this is dynamic race detection in the FastTrack style — per-variable
+// write epochs and adaptive read metadata (a single epoch that is
+// promoted to a full read vector only when reads are actually
+// concurrent). Every ordering test is an O(1) epoch comparison against
+// Clock.Get, which both tree clocks and vector clocks answer in
+// constant time (Remark 1), so the analysis is fair to both.
+package analysis
+
+import (
+	"fmt"
+
+	"treeclock/internal/vt"
+)
+
+// PairKind classifies a detected concurrent conflicting pair.
+type PairKind uint8
+
+const (
+	// WriteWrite is a pair of concurrent writes.
+	WriteWrite PairKind = iota
+	// WriteRead is a write concurrent with a later read.
+	WriteRead
+	// ReadWrite is a read concurrent with a later write.
+	ReadWrite
+	numPairKinds
+)
+
+func (k PairKind) String() string {
+	switch k {
+	case WriteWrite:
+		return "w-w"
+	case WriteRead:
+		return "w-r"
+	case ReadWrite:
+		return "r-w"
+	default:
+		return "?"
+	}
+}
+
+// Pair is one detected concurrent conflicting pair. Epochs identify the
+// exact events: (thread, local time) is unique per event.
+type Pair struct {
+	Kind   PairKind
+	Var    int32
+	Prior  vt.Epoch // the earlier access
+	Access vt.Epoch // the current access
+}
+
+func (p Pair) String() string {
+	return fmt.Sprintf("%s race on x%d: t%d@%d vs t%d@%d",
+		p.Kind, p.Var, p.Prior.T, p.Prior.Clk, p.Access.T, p.Access.Clk)
+}
+
+// maxSamples bounds the retained example pairs; counting continues
+// beyond it.
+const maxSamples = 64
+
+// Accumulator aggregates detected pairs.
+type Accumulator struct {
+	Total   uint64
+	ByKind  [numPairKinds]uint64
+	racyVar map[int32]bool
+	Samples []Pair
+}
+
+// NewAccumulator returns an empty accumulator.
+func NewAccumulator() *Accumulator {
+	return &Accumulator{racyVar: make(map[int32]bool)}
+}
+
+// Report records one detected pair.
+func (a *Accumulator) Report(kind PairKind, x int32, prior, access vt.Epoch) {
+	a.Total++
+	a.ByKind[kind]++
+	a.racyVar[x] = true
+	if len(a.Samples) < maxSamples {
+		a.Samples = append(a.Samples, Pair{Kind: kind, Var: x, Prior: prior, Access: access})
+	}
+}
+
+// RacyVars returns the set of variables with at least one detected pair.
+func (a *Accumulator) RacyVars() map[int32]bool { return a.racyVar }
+
+// Summary is a compact copy of the accumulated counts.
+type Summary struct {
+	Total                            uint64
+	WriteWrite, WriteRead, ReadWrite uint64
+	Vars                             int
+}
+
+// Summary snapshots the counts.
+func (a *Accumulator) Summary() Summary {
+	return Summary{
+		Total:      a.Total,
+		WriteWrite: a.ByKind[WriteWrite],
+		WriteRead:  a.ByKind[WriteRead],
+		ReadWrite:  a.ByKind[ReadWrite],
+		Vars:       len(a.racyVar),
+	}
+}
+
+// varState is the per-variable access history.
+type varState struct {
+	w      vt.Epoch  // last write
+	r      vt.Epoch  // last read, when reads so far are totally ordered
+	shared vt.Vector // per-thread last reads, once reads were concurrent
+}
+
+// Detector performs the epoch checks for one engine run. It is generic
+// over the clock type so the same detector code runs on tree clocks and
+// vector clocks.
+type Detector[C vt.Clock[C]] struct {
+	k    int
+	vars []varState
+	Acc  *Accumulator
+}
+
+// NewDetector returns a detector for nVars variables over k threads.
+func NewDetector[C vt.Clock[C]](k, nVars int) *Detector[C] {
+	return &Detector[C]{k: k, vars: make([]varState, nVars), Acc: NewAccumulator()}
+}
+
+// Read processes a read of x by thread t whose clock is ct. For SHB the
+// call must happen before the engine joins LW_x into ct, so the check
+// sees the pre-edge state (the race (lw(r), r) of §5.1).
+func (d *Detector[C]) Read(x int32, t vt.TID, ct C) {
+	vs := &d.vars[x]
+	now := vt.Epoch{T: t, Clk: ct.Get(t)}
+	if !vs.w.Zero() && vs.w.Clk > ct.Get(vs.w.T) {
+		d.Acc.Report(WriteRead, x, vs.w, now)
+	}
+	if vs.shared != nil {
+		vs.shared[t] = now.Clk
+		return
+	}
+	if vs.r.Zero() || vs.r.T == t || vs.r.Clk <= ct.Get(vs.r.T) {
+		// The previous read is ordered before this one (or same
+		// thread): the epoch stays exclusive.
+		vs.r = now
+		return
+	}
+	// Concurrent reads: promote to a full read vector.
+	vs.shared = vt.NewVector(d.k)
+	vs.shared[vs.r.T] = vs.r.Clk
+	vs.shared[t] = now.Clk
+	vs.r = vt.Epoch{}
+}
+
+// Write processes a write of x by thread t whose clock is ct. For SHB
+// the call must happen before the engine overwrites LW_x.
+func (d *Detector[C]) Write(x int32, t vt.TID, ct C) {
+	vs := &d.vars[x]
+	now := vt.Epoch{T: t, Clk: ct.Get(t)}
+	if !vs.w.Zero() && vs.w.Clk > ct.Get(vs.w.T) {
+		d.Acc.Report(WriteWrite, x, vs.w, now)
+	}
+	if vs.shared != nil {
+		for u, rc := range vs.shared {
+			if rc > ct.Get(vt.TID(u)) {
+				d.Acc.Report(ReadWrite, x, vt.Epoch{T: vt.TID(u), Clk: rc}, now)
+			}
+		}
+		vs.shared = nil
+	} else if !vs.r.Zero() && vs.r.Clk > ct.Get(vs.r.T) {
+		d.Acc.Report(ReadWrite, x, vs.r, now)
+	}
+	// Reads ordered before this write can never race a later access
+	// (it would be transitively ordered), so the read metadata resets.
+	vs.r = vt.Epoch{}
+	vs.w = now
+}

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"testing"
+
+	"treeclock/internal/vc"
+	"treeclock/internal/vt"
+)
+
+// clockFor builds a vector clock with the given entries (tests drive
+// the detector directly, without an engine).
+func clockFor(entries ...vt.Time) *vc.VectorClock {
+	c := vc.New(len(entries), nil)
+	for i, e := range entries {
+		c.Inc(vt.TID(i), e)
+	}
+	return c
+}
+
+func TestWriteWriteRace(t *testing.T) {
+	d := NewDetector[*vc.VectorClock](2, 1)
+	d.Write(0, 0, clockFor(1, 0)) // t0 writes at time 1
+	d.Write(0, 1, clockFor(0, 1)) // t1 writes, knows nothing of t0
+	sum := d.Acc.Summary()
+	if sum.WriteWrite != 1 || sum.Total != 1 {
+		t.Errorf("summary = %+v, want one w-w race", sum)
+	}
+	p := d.Acc.Samples[0]
+	if p.Prior != (vt.Epoch{T: 0, Clk: 1}) || p.Access != (vt.Epoch{T: 1, Clk: 1}) {
+		t.Errorf("sample pair = %v", p)
+	}
+}
+
+func TestOrderedWritesNoRace(t *testing.T) {
+	d := NewDetector[*vc.VectorClock](2, 1)
+	d.Write(0, 0, clockFor(1, 0))
+	d.Write(0, 1, clockFor(1, 1)) // t1 knows t0@1: ordered
+	if d.Acc.Total != 0 {
+		t.Errorf("ordered writes flagged: %+v", d.Acc.Summary())
+	}
+}
+
+func TestWriteReadRace(t *testing.T) {
+	d := NewDetector[*vc.VectorClock](2, 1)
+	d.Write(0, 0, clockFor(1, 0))
+	d.Read(0, 1, clockFor(0, 1))
+	sum := d.Acc.Summary()
+	if sum.WriteRead != 1 {
+		t.Errorf("summary = %+v, want one w-r race", sum)
+	}
+}
+
+func TestReadWriteRaceViaEpoch(t *testing.T) {
+	d := NewDetector[*vc.VectorClock](2, 1)
+	d.Read(0, 0, clockFor(1, 0))
+	d.Write(0, 1, clockFor(0, 1))
+	sum := d.Acc.Summary()
+	if sum.ReadWrite != 1 {
+		t.Errorf("summary = %+v, want one r-w race", sum)
+	}
+}
+
+func TestSharedReadsPromoteAndAllRacesReported(t *testing.T) {
+	d := NewDetector[*vc.VectorClock](3, 1)
+	d.Read(0, 0, clockFor(1, 0, 0)) // concurrent reads by t0 and t1
+	d.Read(0, 1, clockFor(0, 1, 0))
+	d.Write(0, 2, clockFor(0, 0, 1)) // t2's write races both reads
+	sum := d.Acc.Summary()
+	if sum.ReadWrite != 2 {
+		t.Errorf("summary = %+v, want two r-w races", sum)
+	}
+}
+
+func TestOrderedReadKeepsEpoch(t *testing.T) {
+	d := NewDetector[*vc.VectorClock](2, 1)
+	d.Read(0, 0, clockFor(1, 0))
+	d.Read(0, 1, clockFor(1, 1))  // ordered after t0's read: epoch overwritten
+	d.Write(0, 0, clockFor(2, 0)) // t0's write: races t1's read only
+	sum := d.Acc.Summary()
+	if sum.ReadWrite != 1 {
+		t.Errorf("summary = %+v, want exactly one r-w race", sum)
+	}
+}
+
+func TestSameThreadNeverRaces(t *testing.T) {
+	d := NewDetector[*vc.VectorClock](2, 1)
+	c := clockFor(1, 0)
+	d.Write(0, 0, c)
+	c.Inc(0, 1)
+	d.Read(0, 0, c)
+	c.Inc(0, 1)
+	d.Write(0, 0, c)
+	if d.Acc.Total != 0 {
+		t.Errorf("same-thread accesses flagged: %+v", d.Acc.Summary())
+	}
+}
+
+func TestWriteResetsReadMetadata(t *testing.T) {
+	d := NewDetector[*vc.VectorClock](3, 1)
+	d.Read(0, 0, clockFor(1, 0, 0))
+	// t1's write is ordered after the read and resets read metadata.
+	d.Write(0, 1, clockFor(1, 1, 0))
+	// t2 is ordered after t1's write: no race with the old read.
+	d.Write(0, 2, clockFor(1, 1, 1))
+	if d.Acc.Total != 0 {
+		t.Errorf("stale read metadata produced races: %+v", d.Acc.Summary())
+	}
+}
+
+func TestVariablesIndependent(t *testing.T) {
+	d := NewDetector[*vc.VectorClock](2, 2)
+	d.Write(0, 0, clockFor(1, 0))
+	d.Write(1, 1, clockFor(0, 1)) // different variable: no conflict
+	if d.Acc.Total != 0 {
+		t.Errorf("cross-variable race reported: %+v", d.Acc.Summary())
+	}
+}
+
+func TestAccumulatorSampleCap(t *testing.T) {
+	a := NewAccumulator()
+	for i := 0; i < 1000; i++ {
+		a.Report(WriteWrite, int32(i%4), vt.Epoch{T: 0, Clk: vt.Time(i + 1)}, vt.Epoch{T: 1, Clk: 1})
+	}
+	if a.Total != 1000 {
+		t.Errorf("Total = %d", a.Total)
+	}
+	if len(a.Samples) != maxSamples {
+		t.Errorf("samples = %d, want cap %d", len(a.Samples), maxSamples)
+	}
+	if len(a.RacyVars()) != 4 {
+		t.Errorf("racy vars = %d, want 4", len(a.RacyVars()))
+	}
+	s := a.Summary()
+	if s.WriteWrite != 1000 || s.Vars != 4 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestPairKindString(t *testing.T) {
+	if WriteWrite.String() != "w-w" || WriteRead.String() != "w-r" || ReadWrite.String() != "r-w" {
+		t.Error("kind names wrong")
+	}
+	if PairKind(9).String() != "?" {
+		t.Error("unknown kind must render '?'")
+	}
+	p := Pair{Kind: WriteWrite, Var: 3, Prior: vt.Epoch{T: 0, Clk: 1}, Access: vt.Epoch{T: 1, Clk: 2}}
+	if p.String() != "w-w race on x3: t0@1 vs t1@2" {
+		t.Errorf("Pair.String() = %q", p.String())
+	}
+}

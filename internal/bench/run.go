@@ -1,0 +1,206 @@
+// Package bench is the experiment harness: it runs the HB, SHB and MAZ
+// engines over generated workloads with both clock data structures,
+// measures wall-clock time and data-structure work, and formats the
+// paper's Tables 1–3 and Figures 6–10 (plus an ablation study) as
+// text reports.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"treeclock/internal/analysis"
+	"treeclock/internal/core"
+	"treeclock/internal/hb"
+	"treeclock/internal/maz"
+	"treeclock/internal/shb"
+	"treeclock/internal/trace"
+	"treeclock/internal/vc"
+	"treeclock/internal/vt"
+)
+
+// PO selects the partial order to compute.
+type PO int
+
+const (
+	// MAZ is the Mazurkiewicz partial order.
+	MAZ PO = iota
+	// SHB is schedulable-happens-before.
+	SHB
+	// HB is happens-before.
+	HB
+)
+
+// POs lists the partial orders in the paper's reporting order.
+var POs = []PO{MAZ, SHB, HB}
+
+func (p PO) String() string {
+	switch p {
+	case HB:
+		return "HB"
+	case SHB:
+		return "SHB"
+	case MAZ:
+		return "MAZ"
+	default:
+		return "PO?"
+	}
+}
+
+// Clock selects the data structure.
+type Clock int
+
+const (
+	// TC is the tree clock (the paper's contribution).
+	TC Clock = iota
+	// VC is the flat vector clock baseline.
+	VC
+)
+
+func (c Clock) String() string {
+	if c == TC {
+		return "TC"
+	}
+	return "VC"
+}
+
+// TreeMode forwards core ablation modes through the harness.
+type TreeMode = core.Mode
+
+// Result is one measured engine run.
+type Result struct {
+	Trace    string
+	PO       PO
+	Clock    Clock
+	Analysis bool
+	Events   int
+	Threads  int
+	Elapsed  time.Duration
+	Work     vt.WorkStats // populated only when work counting was on
+	Pairs    uint64       // detected races / reversible pairs
+}
+
+// Seconds returns the elapsed time in seconds.
+func (r Result) Seconds() float64 { return r.Elapsed.Seconds() }
+
+// Config controls a single run.
+type Config struct {
+	PO       PO
+	Clock    Clock
+	Analysis bool     // also run the race / reversible-pair analysis
+	Work     bool     // count data-structure work (adds overhead)
+	Mode     TreeMode // tree-clock ablation mode (TC only)
+}
+
+// Run executes one engine over the trace and reports the measurement.
+func Run(tr *trace.Trace, cfg Config) Result {
+	res := Result{
+		Trace:    tr.Meta.Name,
+		PO:       cfg.PO,
+		Clock:    cfg.Clock,
+		Analysis: cfg.Analysis,
+		Events:   tr.Len(),
+		Threads:  tr.Meta.Threads,
+	}
+	var st *vt.WorkStats
+	if cfg.Work {
+		st = &vt.WorkStats{}
+	}
+	k := tr.Meta.Threads
+	if cfg.Clock == TC {
+		f := core.FactoryMode(k, st, cfg.Mode)
+		res.Elapsed, res.Pairs = dispatch(tr, cfg, f)
+	} else {
+		f := vc.Factory(k, st)
+		res.Elapsed, res.Pairs = dispatch(tr, cfg, f)
+	}
+	if st != nil {
+		res.Work = *st
+	}
+	return res
+}
+
+// dispatch instantiates the right engine for the clock type C.
+func dispatch[C vt.Clock[C]](tr *trace.Trace, cfg Config, f vt.Factory[C]) (time.Duration, uint64) {
+	switch cfg.PO {
+	case HB:
+		e := hb.New(tr.Meta, f)
+		if cfg.Analysis {
+			det := e.EnableRaceDetection()
+			el := timed(func() { e.Process(tr.Events) })
+			return el, det.Acc.Total
+		}
+		return timed(func() { e.Process(tr.Events) }), 0
+	case SHB:
+		e := shb.New(tr.Meta, f)
+		if cfg.Analysis {
+			det := e.EnableRaceDetection()
+			el := timed(func() { e.Process(tr.Events) })
+			return el, det.Acc.Total
+		}
+		return timed(func() { e.Process(tr.Events) }), 0
+	case MAZ:
+		e := maz.New(tr.Meta, f)
+		if cfg.Analysis {
+			acc := e.EnableAnalysis()
+			el := timed(func() { e.Process(tr.Events) })
+			return el, acc.Total
+		}
+		return timed(func() { e.Process(tr.Events) }), 0
+	default:
+		panic(fmt.Sprintf("bench: unknown partial order %d", cfg.PO))
+	}
+}
+
+func timed(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// SamplePairs runs the analysis and returns the retained sample pairs
+// (bounded; counting in Run covers the totals).
+func SamplePairs(tr *trace.Trace, po PO, ck Clock) []analysis.Pair {
+	k := tr.Meta.Threads
+	if ck == TC {
+		return samplePairs(tr, po, core.Factory(k, nil))
+	}
+	return samplePairs(tr, po, vc.Factory(k, nil))
+}
+
+func samplePairs[C vt.Clock[C]](tr *trace.Trace, po PO, f vt.Factory[C]) []analysis.Pair {
+	switch po {
+	case HB:
+		e := hb.New(tr.Meta, f)
+		det := e.EnableRaceDetection()
+		e.Process(tr.Events)
+		return det.Acc.Samples
+	case SHB:
+		e := shb.New(tr.Meta, f)
+		det := e.EnableRaceDetection()
+		e.Process(tr.Events)
+		return det.Acc.Samples
+	case MAZ:
+		e := maz.New(tr.Meta, f)
+		acc := e.EnableAnalysis()
+		e.Process(tr.Events)
+		return acc.Samples
+	default:
+		panic(fmt.Sprintf("bench: unknown partial order %d", po))
+	}
+}
+
+// RunMean repeats the run and returns the result with the mean elapsed
+// time (the paper averages 3 measurements).
+func RunMean(tr *trace.Trace, cfg Config, repeats int) Result {
+	if repeats < 1 {
+		repeats = 1
+	}
+	res := Run(tr, cfg)
+	total := res.Elapsed
+	for i := 1; i < repeats; i++ {
+		total += Run(tr, cfg).Elapsed
+	}
+	res.Elapsed = total / time.Duration(repeats)
+	return res
+}

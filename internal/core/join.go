@@ -1,0 +1,321 @@
+package core
+
+import "treeclock/internal/vt"
+
+// This file implements the paper's Algorithm 2: Join, MonotoneCopy and
+// the helper routines getUpdatedNodesJoin / getUpdatedNodesCopy /
+// detachNodes / attachNodes / pushChild. Three implementation choices
+// beyond the paper's pseudocode (its own implementation applies the
+// same ideas: "recursive routines have been made iterative", "two
+// arrays of length k"):
+//
+//   - Traversals are iterative with an explicit frame stack, with a
+//     fast path for leaves that skips the stack entirely.
+//   - Detachment is fused into the gather traversal: a node is unlinked
+//     from the receiver's tree the moment it is found to have
+//     progressed. This is safe because gathering walks only the source
+//     clock's links, never the receiver's, and unlinking nodes from a
+//     doubly-linked child list keeps it consistent in any order.
+//   - The gather stack records each node's new (clk, aclk, parent)
+//     while the source node is hot in cache, so the attach pass only
+//     writes to the receiver.
+//
+// All keep the operation-for-operation behaviour of Algorithm 2 (the
+// same nodes are compared, detached and attached); the model-based and
+// differential tests pin that down.
+
+// rec is one gathered node: the thread, its new time, and its position
+// in the source tree. par is none for the source's root.
+type rec struct {
+	u    vt.TID
+	par  vt.TID
+	clk  vt.Time
+	aclk vt.Time
+}
+
+// frame is one level of the iterative traversal: node u of the source,
+// the next child v of u still to examine, and u's gathered record data.
+type frame struct {
+	u    vt.TID
+	v    vt.TID
+	par  vt.TID
+	clk  vt.Time
+	aclk vt.Time
+}
+
+// Join updates the clock to the pointwise maximum with o (c ← c ⊔ o).
+//
+// The traversal of o visits only nodes that may carry new information:
+// it descends into a child only when that thread has progressed relative
+// to c (direct monotonicity) and stops scanning a sibling list once an
+// attachment time is already known to c (indirect monotonicity), so the
+// cost is proportional to the entries being updated rather than Θ(k).
+func (c *TreeClock) Join(o *TreeClock) {
+	if o == c || o.root == none {
+		return
+	}
+	zr := o.root
+	if c.stats != nil {
+		c.stats.Joins++
+		c.stats.Entries++ // root progress test
+	}
+	if o.clk[zr] <= c.clk[zr] {
+		// o's root has not progressed; by direct monotonicity
+		// nothing in o is new (Algorithm 2, line 18).
+		return
+	}
+	if c.root == none {
+		// Joining into the zero vector time is a plain copy.
+		c.deepCopyFrom(o)
+		return
+	}
+	if zr == c.root {
+		// Another clock claims a later local time for this clock's
+		// own thread: knowledge of a thread always originates from
+		// that thread's clock, so this cannot happen in a correct
+		// protocol. Fail loudly rather than corrupt the tree.
+		panic("core: Join source knows the receiver's own thread's future")
+	}
+	s, _ := c.gatherDetach(o, none)
+	c.attach(s)
+	// Place the updated subtree under the root, at the front of its
+	// child list (its attachment time is the current root time, the
+	// largest so far, preserving the descending-aclk order).
+	c.sh[zr].aclk = c.clk[c.root]
+	c.pushChild(zr, c.root)
+	c.gather = s[:0]
+}
+
+// MonotoneCopy overwrites the clock with o, assuming this ⊑ o (Lemma 2
+// guarantees the precondition at lock-release events). The traversal
+// prunes exactly like Join; additionally the old root is repositioned so
+// the new tree is rooted at o's thread.
+func (c *TreeClock) MonotoneCopy(o *TreeClock) {
+	if o == c || o.root == none {
+		return
+	}
+	if c.root == none {
+		c.deepCopyFrom(o)
+		return
+	}
+	if c.mode == ModeDeepCopy {
+		c.deepCopyFrom(o)
+		return
+	}
+	if c.stats != nil {
+		c.stats.Copies++
+	}
+	oldRoot := c.root
+	s, sawOldRoot := c.gatherDetach(o, oldRoot)
+	c.attach(s)
+	c.root = o.root
+	c.sh[c.root].par = none
+	if !sawOldRoot && oldRoot != c.root {
+		// Defensive: the traversal never visited the old root, which
+		// would leave it dangling. Under the paper's protocols this
+		// cannot happen (the old root is always reachable before any
+		// sibling break — see Lemma 5); re-attach it conservatively
+		// under the new root. An inflated attachment time only makes
+		// future traversals prune less, never incorrectly.
+		c.sh[oldRoot].aclk = c.clk[c.root]
+		c.pushChild(oldRoot, c.root)
+		if c.stats != nil {
+			c.stats.ForcedRootAttach++
+		}
+	}
+	c.gather = s[:0]
+}
+
+// CopyCheckMonotone overwrites the clock with o without assuming
+// monotonicity. The O(1) root test (direct monotonicity) decides
+// whether the sublinear MonotoneCopy applies; otherwise it falls back to
+// a full deep copy. The boolean result is false exactly when the copy
+// was not monotone, which in the SHB algorithm signals a write-write
+// race, bounding the number of deep copies by the number of such races.
+func (c *TreeClock) CopyCheckMonotone(o *TreeClock) bool {
+	if c.root == none || (o.root != none && c.clk[c.root] <= o.clk[c.root]) {
+		c.MonotoneCopy(o)
+		return true
+	}
+	if c.stats != nil {
+		c.stats.DeepCopies++
+	}
+	c.deepCopyFrom(o)
+	return false
+}
+
+// gatherDetach performs the pre-order traversal of o, collecting in
+// post-order (parents after their descendants) the threads that have
+// progressed in o relative to c, and unlinking each from c's tree as it
+// is found (getUpdatedNodesJoin/getUpdatedNodesCopy + detachNodes).
+//
+// For MonotoneCopy, z names c's current root: it is gathered even when
+// unprogressed so it can be repositioned to mirror o's shape
+// (Algorithm 2, line 67); Join passes z == none. The second result
+// reports whether z was gathered (always true for Join).
+func (c *TreeClock) gatherDetach(o *TreeClock, z vt.TID) ([]rec, bool) {
+	s := c.gather[:0]
+	fs := c.frames[:0]
+	noBreak := c.mode == ModeNoIndirectBreak
+	cclk, csh := c.clk, c.sh
+	oclk, osh := o.clk, o.sh
+	st := c.stats
+	var entries uint64
+
+	croot := c.root
+	zr := o.root
+	c.detach(zr)
+	if z == zr {
+		z = none // the roots coincide: nothing to reposition
+	}
+	fs = append(fs, frame{u: zr, v: osh[zr].head, par: none, clk: oclk[zr]})
+outer:
+	for len(fs) > 0 {
+		f := &fs[len(fs)-1]
+		u, v := f.u, f.v
+		uclk := cclk[u]
+		for v != none {
+			entries++
+			vclk := oclk[v]
+			ov := &osh[v]
+			if cclk[v] < vclk {
+				// v has progressed: unlink it from c (direct
+				// monotonicity covers the skipped case, not this
+				// one).
+				cv := &csh[v]
+				if cv.par != notIn && v != croot {
+					if cv.prv == none {
+						csh[cv.par].head = cv.nxt
+					} else {
+						csh[cv.prv].nxt = cv.nxt
+					}
+					if cv.nxt != none {
+						csh[cv.nxt].prv = cv.prv
+					}
+				}
+				if v == z {
+					z = none
+				}
+				if ov.head == none {
+					// Leaf: gather immediately, no frame needed.
+					s = append(s, rec{u: v, par: u, clk: vclk, aclk: ov.aclk})
+					v = ov.nxt
+					continue
+				}
+				f.v = ov.nxt
+				fs = append(fs, frame{u: v, v: ov.head, par: u, clk: vclk, aclk: ov.aclk})
+				continue outer
+			}
+			if v == z {
+				// The old root must move even though it has not
+				// progressed (line 67). It is c's root, so it is
+				// not linked anywhere and needs no detach.
+				s = append(s, rec{u: v, par: u, clk: vclk, aclk: ov.aclk})
+				z = none
+			}
+			if !noBreak && ov.aclk <= uclk {
+				// c already knows u at v's attachment time, so it
+				// knows every later sibling too (indirect
+				// monotonicity): stop scanning.
+				break
+			}
+			v = ov.nxt
+		}
+		s = append(s, rec{u: u, par: f.par, clk: f.clk, aclk: f.aclk})
+		fs = fs[:len(fs)-1]
+	}
+	if st != nil {
+		st.Entries += entries
+	}
+	c.frames = fs[:0]
+	return s, z == none
+}
+
+// detach unlinks thread v from its parent's child list in c. The root
+// is never linked in a list; absent nodes have nothing to unlink.
+func (c *TreeClock) detach(v vt.TID) {
+	csh := c.sh
+	nv := &csh[v]
+	if nv.par == notIn || v == c.root {
+		return
+	}
+	if nv.prv == none {
+		csh[nv.par].head = nv.nxt
+	} else {
+		csh[nv.prv].nxt = nv.nxt
+	}
+	if nv.nxt != none {
+		csh[nv.nxt].prv = nv.prv
+	}
+}
+
+// attach pops the gathered records in reverse order (parents before
+// their descendants), installs the new local times, and links each node
+// under the same parent as in o. Because siblings are popped in
+// ascending-aclk order and pushChild prepends, every rebuilt child list
+// ends up in descending-aclk order, and kept children (attached earlier,
+// hence with smaller attachment times — indirect monotonicity's
+// contrapositive) stay correctly behind them.
+func (c *TreeClock) attach(s []rec) {
+	st := c.stats
+	cclk, csh := c.clk, c.sh
+	for i := len(s) - 1; i >= 0; i-- {
+		r := &s[i]
+		u := r.u
+		if st != nil {
+			st.Entries++
+			if cclk[u] != r.clk {
+				st.Changed++
+			}
+		}
+		cclk[u] = r.clk
+		if p := r.par; p != none {
+			// pushChild(u, p) with the shape entry in hand.
+			nu := &csh[u]
+			h := csh[p].head
+			nu.aclk = r.aclk
+			nu.par = p
+			nu.nxt = h
+			nu.prv = none
+			if h != none {
+				csh[h].prv = u
+			}
+			csh[p].head = u
+		}
+		// o's own root (par == none) is positioned by the caller:
+		// under c's root for Join, as the new root for MonotoneCopy.
+	}
+}
+
+// pushChild makes u the first child of p.
+func (c *TreeClock) pushChild(u, p vt.TID) {
+	csh := c.sh
+	h := csh[p].head
+	csh[u].par = p
+	csh[u].nxt = h
+	csh[u].prv = none
+	if h != none {
+		csh[h].prv = u
+	}
+	csh[p].head = u
+}
+
+// deepCopyFrom overwrites c with a full structural copy of o in Θ(k).
+// Used for copies into empty clocks (initialization) and as the
+// non-monotone fallback of CopyCheckMonotone; only the fallback counts
+// toward WorkStats.DeepCopies (§5.1 bounds it by write-write races).
+func (c *TreeClock) deepCopyFrom(o *TreeClock) {
+	if c.stats != nil {
+		c.stats.Entries += uint64(c.k)
+		for t := int32(0); t < c.k; t++ {
+			if c.clk[t] != o.clk[t] {
+				c.stats.Changed++
+			}
+		}
+	}
+	c.root = o.root
+	copy(c.clk, o.clk)
+	copy(c.sh, o.sh)
+}
+
+var _ vt.Clock[*TreeClock] = (*TreeClock)(nil)

@@ -1,0 +1,213 @@
+// Package core implements the tree clock data structure, the primary
+// contribution of the reproduced paper (ASPLOS 2022, Algorithm 2).
+//
+// A tree clock represents the same vector time as a vector clock, but
+// stores it as a rooted tree: each node holds a thread's local time
+// (clk) and the time its parent had when it learned that value (aclk,
+// the attachment time). The tree records how knowledge was obtained
+// transitively, which lets Join and MonotoneCopy skip the parts of the
+// timestamp that cannot have changed:
+//
+//   - direct monotonicity: if a node has not progressed relative to the
+//     target clock, none of its descendants have, so the whole subtree
+//     is skipped;
+//   - indirect monotonicity: children are kept in descending attachment
+//     time, so as soon as a child's attachment time is already known to
+//     the target, all later siblings are known too and scanning stops.
+//
+// The layout follows the paper's implementation note ("two arrays of
+// length k"): timestamps live in a dense array indexed by thread id,
+// exactly like a vector clock, and the tree shape (attachment times and
+// intrusive child-list links, kept in descending-aclk order) lives in a
+// second array. The thread map is the array index. All traversals are
+// iterative.
+package core
+
+import (
+	"fmt"
+
+	"treeclock/internal/vt"
+)
+
+// Sentinels used in the link fields.
+const (
+	none  vt.TID = -1 // absent link / root parent
+	notIn vt.TID = -2 // thread not yet present in the tree
+)
+
+// Mode selects an ablation variant of the data structure. The default
+// (ModeFull) is the paper's algorithm; the other modes disable one of
+// the two pruning ideas and exist only for the ablation benchmarks.
+type Mode uint8
+
+const (
+	// ModeFull is the complete algorithm of the paper.
+	ModeFull Mode = iota
+	// ModeNoIndirectBreak disables the sibling early-break (indirect
+	// monotonicity): joins and copies still skip unprogressed subtrees
+	// but scan every sibling list to the end.
+	ModeNoIndirectBreak
+	// ModeDeepCopy replaces MonotoneCopy with a full O(k) structural
+	// copy, isolating the benefit of the monotone copy optimization.
+	ModeDeepCopy
+)
+
+// shape is the tree-shape half of one entry: attachment time and the
+// intrusive child-list links. Thread identity is the array index.
+type shape struct {
+	aclk vt.Time // parent's time when this node was attached
+	par  vt.TID  // parent thread; none for the root; notIn if absent
+	head vt.TID  // first child (largest aclk), none if leaf
+	nxt  vt.TID  // next sibling (smaller aclk), none at end
+	prv  vt.TID  // previous sibling, none at front
+}
+
+// TreeClock is a tree clock over a fixed universe of k threads.
+// It implements vt.Clock[*TreeClock].
+//
+// The zero vector time is represented by an empty tree (root == none);
+// this is the state of auxiliary clocks (locks, variables) before their
+// first MonotoneCopy, matching the paper's note that only thread clocks
+// run Init.
+type TreeClock struct {
+	k    int32
+	root vt.TID
+	mode Mode
+
+	// Following the paper's implementation note, the clock is "two
+	// arrays of length k": clk holds the integer timestamps exactly
+	// like a vector clock (hot, dense — the entire array spans a
+	// handful of cache lines), and sh encodes the tree shape (touched
+	// only for nodes being repositioned).
+	clk []vt.Time
+	sh  []shape
+
+	// Scratch buffers reused across operations so that steady-state
+	// joins and copies allocate nothing. Their element types are
+	// defined alongside the traversal in join.go.
+	gather []rec
+	frames []frame
+
+	stats *vt.WorkStats
+}
+
+// New returns an empty tree clock over k threads. If stats is non-nil,
+// every operation accumulates work counters into it.
+func New(k int, stats *vt.WorkStats) *TreeClock {
+	if k <= 0 {
+		panic("core: tree clock needs a positive thread count")
+	}
+	c := &TreeClock{
+		k:     int32(k),
+		root:  none,
+		clk:   make([]vt.Time, k),
+		sh:    make([]shape, k),
+		stats: stats,
+	}
+	for i := range c.sh {
+		c.sh[i] = shape{par: notIn, head: none, nxt: none, prv: none}
+	}
+	return c
+}
+
+// Factory returns a vt.Factory producing tree clocks over k threads
+// sharing stats (which may be nil).
+func Factory(k int, stats *vt.WorkStats) vt.Factory[*TreeClock] {
+	return func() *TreeClock { return New(k, stats) }
+}
+
+// FactoryMode is Factory with an explicit ablation mode.
+func FactoryMode(k int, stats *vt.WorkStats, m Mode) vt.Factory[*TreeClock] {
+	return func() *TreeClock {
+		c := New(k, stats)
+		c.mode = m
+		return c
+	}
+}
+
+// K returns the thread capacity.
+func (c *TreeClock) K() int { return int(c.k) }
+
+// Root returns the thread at the root, or vt.None for an empty clock.
+func (c *TreeClock) Root() vt.TID { return c.root }
+
+// Init makes the clock belong to thread t: t becomes the root with
+// local time 0. Only thread clocks are initialized (paper, Init note).
+func (c *TreeClock) Init(t vt.TID) {
+	if c.root != none {
+		panic("core: Init on a non-empty tree clock")
+	}
+	c.root = t
+	c.sh[t].par = none
+}
+
+// Get returns the recorded local time of thread t in O(1) (Remark 1).
+// Absent threads have time 0.
+func (c *TreeClock) Get(t vt.TID) vt.Time { return c.clk[t] }
+
+// Inc adds d to the owning thread's local time. t must be the root
+// thread (the engine's own thread); the parameter mirrors the vector
+// clock signature.
+func (c *TreeClock) Inc(t vt.TID, d vt.Time) {
+	if t != c.root {
+		panic("core: Inc on a thread that does not own this clock")
+	}
+	c.clk[t] += d
+	if c.stats != nil {
+		c.stats.Entries++
+		c.stats.Changed++
+	}
+}
+
+// LessEqFast reports whether this clock's vector time is ⊑ o's using
+// only the root entry (O(1)). The test is valid for clocks maintained
+// by a partial-order engine, where direct monotonicity (Lemma 3) makes
+// the root entry decisive; it is not a general vector comparison — use
+// Vector(...).LessEq for arbitrary clocks.
+func (c *TreeClock) LessEqFast(o *TreeClock) bool {
+	if c.root == none {
+		return true
+	}
+	return c.clk[c.root] <= o.Get(c.root)
+}
+
+// Vector writes the represented vector time into dst and returns it.
+func (c *TreeClock) Vector(dst vt.Vector) vt.Vector {
+	copy(dst, c.clk)
+	return dst
+}
+
+// NumNodes returns how many threads are present in the tree.
+func (c *TreeClock) NumNodes() int {
+	count := 0
+	for t := int32(0); t < c.k; t++ {
+		if c.sh[t].par != notIn {
+			count++
+		}
+	}
+	return count
+}
+
+// String renders the tree in (tid,clk,aclk) form, pre-order.
+func (c *TreeClock) String() string {
+	if c.root == none {
+		return "<empty>"
+	}
+	var out []byte
+	var rec func(u vt.TID, depth int)
+	rec = func(u vt.TID, depth int) {
+		for i := 0; i < depth; i++ {
+			out = append(out, ' ', ' ')
+		}
+		if u == c.root {
+			out = append(out, fmt.Sprintf("(t%d, %d, _)\n", u, c.clk[u])...)
+		} else {
+			out = append(out, fmt.Sprintf("(t%d, %d, %d)\n", u, c.clk[u], c.sh[u].aclk)...)
+		}
+		for v := c.sh[u].head; v != none; v = c.sh[v].nxt {
+			rec(v, depth+1)
+		}
+	}
+	rec(c.root, 0)
+	return string(out)
+}

@@ -1,0 +1,210 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"treeclock/internal/trace"
+	"treeclock/internal/vt"
+)
+
+// Application-shaped generators. Each mimics the communication
+// structure of a common concurrent-program family; together with Mixed
+// they make up the benchmark suite (see suite.go).
+
+// ProducerConsumer models producers appending to a shared queue and
+// consumers draining it, all under one queue lock, with per-thread
+// local work between operations. Variable 0 is the queue head,
+// variable 1 the queue tail; the rest are local scratch.
+func ProducerConsumer(producers, consumers, events int, seed int64) *trace.Trace {
+	k := producers + consumers
+	vars := 2 + k
+	r := rand.New(rand.NewSource(seed))
+	evs := make([]trace.Event, 0, events)
+	for len(evs) < events {
+		t := vt.TID(r.Intn(k))
+		local := int32(2 + int(t))
+		// Local work.
+		for n := r.Intn(3); n > 0; n-- {
+			evs = append(evs, trace.Event{T: t, Obj: local, Kind: trace.Write})
+		}
+		evs = append(evs, trace.Event{T: t, Obj: 0, Kind: trace.Acquire})
+		if int(t) < producers {
+			evs = append(evs,
+				trace.Event{T: t, Obj: 1, Kind: trace.Read},
+				trace.Event{T: t, Obj: 1, Kind: trace.Write})
+		} else {
+			evs = append(evs,
+				trace.Event{T: t, Obj: 0, Kind: trace.Read},
+				trace.Event{T: t, Obj: 0, Kind: trace.Write},
+				trace.Event{T: t, Obj: 1, Kind: trace.Read})
+		}
+		evs = append(evs, trace.Event{T: t, Obj: 0, Kind: trace.Release})
+	}
+	return &trace.Trace{
+		Meta: trace.Meta{
+			Name:    fmt.Sprintf("producer-consumer-%dp%dc", producers, consumers),
+			Threads: k, Locks: 1, Vars: vars,
+		},
+		Events: evs,
+	}
+}
+
+// Pipeline models a chain of stages: stage i repeatedly takes an item
+// from buffer i (lock i) and puts the result into buffer i+1
+// (lock i+1). Communication is strictly neighbor-to-neighbor.
+func Pipeline(stages, events int, seed int64) *trace.Trace {
+	if stages < 2 {
+		panic("gen: pipeline needs at least 2 stages")
+	}
+	r := rand.New(rand.NewSource(seed))
+	evs := make([]trace.Event, 0, events)
+	for len(evs) < events {
+		t := vt.TID(r.Intn(stages))
+		in := int32(t)
+		out := int32(t) + 1
+		if int(t) > 0 { // take from the input buffer
+			evs = append(evs,
+				trace.Event{T: t, Obj: in - 1, Kind: trace.Acquire},
+				trace.Event{T: t, Obj: in - 1, Kind: trace.Read},
+				trace.Event{T: t, Obj: in - 1, Kind: trace.Release})
+		}
+		if int(t) < stages-1 { // put into the output buffer
+			evs = append(evs,
+				trace.Event{T: t, Obj: in, Kind: trace.Acquire},
+				trace.Event{T: t, Obj: out - 1, Kind: trace.Write},
+				trace.Event{T: t, Obj: in, Kind: trace.Release})
+		} else { // sink: local accumulation
+			evs = append(evs, trace.Event{T: t, Obj: int32(stages), Kind: trace.Write})
+		}
+	}
+	return &trace.Trace{
+		Meta: trace.Meta{
+			Name:    fmt.Sprintf("pipeline-%d", stages),
+			Threads: stages, Locks: stages - 1, Vars: stages + 1,
+		},
+		Events: evs,
+	}
+}
+
+// BarrierPhases models bulk-synchronous computation: in each phase all
+// threads do local work on private variables plus a few shared
+// accesses under the phase lock, then everybody syncs on the phase
+// lock (an all-to-all knowledge exchange, like an OpenMP parallel
+// region boundary).
+func BarrierPhases(threads, phases, workPerPhase int, seed int64) *trace.Trace {
+	r := rand.New(rand.NewSource(seed))
+	vars := threads + 1 // one private var each + one shared
+	var evs []trace.Event
+	for p := 0; p < phases; p++ {
+		l := int32(p % 2)
+		for t := 0; t < threads; t++ {
+			tid := vt.TID(t)
+			for n := 0; n < workPerPhase; n++ {
+				kind := trace.Write
+				if r.Intn(2) == 0 {
+					kind = trace.Read
+				}
+				evs = append(evs, trace.Event{T: tid, Obj: int32(t + 1), Kind: kind})
+			}
+			evs = append(evs,
+				trace.Event{T: tid, Obj: l, Kind: trace.Acquire},
+				trace.Event{T: tid, Obj: 0, Kind: trace.Read},
+				trace.Event{T: tid, Obj: 0, Kind: trace.Write},
+				trace.Event{T: tid, Obj: l, Kind: trace.Release})
+		}
+	}
+	return &trace.Trace{
+		Meta: trace.Meta{
+			Name:    fmt.Sprintf("barrier-k%d-p%d", threads, phases),
+			Threads: threads, Locks: 2, Vars: vars,
+		},
+		Events: evs,
+	}
+}
+
+// ReadersWriters models a shared table guarded by a lock for writers
+// while readers mostly read without synchronization (the classic racy
+// pattern race detectors are pointed at). Thread 0 is the writer.
+func ReadersWriters(threads, events int, seed int64, racy bool) *trace.Trace {
+	r := rand.New(rand.NewSource(seed))
+	const vars = 8
+	evs := make([]trace.Event, 0, events)
+	for len(evs) < events {
+		t := vt.TID(r.Intn(threads))
+		x := int32(r.Intn(vars))
+		if t == 0 { // writer
+			evs = append(evs,
+				trace.Event{T: t, Obj: 0, Kind: trace.Acquire},
+				trace.Event{T: t, Obj: x, Kind: trace.Write},
+				trace.Event{T: t, Obj: 0, Kind: trace.Release})
+		} else if racy {
+			evs = append(evs, trace.Event{T: t, Obj: x, Kind: trace.Read})
+		} else {
+			evs = append(evs,
+				trace.Event{T: t, Obj: 0, Kind: trace.Acquire},
+				trace.Event{T: t, Obj: x, Kind: trace.Read},
+				trace.Event{T: t, Obj: 0, Kind: trace.Release})
+		}
+	}
+	name := "readers-writers"
+	if racy {
+		name = "readers-writers-racy"
+	}
+	return &trace.Trace{
+		Meta: trace.Meta{
+			Name:    fmt.Sprintf("%s-k%d", name, threads),
+			Threads: threads, Locks: 1, Vars: vars,
+		},
+		Events: evs,
+	}
+}
+
+// ForkJoinTree models a master thread forking workers, each doing
+// locked updates to a shared accumulator plus private work, then being
+// joined — exercising the fork/join extension events.
+func ForkJoinTree(workers, workPerWorker int, seed int64) *trace.Trace {
+	r := rand.New(rand.NewSource(seed))
+	k := workers + 1
+	vars := workers + 1 // shared accumulator + one private each
+	var evs []trace.Event
+	master := vt.TID(0)
+	evs = append(evs, trace.Event{T: master, Obj: 0, Kind: trace.Write}) // init accumulator
+	for w := 1; w <= workers; w++ {
+		evs = append(evs, trace.Event{T: master, Obj: int32(w), Kind: trace.Fork})
+	}
+	// Interleave worker bodies randomly.
+	remaining := make([]int, workers)
+	for i := range remaining {
+		remaining[i] = workPerWorker
+	}
+	active := workers
+	for active > 0 {
+		w := 1 + r.Intn(workers)
+		if remaining[w-1] == 0 {
+			continue
+		}
+		remaining[w-1]--
+		if remaining[w-1] == 0 {
+			active--
+		}
+		t := vt.TID(w)
+		evs = append(evs,
+			trace.Event{T: t, Obj: int32(w), Kind: trace.Write}, // private
+			trace.Event{T: t, Obj: 0, Kind: trace.Acquire},
+			trace.Event{T: t, Obj: 0, Kind: trace.Read},
+			trace.Event{T: t, Obj: 0, Kind: trace.Write},
+			trace.Event{T: t, Obj: 0, Kind: trace.Release})
+	}
+	for w := 1; w <= workers; w++ {
+		evs = append(evs, trace.Event{T: master, Obj: int32(w), Kind: trace.Join})
+	}
+	evs = append(evs, trace.Event{T: master, Obj: 0, Kind: trace.Read}) // collect
+	return &trace.Trace{
+		Meta: trace.Meta{
+			Name:    fmt.Sprintf("fork-join-%dw", workers),
+			Threads: k, Locks: 1, Vars: vars,
+		},
+		Events: evs,
+	}
+}

@@ -1,0 +1,211 @@
+package gen
+
+import (
+	"testing"
+
+	"treeclock/internal/trace"
+)
+
+func checkTrace(t *testing.T, tr *trace.Trace) trace.Stats {
+	t.Helper()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("%s: invalid trace: %v", tr.Meta.Name, err)
+	}
+	if tr.Len() == 0 {
+		t.Fatalf("%s: empty trace", tr.Meta.Name)
+	}
+	return trace.ComputeStats(tr)
+}
+
+func TestMixedRespectsConfig(t *testing.T) {
+	cfg := Config{Name: "m", Threads: 8, Locks: 4, Vars: 64, Events: 5000, Seed: 1, SyncFrac: 0.3}
+	tr := Mixed(cfg)
+	s := checkTrace(t, tr)
+	if s.Threads > 8 || s.Locks > 4 || s.Vars > 64 {
+		t.Errorf("stats exceed config: %+v", s)
+	}
+	if tr.Len() < 5000 || tr.Len() > 5000+8 {
+		t.Errorf("event count %d far from target 5000", tr.Len())
+	}
+	if s.SyncPct < 5 {
+		t.Errorf("sync share %.1f%% too low for SyncFrac 0.3", s.SyncPct)
+	}
+}
+
+func TestMixedDeterministic(t *testing.T) {
+	cfg := Config{Threads: 6, Locks: 3, Vars: 32, Events: 2000, Seed: 42, SyncFrac: 0.25}
+	a, b := Mixed(cfg), Mixed(cfg)
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, a.Events[i], b.Events[i])
+		}
+	}
+	c := Mixed(Config{Threads: 6, Locks: 3, Vars: 32, Events: 2000, Seed: 43, SyncFrac: 0.25})
+	same := true
+	for i := range a.Events {
+		if i >= len(c.Events) || a.Events[i] != c.Events[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestMixedSyncFracControlsSyncShare(t *testing.T) {
+	low := trace.ComputeStats(Mixed(Config{Threads: 8, Locks: 4, Vars: 64, Events: 20000, Seed: 7, SyncFrac: 0.02}))
+	high := trace.ComputeStats(Mixed(Config{Threads: 8, Locks: 4, Vars: 64, Events: 20000, Seed: 7, SyncFrac: 0.6}))
+	if low.SyncPct >= high.SyncPct {
+		t.Errorf("sync share not monotone in SyncFrac: %.1f%% vs %.1f%%", low.SyncPct, high.SyncPct)
+	}
+}
+
+func TestMixedZeroConfigDefaults(t *testing.T) {
+	tr := Mixed(Config{})
+	checkTrace(t, tr)
+}
+
+func TestScenarios(t *testing.T) {
+	for _, sc := range Scenarios {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			tr := sc.Fn(12, 4000, 5)
+			s := checkTrace(t, tr)
+			if s.RWPct != 0 {
+				t.Errorf("scalability scenario must be sync-only, got %.1f%% r/w", s.RWPct)
+			}
+			if s.SyncPct != 100 {
+				t.Errorf("sync share = %.1f%%, want 100%%", s.SyncPct)
+			}
+			if s.Threads < 2 {
+				t.Errorf("only %d threads active", s.Threads)
+			}
+		})
+	}
+}
+
+func TestPairwiseLockCount(t *testing.T) {
+	tr := Pairwise(10, 2000, 1)
+	if tr.Meta.Locks != 45 {
+		t.Errorf("pairwise locks = %d, want 45", tr.Meta.Locks)
+	}
+	checkTrace(t, tr)
+}
+
+func TestStarDedicatedLocks(t *testing.T) {
+	tr := Star(6, 2000, 1)
+	if tr.Meta.Locks != 5 {
+		t.Errorf("star locks = %d, want 5", tr.Meta.Locks)
+	}
+	// Every lock is touched only by the server (t0) and its client.
+	users := make(map[int32]map[int32]bool)
+	for _, e := range tr.Events {
+		if e.Kind.IsSync() {
+			if users[e.Obj] == nil {
+				users[e.Obj] = make(map[int32]bool)
+			}
+			users[e.Obj][int32(e.T)] = true
+		}
+	}
+	for l, us := range users {
+		if len(us) > 2 {
+			t.Errorf("lock %d used by %d threads, want ≤ 2", l, len(us))
+		}
+		if !us[0] {
+			t.Errorf("lock %d never used by the server", l)
+		}
+	}
+}
+
+func TestScenarioPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Star(1, 10, 0) },
+		func() { Pairwise(1, 10, 0) },
+		func() { Pipeline(1, 10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for degenerate thread count")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestApplicationGenerators(t *testing.T) {
+	traces := []*trace.Trace{
+		ProducerConsumer(3, 4, 3000, 1),
+		Pipeline(5, 3000, 2),
+		BarrierPhases(6, 10, 8, 3),
+		ReadersWriters(8, 3000, 4, true),
+		ReadersWriters(8, 3000, 4, false),
+		ForkJoinTree(7, 50, 5),
+	}
+	for _, tr := range traces {
+		checkTrace(t, tr)
+	}
+}
+
+func TestForkJoinTreeUsesForkJoinEvents(t *testing.T) {
+	tr := ForkJoinTree(4, 10, 9)
+	forks, joins := 0, 0
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case trace.Fork:
+			forks++
+		case trace.Join:
+			joins++
+		}
+	}
+	if forks != 4 || joins != 4 {
+		t.Errorf("forks=%d joins=%d, want 4 and 4", forks, joins)
+	}
+}
+
+func TestSuiteWellFormed(t *testing.T) {
+	entries := SuiteEntries()
+	if len(entries) < 25 {
+		t.Fatalf("suite has only %d entries", len(entries))
+	}
+	seen := make(map[string]bool)
+	minThreads, maxThreads := 1<<30, 0
+	for _, e := range entries {
+		if seen[e.Name] {
+			t.Errorf("duplicate suite name %q", e.Name)
+		}
+		seen[e.Name] = true
+		tr := e.Build(0.05) // small scale for the test
+		s := checkTrace(t, tr)
+		if tr.Meta.Name != e.Name {
+			t.Errorf("trace name %q != entry name %q", tr.Meta.Name, e.Name)
+		}
+		if s.Threads < minThreads {
+			minThreads = s.Threads
+		}
+		if s.Threads > maxThreads {
+			maxThreads = s.Threads
+		}
+	}
+	// The suite must span the paper's thread-count envelope (3–222).
+	if minThreads > 5 {
+		t.Errorf("smallest suite trace has %d threads; want small traces too", minThreads)
+	}
+	if maxThreads < 200 {
+		t.Errorf("largest suite trace has %d threads; want a 200+ server-style trace", maxThreads)
+	}
+}
+
+func TestSuiteScale(t *testing.T) {
+	e := SuiteEntries()[0]
+	small := e.Build(0.05)
+	big := e.Build(0.2)
+	if big.Len() <= small.Len() {
+		t.Errorf("scale did not grow the trace: %d vs %d", big.Len(), small.Len())
+	}
+}

@@ -1,0 +1,132 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"treeclock/internal/trace"
+	"treeclock/internal/vt"
+)
+
+// The four controlled scalability scenarios of §6 (Figure 10). As in
+// the paper, each trace consists solely of synchronization events: a
+// randomly chosen thread performs acq(ℓ) immediately followed by
+// rel(ℓ) on a scenario-chosen lock. Thread counts vary while the
+// communication pattern stays fixed.
+
+// syncPair appends acq(ℓ), rel(ℓ) for thread t.
+func syncPair(events []trace.Event, t vt.TID, l int32) []trace.Event {
+	return append(events,
+		trace.Event{T: t, Obj: l, Kind: trace.Acquire},
+		trace.Event{T: t, Obj: l, Kind: trace.Release})
+}
+
+// SingleLock is scenario (a): all threads communicate over one lock.
+func SingleLock(threads, events int, seed int64) *trace.Trace {
+	r := rand.New(rand.NewSource(seed))
+	evs := make([]trace.Event, 0, events)
+	for len(evs) < events {
+		evs = syncPair(evs, vt.TID(r.Intn(threads)), 0)
+	}
+	return &trace.Trace{
+		Meta:   trace.Meta{Name: fmt.Sprintf("single-lock-k%d", threads), Threads: threads, Locks: 1},
+		Events: evs,
+	}
+}
+
+// FiftyLocksSkewed is scenario (b): 50 locks, and 20% of the threads
+// are 5× more likely to perform an operation.
+func FiftyLocksSkewed(threads, events int, seed int64) *trace.Trace {
+	const locks = 50
+	r := rand.New(rand.NewSource(seed))
+	tp := newThreadPicker(r, threads, 5)
+	evs := make([]trace.Event, 0, events)
+	for len(evs) < events {
+		evs = syncPair(evs, tp.pick(), int32(r.Intn(locks)))
+	}
+	return &trace.Trace{
+		Meta:   trace.Meta{Name: fmt.Sprintf("fifty-locks-k%d", threads), Threads: threads, Locks: locks},
+		Events: evs,
+	}
+}
+
+// Star is scenario (c): thread 0 is a server; every client i ≥ 1 talks
+// to the server over its dedicated lock ℓ_{i-1}. As in the paper's
+// setup, each step is a randomly chosen thread performing one sync: a
+// client always syncs on its own lock, the server on a random one. A
+// client's lock is only ever written by that client and the server, so
+// every join and copy touches O(1) entries on average even though every
+// thread transitively learns about every other — the tree-clock sweet
+// spot.
+func Star(threads, events int, seed int64) *trace.Trace {
+	if threads < 2 {
+		panic("gen: star topology needs at least 2 threads")
+	}
+	r := rand.New(rand.NewSource(seed))
+	evs := make([]trace.Event, 0, events)
+	for len(evs) < events {
+		t := r.Intn(threads)
+		var l int32
+		if t == 0 {
+			l = int32(r.Intn(threads - 1)) // server: random client lock
+		} else {
+			l = int32(t - 1) // client: dedicated lock
+		}
+		evs = syncPair(evs, vt.TID(t), l)
+	}
+	return &trace.Trace{
+		Meta:   trace.Meta{Name: fmt.Sprintf("star-k%d", threads), Threads: threads, Locks: threads - 1},
+		Events: evs,
+	}
+}
+
+// Pairwise is scenario (d): every unordered pair of threads owns a
+// dedicated lock; a random pair communicates by both syncing on their
+// lock. This is the paper's worst case for tree clocks.
+func Pairwise(threads, events int, seed int64) *trace.Trace {
+	if threads < 2 {
+		panic("gen: pairwise communication needs at least 2 threads")
+	}
+	r := rand.New(rand.NewSource(seed))
+	pairIndex := func(i, j int) int32 { // i < j
+		// Lexicographic index of pair (i, j) among all pairs.
+		return int32(i*(2*threads-i-1)/2 + (j - i - 1))
+	}
+	evs := make([]trace.Event, 0, events)
+	for len(evs) < events {
+		// A random thread syncs on the lock it shares with a random
+		// partner (one sync per step, as in the paper's setup).
+		t := r.Intn(threads)
+		p := r.Intn(threads)
+		if p == t {
+			continue
+		}
+		i, j := t, p
+		if i > j {
+			i, j = j, i
+		}
+		evs = syncPair(evs, vt.TID(t), pairIndex(i, j))
+	}
+	return &trace.Trace{
+		Meta: trace.Meta{
+			Name:    fmt.Sprintf("pairwise-k%d", threads),
+			Threads: threads,
+			Locks:   threads * (threads - 1) / 2,
+		},
+		Events: evs,
+	}
+}
+
+// ScenarioFunc is the shared shape of the four scalability generators.
+type ScenarioFunc func(threads, events int, seed int64) *trace.Trace
+
+// Scenario names the four Figure 10 workloads.
+var Scenarios = []struct {
+	Name string
+	Fn   ScenarioFunc
+}{
+	{"single-lock", SingleLock},
+	{"fifty-locks-skewed", FiftyLocksSkewed},
+	{"star", Star},
+	{"pairwise", Pairwise},
+}

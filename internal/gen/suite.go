@@ -1,0 +1,138 @@
+package gen
+
+import (
+	"math"
+
+	"treeclock/internal/trace"
+)
+
+// The benchmark suite stands in for the paper's 153 logged traces
+// (Table 3): deterministic synthetic traces spanning the same workload
+// families and the same parameter envelope (threads 3–222, locks up to
+// tens of thousands via the pairwise scenario, high- and low-sync
+// mixes). Event counts are scaled-down defaults — the paper's traces
+// run to billions of events, which the scale parameter can approach on
+// bigger machines.
+
+// SuiteEntry is one named benchmark of the suite.
+type SuiteEntry struct {
+	Name   string
+	Family string // workload family, for reporting
+	Build  func(scale float64) *trace.Trace
+}
+
+func scaled(base int, scale float64) int {
+	n := int(math.Round(float64(base) * scale))
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+// mixed builds a Mixed-based suite entry.
+func mixed(name, family string, cfg Config) SuiteEntry {
+	return SuiteEntry{Name: name, Family: family, Build: func(scale float64) *trace.Trace {
+		c := cfg
+		c.Name = name
+		c.Events = scaled(cfg.Events, scale)
+		return Mixed(c)
+	}}
+}
+
+// SuiteEntries lists the full benchmark suite. Seeds are fixed so every
+// run sees identical traces.
+func SuiteEntries() []SuiteEntry {
+	return []SuiteEntry{
+		// Small Java-style benchmarks (IBM Contest / SIR families):
+		// few threads, light traces, sync-heavy.
+		mixed("account", "contest", Config{Threads: 5, Locks: 3, Vars: 41, Events: 3000, Seed: 101, SyncFrac: 0.35}),
+		mixed("airlinetickets", "contest", Config{Threads: 5, Locks: 2, Vars: 44, Events: 3500, Seed: 102, SyncFrac: 0.25}),
+		mixed("array", "contest", Config{Threads: 4, Locks: 2, Vars: 30, Events: 2500, Seed: 103, SyncFrac: 0.4}),
+		mixed("bubblesort", "contest", Config{Threads: 13, Locks: 2, Vars: 167, Events: 9000, Seed: 104, SyncFrac: 0.3}),
+		mixed("clean", "contest", Config{Threads: 10, Locks: 2, Vars: 26, Events: 4000, Seed: 105, SyncFrac: 0.44}),
+		mixed("critical", "contest", Config{Threads: 5, Locks: 1, Vars: 30, Events: 2500, Seed: 106, SyncFrac: 0.44}),
+		mixed("twostage", "contest", Config{Threads: 13, Locks: 2, Vars: 21, Events: 3000, Seed: 107, SyncFrac: 0.4}),
+		{Name: "boundedbuffer", Family: "contest", Build: func(s float64) *trace.Trace {
+			tr := ProducerConsumer(2, 2, scaled(4000, s), 108)
+			tr.Meta.Name = "boundedbuffer"
+			return tr
+		}},
+		{Name: "producerconsumer", Family: "contest", Build: func(s float64) *trace.Trace {
+			tr := ProducerConsumer(4, 5, scaled(6000, s), 109)
+			tr.Meta.Name = "producerconsumer"
+			return tr
+		}},
+		{Name: "pingpong", Family: "contest", Build: func(s float64) *trace.Trace {
+			tr := Pipeline(7, scaled(4000, s), 110)
+			tr.Meta.Name = "pingpong"
+			return tr
+		}},
+		{Name: "mergesort", Family: "contest", Build: func(s float64) *trace.Trace {
+			tr := ForkJoinTree(6, scaled(600, s), 111)
+			tr.Meta.Name = "mergesort"
+			return tr
+		}},
+		{Name: "wronglock", Family: "contest", Build: func(s float64) *trace.Trace {
+			tr := ReadersWriters(23, scaled(5000, s), 112, true)
+			tr.Meta.Name = "wronglock"
+			return tr
+		}},
+
+		// Java Grande style: 4–8 threads, compute-heavy, barrier-phased.
+		{Name: "moldyn", Family: "grande", Build: func(s float64) *trace.Trace {
+			tr := BarrierPhases(4, scaled(120, s), 90, 201)
+			tr.Meta.Name = "moldyn"
+			return tr
+		}},
+		{Name: "sor", Family: "grande", Build: func(s float64) *trace.Trace {
+			tr := BarrierPhases(5, scaled(160, s), 80, 202)
+			tr.Meta.Name = "sor"
+			return tr
+		}},
+		mixed("lufact", "grande", Config{Threads: 5, Locks: 1, Vars: 2048, Events: 150000, Seed: 203, SyncFrac: 0.02, HotVars: 32, HotFrac: 0.04}),
+		mixed("raytracer", "grande", Config{Threads: 4, Locks: 8, Vars: 3900, Events: 16000, Seed: 204, SyncFrac: 0.1, LockAffinity: 2}),
+
+		// DaCapo style: moderate threads, large variable spaces.
+		mixed("batik", "dacapo", Config{Threads: 7, Locks: 40, Vars: 4900, Events: 120000, Seed: 301, SyncFrac: 0.1, HotVars: 64, HotFrac: 0.05, LockAffinity: 3, Groups: 2}),
+		mixed("luindex", "dacapo", Config{Threads: 3, Locks: 8, Vars: 2500, Events: 150000, Seed: 302, SyncFrac: 0.02, HotVars: 32, HotFrac: 0.03, LockAffinity: 2}),
+		mixed("lusearch", "dacapo", Config{Threads: 8, Locks: 12, Vars: 5200, Events: 160000, Seed: 303, SyncFrac: 0.08, HotVars: 64, HotFrac: 0.06, LockAffinity: 3, Groups: 2}),
+		mixed("xalan", "dacapo", Config{Threads: 7, Locks: 60, Vars: 4400, Events: 120000, Seed: 304, SyncFrac: 0.15, HotVars: 64, HotFrac: 0.08, LockAffinity: 3, Groups: 2}),
+		mixed("sunflow", "dacapo", Config{Threads: 17, Locks: 9, Vars: 3100, Events: 90000, Seed: 305, SyncFrac: 0.06, HotFrac: 0.05, LockAffinity: 2, Groups: 4}),
+		mixed("jigsaw", "dacapo", Config{Threads: 12, Locks: 75, Vars: 3500, Events: 100000, Seed: 306, SyncFrac: 0.12, Skew: 3, HotFrac: 0.08, LockAffinity: 3, Groups: 3}),
+
+		// OpenMP style: 16- and 56-thread variants, few locks, hot
+		// shared arrays (the CoMD / DataRaceBench / OmpSCR families).
+		mixed("omp-lu-16", "openmp", Config{Threads: 16, Locks: 34, Vars: 2000, Events: 200000, Seed: 401, SyncFrac: 0.1, HotVars: 48, HotFrac: 0.07, LockAffinity: 3, Groups: 4}),
+		mixed("omp-lu-56", "openmp", Config{Threads: 56, Locks: 114, Vars: 2000, Events: 200000, Seed: 402, SyncFrac: 0.1, HotVars: 48, HotFrac: 0.07, LockAffinity: 3, Groups: 8}),
+		mixed("omp-counter-16", "openmp", Config{Threads: 16, Locks: 2, Vars: 36, Events: 150000, Seed: 403, SyncFrac: 0.44}),
+		mixed("omp-mandelbrot-56", "openmp", Config{Threads: 56, Locks: 5, Vars: 3000, Events: 180000, Seed: 404, SyncFrac: 0.03, HotVars: 48, HotFrac: 0.04, LockAffinity: 2, Groups: 8}),
+		{Name: "omp-md-16", Family: "openmp", Build: func(s float64) *trace.Trace {
+			tr := BarrierPhases(16, scaled(70, s), 110, 405)
+			tr.Meta.Name = "omp-md-16"
+			return tr
+		}},
+		{Name: "omp-quicksort-16", Family: "openmp", Build: func(s float64) *trace.Trace {
+			tr := ForkJoinTree(16, scaled(7000, s), 406)
+			tr.Meta.Name = "omp-quicksort-16"
+			return tr
+		}},
+
+		// Server style: many threads, skewed activity, larger lock
+		// spaces (cassandra / tradebeans / graphchi families).
+		mixed("cassandra-like", "server", Config{Threads: 96, Locks: 640, Vars: 5000, Events: 220000, Seed: 501, SyncFrac: 0.12, Skew: 5, HotVars: 128, HotFrac: 0.06, LockAffinity: 3, Groups: 12}),
+		mixed("tradebeans-like", "server", Config{Threads: 222, Locks: 1200, Vars: 2000, Events: 150000, Seed: 502, SyncFrac: 0.1, Skew: 5, HotVars: 128, HotFrac: 0.05, LockAffinity: 3, Groups: 24}),
+		mixed("graphchi-like", "server", Config{Threads: 20, Locks: 60, Vars: 8000, Events: 200000, Seed: 503, SyncFrac: 0.05, HotVars: 128, HotFrac: 0.05, LockAffinity: 2, Groups: 4}),
+		mixed("hsqldb-like", "server", Config{Threads: 44, Locks: 400, Vars: 4500, Events: 180000, Seed: 504, SyncFrac: 0.18, Skew: 4, HotVars: 96, HotFrac: 0.07, LockAffinity: 4, Groups: 8}),
+	}
+}
+
+// Suite materializes every suite trace at the given scale (1.0 ≈ a few
+// hundred thousand events per large trace).
+func Suite(scale float64) []*trace.Trace {
+	entries := SuiteEntries()
+	out := make([]*trace.Trace, len(entries))
+	for i, e := range entries {
+		out[i] = e.Build(scale)
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+// Package maz computes the Mazurkiewicz partial order (§5.2,
+// Algorithm 5): HB plus an ordering between every pair of conflicting
+// events in trace order. Generic over the clock data structure like
+// the HB and SHB engines.
+package maz
+
+import (
+	"treeclock/internal/analysis"
+	"treeclock/internal/trace"
+	"treeclock/internal/vt"
+)
+
+// varState is the per-variable bookkeeping of Algorithm 5.
+type varState[C any] struct {
+	lw    C      // clock of the last write
+	lwSet bool   // lw allocated
+	lwT   vt.TID // thread of the last write (for the analysis check)
+	// rd[t] is R_{t,x}: the clock of thread t's last read since it
+	// was allocated; inLRD[t] marks membership in LRDs_x (reads since
+	// the last write). Allocated lazily on the variable's first read.
+	rd    []C
+	rdSet []bool
+	inLRD []bool
+	lrds  []vt.TID // LRDs_x as a list for cheap iteration and reset
+}
+
+// Engine computes MAZ timestamps while streaming events.
+type Engine[C vt.Clock[C]] struct {
+	meta    trace.Meta
+	factory vt.Factory[C]
+	threads []C
+	locks   []C
+	vars    []varState[C]
+	acc     *analysis.Accumulator
+	events  uint64
+}
+
+// New builds a MAZ engine.
+func New[C vt.Clock[C]](meta trace.Meta, factory vt.Factory[C]) *Engine[C] {
+	e := &Engine[C]{meta: meta, factory: factory}
+	e.threads = make([]C, meta.Threads)
+	for t := range e.threads {
+		e.threads[t] = factory()
+		e.threads[t].Init(vt.TID(t))
+	}
+	e.locks = make([]C, meta.Locks)
+	for l := range e.locks {
+		e.locks[l] = factory()
+	}
+	e.vars = make([]varState[C], meta.Vars)
+	return e
+}
+
+// EnableAnalysis attaches the reversible-pair analysis: the stateless
+// model-checking use case of §6 identifies conflicting pairs whose
+// order is not already forced transitively (the candidate backtrack
+// points of dynamic partial-order reduction). A pair is counted when
+// the prior access is not ordered before the current event at the
+// moment its direct edge is about to be added.
+func (e *Engine[C]) EnableAnalysis() *analysis.Accumulator {
+	e.acc = analysis.NewAccumulator()
+	return e.acc
+}
+
+func (e *Engine[C]) ensureReadState(vs *varState[C]) {
+	if vs.rd == nil {
+		vs.rd = make([]C, e.meta.Threads)
+		vs.rdSet = make([]bool, e.meta.Threads)
+		vs.inLRD = make([]bool, e.meta.Threads)
+	}
+}
+
+// Step processes one event.
+func (e *Engine[C]) Step(ev trace.Event) {
+	t := ev.T
+	ct := e.threads[t]
+	ct.Inc(t, 1)
+	switch ev.Kind {
+	case trace.Acquire:
+		ct.Join(e.locks[ev.Obj])
+	case trace.Release:
+		e.locks[ev.Obj].MonotoneCopy(ct)
+	case trace.Read:
+		vs := &e.vars[ev.Obj]
+		if vs.lwSet {
+			if e.acc != nil {
+				// lw's own local time is its entry for its thread.
+				if wc := vs.lw.Get(vs.lwT); wc > ct.Get(vs.lwT) {
+					e.acc.Report(analysis.WriteRead, ev.Obj,
+						vt.Epoch{T: vs.lwT, Clk: wc}, vt.Epoch{T: t, Clk: ct.Get(t)})
+				}
+			}
+			ct.Join(vs.lw)
+		}
+		e.ensureReadState(vs)
+		if !vs.rdSet[t] {
+			vs.rd[t] = e.factory()
+			vs.rdSet[t] = true
+		}
+		// R_{t,x} holds an earlier timestamp of the same thread, so
+		// the copy is monotone.
+		vs.rd[t].MonotoneCopy(ct)
+		if !vs.inLRD[t] {
+			vs.inLRD[t] = true
+			vs.lrds = append(vs.lrds, t)
+		}
+	case trace.Write:
+		vs := &e.vars[ev.Obj]
+		if e.acc != nil {
+			// All reversibility checks run against the pre-edge
+			// timestamp, before any of this event's own conflict
+			// edges are joined in — each candidate pair is judged
+			// independently, as in dynamic partial-order reduction.
+			now := vt.Epoch{T: t, Clk: ct.Get(t)}
+			if vs.lwSet {
+				if wc := vs.lw.Get(vs.lwT); wc > ct.Get(vs.lwT) {
+					e.acc.Report(analysis.WriteWrite, ev.Obj,
+						vt.Epoch{T: vs.lwT, Clk: wc}, now)
+				}
+			}
+			for _, rt := range vs.lrds {
+				if rc := vs.rd[rt].Get(rt); rc > ct.Get(rt) {
+					e.acc.Report(analysis.ReadWrite, ev.Obj,
+						vt.Epoch{T: rt, Clk: rc}, now)
+				}
+			}
+		}
+		if vs.lwSet {
+			ct.Join(vs.lw)
+		}
+		// Order every pending reader before this write; later writes
+		// inherit the ordering transitively through this one, which
+		// is why LRDs is cleared (§5.2).
+		for _, rt := range vs.lrds {
+			ct.Join(vs.rd[rt])
+			vs.inLRD[rt] = false
+		}
+		vs.lrds = vs.lrds[:0]
+		if !vs.lwSet {
+			vs.lw = e.factory()
+			vs.lwSet = true
+		}
+		// ct has just joined lw, so lw ⊑ ct: monotone.
+		vs.lw.MonotoneCopy(ct)
+		vs.lwT = t
+	case trace.Fork:
+		e.threads[ev.Obj].Join(ct)
+	case trace.Join:
+		ct.Join(e.threads[ev.Obj])
+	}
+	e.events++
+}
+
+// Process runs the whole event slice through Step.
+func (e *Engine[C]) Process(events []trace.Event) {
+	for i := range events {
+		e.Step(events[i])
+	}
+}
+
+// Events returns the number of events processed.
+func (e *Engine[C]) Events() uint64 { return e.events }
+
+// ThreadClock exposes thread t's clock.
+func (e *Engine[C]) ThreadClock(t vt.TID) C { return e.threads[t] }
+
+// Timestamp snapshots thread t's current vector time into dst.
+func (e *Engine[C]) Timestamp(t vt.TID, dst vt.Vector) vt.Vector {
+	return e.threads[t].Vector(dst)
+}
+
+// Analysis returns the attached accumulator, or nil.
+func (e *Engine[C]) Analysis() *analysis.Accumulator { return e.acc }

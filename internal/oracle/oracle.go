@@ -1,0 +1,189 @@
+// Package oracle computes partial-order timestamps directly from the
+// definitions in the paper (§2.3, §5.1, §5.2), with no clever data
+// structures: for each event it joins the timestamps of all events the
+// definition orders before it. The cost is up to O(n²·k), so the oracle
+// is only suitable for small traces — its sole purpose is differential
+// testing of the streaming engines and of both clock implementations.
+package oracle
+
+import (
+	"treeclock/internal/trace"
+	"treeclock/internal/vt"
+)
+
+// PO selects a partial order.
+type PO int
+
+const (
+	// HB is Lamport's happens-before: thread order plus every
+	// release-to-later-acquire edge per lock.
+	HB PO = iota
+	// SHB is schedulable-happens-before: HB plus last-write-to-read.
+	SHB
+	// MAZ is the Mazurkiewicz order: HB plus an edge between every
+	// pair of conflicting events in trace order.
+	MAZ
+)
+
+func (p PO) String() string {
+	switch p {
+	case HB:
+		return "HB"
+	case SHB:
+		return "SHB"
+	case MAZ:
+		return "MAZ"
+	default:
+		return "PO?"
+	}
+}
+
+// Result carries the oracle's per-event timestamps.
+type Result struct {
+	PO PO
+	// Post[i] is the P-timestamp of event i (its knowledge after the
+	// event, local entry equal to its lTime) — the quantity Lemma 1
+	// compares.
+	Post []vt.Vector
+	// Pre[i] is event i's timestamp before applying its own incoming
+	// variable edges (last-write join for SHB/MAZ reads, read/write
+	// joins for MAZ writes), but after the thread-order increment and
+	// lock edges. Race and reversibility checks compare candidate
+	// predecessors against Pre.
+	Pre []vt.Vector
+}
+
+// Timestamps computes the chosen partial order for the whole trace.
+func Timestamps(tr *trace.Trace, po PO) *Result {
+	n := tr.Len()
+	k := tr.Meta.Threads
+	res := &Result{PO: po, Post: make([]vt.Vector, n), Pre: make([]vt.Vector, n)}
+
+	lastOfThread := make([]int, k) // index of previous event per thread, -1
+	for i := range lastOfThread {
+		lastOfThread[i] = -1
+	}
+	releasesOf := make([][]int, tr.Meta.Locks) // all releases so far per lock
+	lastWrite := make([]int, tr.Meta.Vars)     // last write per variable, -1
+	accessesOf := make([][]int, tr.Meta.Vars)  // all accesses so far per variable
+	for i := range lastWrite {
+		lastWrite[i] = -1
+	}
+
+	for i, e := range tr.Events {
+		v := vt.NewVector(k)
+		// Thread order.
+		if p := lastOfThread[e.T]; p >= 0 {
+			v.CopyFrom(res.Post[p])
+		}
+		v[e.T]++ // local time of this event
+
+		// Synchronization edges (identical for HB, SHB, MAZ).
+		switch e.Kind {
+		case trace.Acquire:
+			// The definition orders *every* earlier release of this
+			// lock before the acquire; join them all (the engines
+			// rely on transitivity and join only the last one —
+			// equality of the results is part of what we test).
+			for _, r := range releasesOf[e.Obj] {
+				v.Join(res.Post[r])
+			}
+		case trace.Fork:
+			// No incoming edge; the child sees this event instead.
+		case trace.Join:
+			if p := lastOfThread[vt.TID(e.Obj)]; p >= 0 {
+				v.Join(res.Post[p])
+			}
+		}
+		// A forked thread's first event is ordered after the fork: the
+		// fork edge is applied when the child's first event arrives.
+		if lastOfThread[e.T] == -1 {
+			for j := 0; j < i; j++ {
+				f := tr.Events[j]
+				if f.Kind == trace.Fork && vt.TID(f.Obj) == e.T {
+					v.Join(res.Post[j])
+				}
+			}
+		}
+
+		res.Pre[i] = v.Clone()
+
+		// Variable edges.
+		if e.Kind.IsAccess() {
+			switch po {
+			case SHB:
+				if e.Kind == trace.Read {
+					if w := lastWrite[e.Obj]; w >= 0 {
+						v.Join(res.Post[w])
+					}
+				}
+			case MAZ:
+				// Every earlier conflicting access is ordered first.
+				for _, j := range accessesOf[e.Obj] {
+					if trace.Conflicting(tr.Events[j], e) {
+						v.Join(res.Post[j])
+					}
+				}
+			}
+		}
+
+		res.Post[i] = v
+		lastOfThread[e.T] = i
+		switch e.Kind {
+		case trace.Release:
+			releasesOf[e.Obj] = append(releasesOf[e.Obj], i)
+		case trace.Write:
+			lastWrite[e.Obj] = i
+			accessesOf[e.Obj] = append(accessesOf[e.Obj], i)
+		case trace.Read:
+			accessesOf[e.Obj] = append(accessesOf[e.Obj], i)
+		}
+	}
+	return res
+}
+
+// Ordered reports whether event i is ordered before event j (i ≤P j)
+// according to the computed timestamps, using Lemma 1: C_i ⊑ C_j.
+func (r *Result) Ordered(i, j int) bool { return r.Post[i].LessEq(r.Post[j]) }
+
+// Concurrent reports i ∥P j.
+func (r *Result) Concurrent(i, j int) bool {
+	return !r.Ordered(i, j) && !r.Ordered(j, i)
+}
+
+// RacePair is an unordered conflicting pair of event indices (i < j in
+// trace order).
+type RacePair struct{ First, Second int }
+
+// Races enumerates every conflicting pair of events left unordered by
+// the partial order — the ground truth the streaming detectors are
+// compared against. Quadratic; small traces only.
+func (r *Result) Races(tr *trace.Trace) []RacePair {
+	var out []RacePair
+	byVar := make(map[int32][]int)
+	for i, e := range tr.Events {
+		if e.Kind.IsAccess() {
+			byVar[e.Obj] = append(byVar[e.Obj], i)
+		}
+	}
+	for _, idxs := range byVar {
+		for a := 0; a < len(idxs); a++ {
+			for b := a + 1; b < len(idxs); b++ {
+				i, j := idxs[a], idxs[b]
+				if trace.Conflicting(tr.Events[i], tr.Events[j]) && r.Concurrent(i, j) {
+					out = append(out, RacePair{i, j})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RacyVars returns the set of variables involved in at least one race.
+func (r *Result) RacyVars(tr *trace.Trace) map[int32]bool {
+	out := make(map[int32]bool)
+	for _, p := range r.Races(tr) {
+		out[tr.Events[p.First].Obj] = true
+	}
+	return out
+}

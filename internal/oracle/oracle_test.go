@@ -1,0 +1,157 @@
+package oracle
+
+import (
+	"testing"
+
+	"treeclock/internal/trace"
+	"treeclock/internal/vt"
+)
+
+func parse(t *testing.T, s string) *trace.Trace {
+	t.Helper()
+	tr, err := trace.ParseTextString(s)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	return tr
+}
+
+func TestHBTimestampsHandComputed(t *testing.T) {
+	tr := parse(t, `
+t0 acq l0
+t0 w x0
+t0 rel l0
+t1 acq l0
+t1 r x0
+t1 rel l0
+`)
+	r := Timestamps(tr, HB)
+	want := []vt.Vector{
+		{1, 0}, {2, 0}, {3, 0},
+		{3, 1}, {3, 2}, {3, 3},
+	}
+	for i := range want {
+		if !r.Post[i].Equal(want[i]) {
+			t.Errorf("event %d: %v, want %v", i, r.Post[i], want[i])
+		}
+	}
+	if !r.Ordered(1, 4) {
+		t.Error("write must happen-before the read across the lock")
+	}
+	if races := r.Races(tr); len(races) != 0 {
+		t.Errorf("well-synchronized trace reported races: %v", races)
+	}
+}
+
+func TestHBRaceDetected(t *testing.T) {
+	tr := parse(t, "t0 w x0\nt1 w x0\n")
+	r := Timestamps(tr, HB)
+	if !r.Concurrent(0, 1) {
+		t.Error("unsynchronized writes must be concurrent")
+	}
+	races := r.Races(tr)
+	if len(races) != 1 || races[0] != (RacePair{0, 1}) {
+		t.Errorf("races = %v, want [{0 1}]", races)
+	}
+	if !r.RacyVars(tr)[0] {
+		t.Error("variable 0 must be racy")
+	}
+}
+
+func TestHBAllReleasesOrderAcquire(t *testing.T) {
+	// Two critical sections of t0 and t1 both precede t2's acquire;
+	// the definition orders both releases before it.
+	tr := parse(t, `
+t0 acq l0
+t0 rel l0
+t1 acq l0
+t1 rel l0
+t2 acq l0
+t2 rel l0
+`)
+	r := Timestamps(tr, HB)
+	if !r.Ordered(1, 4) || !r.Ordered(3, 4) {
+		t.Error("every earlier release must be ordered before the acquire")
+	}
+	// And transitively the first release is ordered before the second
+	// critical section's release.
+	if !r.Ordered(1, 3) {
+		t.Error("release 1 must be ordered before release 3 via the interleaved acquire")
+	}
+}
+
+func TestSHBOrdersLastWriteToRead(t *testing.T) {
+	tr := parse(t, "t0 w x0\nt1 r x0\nt1 w x1\nt0 r x1\n")
+	hb := Timestamps(tr, HB)
+	shb := Timestamps(tr, SHB)
+	if hb.Ordered(0, 1) {
+		t.Error("HB must not order the write before the read")
+	}
+	if !shb.Ordered(0, 1) {
+		t.Error("SHB must order the last write before the read")
+	}
+	if !shb.Ordered(2, 3) {
+		t.Error("SHB must order w(x1) before r(x1)")
+	}
+	// SHB's Pre timestamp excludes the event's own lw edge: the race
+	// check sees the pre-join state.
+	if vt.Vector.LessEq(shb.Post[0], shb.Pre[1]) {
+		t.Error("Pre of the read must not already include the lw edge")
+	}
+}
+
+func TestMAZOrdersAllConflicting(t *testing.T) {
+	tr := parse(t, "t0 w x0\nt1 w x0\nt2 r x0\nt1 w x1\n")
+	m := Timestamps(tr, MAZ)
+	if !m.Ordered(0, 1) || !m.Ordered(1, 2) || !m.Ordered(0, 2) {
+		t.Error("MAZ must order conflicting events by trace order")
+	}
+	if m.Ordered(2, 3) || m.Ordered(3, 2) {
+		t.Error("accesses to different variables stay unordered")
+	}
+	if races := m.Races(tr); len(races) != 0 {
+		t.Errorf("MAZ leaves no conflicting pair unordered, got %v", races)
+	}
+}
+
+func TestForkJoinEdges(t *testing.T) {
+	tr := parse(t, `
+t0 w x0
+t0 fork t1
+t1 r x0
+t0 join t1
+t0 r x0
+`)
+	r := Timestamps(tr, HB)
+	if !r.Ordered(0, 2) {
+		t.Error("fork must order the parent's past before the child")
+	}
+	if !r.Ordered(2, 4) {
+		t.Error("join must order the child's events before the parent's continuation")
+	}
+	if races := r.Races(tr); len(races) != 0 {
+		t.Errorf("fork/join-synchronized trace reported races: %v", races)
+	}
+}
+
+func TestLocalEntryIsLocalTime(t *testing.T) {
+	tr := parse(t, "t0 w x0\nt0 r x0\nt1 w x1\nt0 w x0\n")
+	lt := tr.LocalTimes()
+	for _, po := range []PO{HB, SHB, MAZ} {
+		r := Timestamps(tr, po)
+		for i, e := range tr.Events {
+			if r.Post[i][e.T] != lt[i] {
+				t.Errorf("%v: event %d local entry = %d, want lTime %d", po, i, r.Post[i][e.T], lt[i])
+			}
+		}
+	}
+}
+
+func TestPOString(t *testing.T) {
+	if HB.String() != "HB" || SHB.String() != "SHB" || MAZ.String() != "MAZ" || PO(9).String() != "PO?" {
+		t.Error("PO names wrong")
+	}
+}

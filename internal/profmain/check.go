@@ -1,0 +1,25 @@
+package main
+
+import (
+	"fmt"
+
+	"treeclock/internal/bench"
+	"treeclock/internal/gen"
+	"treeclock/internal/vt"
+)
+
+// recheck re-times the suspicious scenario points several times and
+// prints the forced-root-attach counter.
+func recheck() {
+	tr := gen.Star(360, 1_000_000, 360)
+	var st vt.WorkStats
+	w := bench.Run(tr, bench.Config{PO: bench.HB, Clock: bench.TC, Work: true})
+	st = w.Work
+	fmt.Printf("star k=360: ForcedRootAttach=%d DeepCopies=%d entries=%d changed=%d\n",
+		st.ForcedRootAttach, st.DeepCopies, st.Entries, st.Changed)
+	for i := 0; i < 4; i++ {
+		tc := bench.Run(tr, bench.Config{PO: bench.HB, Clock: bench.TC})
+		vc := bench.Run(tr, bench.Config{PO: bench.HB, Clock: bench.VC})
+		fmt.Printf("  run %d: TC=%7.1fms VC=%7.1fms\n", i, tc.Seconds()*1000, vc.Seconds()*1000)
+	}
+}

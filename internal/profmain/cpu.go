@@ -1,0 +1,22 @@
+package main
+
+import (
+	"os"
+	"runtime/pprof"
+
+	"treeclock/internal/bench"
+	"treeclock/internal/gen"
+)
+
+// profileSingleLock writes a CPU profile of the HB/TC run.
+func profileSingleLock() {
+	tr := gen.SingleLock(360, 1_000_000, 7)
+	bench.Run(tr, bench.Config{PO: bench.HB, Clock: bench.TC})
+	f, _ := os.Create("/tmp/cpu.out")
+	pprof.StartCPUProfile(f)
+	for i := 0; i < 3; i++ {
+		bench.Run(tr, bench.Config{PO: bench.HB, Clock: bench.TC})
+	}
+	pprof.StopCPUProfile()
+	f.Close()
+}

@@ -1,0 +1,54 @@
+// Command profmain is a development scratch harness for quick
+// performance checks of the clock data structures (not part of the
+// public tooling; see cmd/tcbench for the real experiments).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"treeclock/internal/bench"
+	"treeclock/internal/gen"
+)
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "pertrace" {
+		perTrace()
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "table2" {
+		table2quick()
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "check" {
+		recheck()
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "prof" {
+		profileSingleLock()
+		return
+	}
+	const events = 1_000_000
+	for _, sc := range gen.Scenarios {
+		fmt.Printf("%s (%d events):\n", sc.Name, events)
+		for _, k := range []int{10, 60, 160, 360} {
+			tr := sc.Fn(k, events, int64(k))
+			bench.Run(tr, bench.Config{PO: bench.HB, Clock: bench.TC}) // warmup
+			tc := bench.Run(tr, bench.Config{PO: bench.HB, Clock: bench.TC})
+			vc := bench.Run(tr, bench.Config{PO: bench.HB, Clock: bench.VC})
+			for i := 0; i < 2; i++ {
+				if r := bench.Run(tr, bench.Config{PO: bench.HB, Clock: bench.TC}); r.Elapsed < tc.Elapsed {
+					tc = r
+				}
+				if r := bench.Run(tr, bench.Config{PO: bench.HB, Clock: bench.VC}); r.Elapsed < vc.Elapsed {
+					vc = r
+				}
+			}
+			w := bench.Run(tr, bench.Config{PO: bench.HB, Clock: bench.TC, Work: true})
+			wv := bench.Run(tr, bench.Config{PO: bench.HB, Clock: bench.VC, Work: true})
+			fmt.Printf("  k=%3d  TC=%8.1fms  VC=%8.1fms  speedup=%5.2f  VCWork/TCWork=%5.1f\n",
+				k, tc.Seconds()*1000, vc.Seconds()*1000, vc.Seconds()/tc.Seconds(),
+				float64(wv.Work.Entries)/float64(w.Work.Entries))
+		}
+	}
+}

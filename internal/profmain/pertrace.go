@@ -1,0 +1,25 @@
+package main
+
+import (
+	"fmt"
+
+	"treeclock/internal/bench"
+	"treeclock/internal/gen"
+)
+
+// perTrace dumps per-suite-trace speedups and work ratios for SHB.
+func perTrace() {
+	for _, tr := range gen.Suite(0.4) {
+		for _, po := range []bench.PO{bench.SHB, bench.HB} {
+			tc := bench.RunMean(tr, bench.Config{PO: po, Clock: bench.TC}, 2)
+			vc := bench.RunMean(tr, bench.Config{PO: po, Clock: bench.VC}, 2)
+			wt := bench.Run(tr, bench.Config{PO: po, Clock: bench.TC, Work: true})
+			wv := bench.Run(tr, bench.Config{PO: po, Clock: bench.VC, Work: true})
+			fmt.Printf("%-22s %-4s k=%-3d n=%-7d speedup=%5.2f workratio=%6.1f tc/vt=%4.2f\n",
+				tr.Meta.Name, po, tr.Meta.Threads, tr.Len(),
+				vc.Seconds()/tc.Seconds(),
+				float64(wv.Work.Entries)/float64(wt.Work.Entries),
+				float64(wt.Work.Entries)/float64(wt.Work.Changed))
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"treeclock/internal/bench"
+)
+
+// table2quick runs Table 2 at a reduced scale and prints it.
+func table2quick() {
+	h := bench.NewHarness(bench.Options{Scale: 0.4, Repeats: 1})
+	h.Table2(os.Stdout)
+	fmt.Println()
+}

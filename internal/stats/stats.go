@@ -1,0 +1,135 @@
+// Package stats provides the small numeric helpers the benchmark
+// harness uses to aggregate and present results: means, geometric
+// means, histogram bucketing and fixed-width formatting.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive values, or 0 when the
+// slice is empty or contains a non-positive value.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Min returns the smallest value, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median, or 0 for an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Histogram buckets values by the given upper bounds (the last bucket
+// is unbounded). Bounds must be ascending.
+type Histogram struct {
+	Bounds []float64 // bucket i covers (Bounds[i-1], Bounds[i]]
+	Counts []int     // len(Bounds)+1, last bucket is > Bounds[last]
+}
+
+// NewHistogram builds a histogram over the bounds and fills it with xs.
+func NewHistogram(bounds []float64, xs []float64) *Histogram {
+	h := &Histogram{Bounds: bounds, Counts: make([]int, len(bounds)+1)}
+	for _, x := range xs {
+		h.Add(x)
+	}
+	return h
+}
+
+// Add buckets one value.
+func (h *Histogram) Add(x float64) {
+	for i, b := range h.Bounds {
+		if x <= b {
+			h.Counts[i]++
+			return
+		}
+	}
+	h.Counts[len(h.Bounds)]++
+}
+
+// BucketLabel names bucket i, e.g. "(1, 5]" or "> 80".
+func (h *Histogram) BucketLabel(i int) string {
+	if i == len(h.Bounds) {
+		return fmt.Sprintf("> %g", h.Bounds[len(h.Bounds)-1])
+	}
+	lo := 0.0
+	if i > 0 {
+		lo = h.Bounds[i-1]
+	}
+	return fmt.Sprintf("(%g, %g]", lo, h.Bounds[i])
+}
+
+// Bar renders a proportional text bar of at most width characters.
+func Bar(count, max, width int) string {
+	if max <= 0 || count <= 0 {
+		return ""
+	}
+	n := count * width / max
+	if n == 0 {
+		n = 1
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Error("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("empty mean must be 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !almost(GeoMean([]float64{1, 4}), 2) {
+		t.Error("geomean wrong")
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{1, 0}) != 0 {
+		t.Error("degenerate geomean must be 0")
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{5, 1, 4, 2}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Error("min/max wrong")
+	}
+	if !almost(Median(xs), 3) {
+		t.Errorf("median = %f", Median(xs))
+	}
+	if !almost(Median([]float64{3, 1, 2}), 2) {
+		t.Error("odd median wrong")
+	}
+	if Min(nil) != 0 || Max(nil) != 0 || Median(nil) != 0 {
+		t.Error("empty cases must be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{1, 5, 10}, []float64{0.5, 1, 3, 7, 100})
+	want := []int{2, 1, 1, 1}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if h.BucketLabel(0) != "(0, 1]" || h.BucketLabel(3) != "> 10" {
+		t.Errorf("labels: %q %q", h.BucketLabel(0), h.BucketLabel(3))
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(0, 10, 20) != "" {
+		t.Error("zero count must render empty")
+	}
+	if Bar(10, 10, 20) != "####################" {
+		t.Errorf("full bar = %q", Bar(10, 10, 20))
+	}
+	if Bar(1, 1000, 20) != "#" {
+		t.Error("tiny nonzero count must render one mark")
+	}
+}

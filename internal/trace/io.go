@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"strings"
+
+	"treeclock/internal/vt"
+)
+
+// Text format
+//
+// One event per line: "<thread> <op> <operand>", where op is one of
+// r, w, acq, rel, fork, join. Blank lines and lines starting with '#'
+// are ignored. Identifiers are arbitrary tokens (e.g. t0, main, x12,
+// mu); the parser interns them into dense id spaces in order of first
+// appearance. Fork/join operands name threads. Example:
+//
+//	# two threads racing on x
+//	main acq mu
+//	main w x
+//	main rel mu
+//	worker w x
+//
+// WriteText emits canonical names (t0..., x0..., l0...), so a
+// write/parse round trip preserves the trace exactly.
+
+// WriteText serializes the trace to the text format.
+func WriteText(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	if tr.Meta.Name != "" {
+		fmt.Fprintf(bw, "# %s\n", tr.Meta.Name)
+	}
+	for _, e := range tr.Events {
+		if _, err := fmt.Fprintln(bw, e.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// intern maps symbolic names to dense ids.
+type intern struct {
+	ids   map[string]int32
+	count int32
+}
+
+func newIntern() *intern { return &intern{ids: make(map[string]int32)} }
+
+func (in *intern) id(name string) int32 {
+	if id, ok := in.ids[name]; ok {
+		return id
+	}
+	id := in.count
+	in.ids[name] = id
+	in.count++
+	return id
+}
+
+// ParseText reads a trace from the text format. The returned trace has
+// Meta ranges sized to the identifiers seen. The events are not
+// validated; call Validate separately if lock discipline matters.
+func ParseText(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	threads, locks, vars := newIntern(), newIntern(), newIntern()
+	var events []Event
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("trace: line %d: want \"<thread> <op> <operand>\", got %q", lineNo, line)
+		}
+		t := threads.id(fields[0])
+		var e Event
+		e.T = vt.TID(t)
+		switch fields[1] {
+		case "r":
+			e.Kind, e.Obj = Read, vars.id(fields[2])
+		case "w":
+			e.Kind, e.Obj = Write, vars.id(fields[2])
+		case "acq":
+			e.Kind, e.Obj = Acquire, locks.id(fields[2])
+		case "rel":
+			e.Kind, e.Obj = Release, locks.id(fields[2])
+		case "fork":
+			e.Kind, e.Obj = Fork, threads.id(fields[2])
+		case "join":
+			e.Kind, e.Obj = Join, threads.id(fields[2])
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown operation %q", lineNo, fields[1])
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return &Trace{
+		Meta: Meta{
+			Threads: int(threads.count),
+			Locks:   int(locks.count),
+			Vars:    int(vars.count),
+		},
+		Events: events,
+	}, nil
+}
+
+// ParseTextString is ParseText over an in-memory string, convenient for
+// tests and examples.
+func ParseTextString(s string) (*Trace, error) { return ParseText(strings.NewReader(s)) }
+
+// Binary format: a small gob envelope. Compact and fast for large
+// generated traces; not meant for interchange outside this module.
+
+type gobTrace struct {
+	Meta   Meta
+	Events []Event
+}
+
+// WriteBinary serializes the trace with encoding/gob.
+func WriteBinary(w io.Writer, tr *Trace) error {
+	return gob.NewEncoder(w).Encode(gobTrace{Meta: tr.Meta, Events: tr.Events})
+}
+
+// ReadBinary deserializes a trace written by WriteBinary.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	var gt gobTrace
+	if err := gob.NewDecoder(r).Decode(&gt); err != nil {
+		return nil, fmt.Errorf("trace: decoding binary trace: %w", err)
+	}
+	return &Trace{Meta: gt.Meta, Events: gt.Events}, nil
+}

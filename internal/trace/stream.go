@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"treeclock/internal/vt"
+)
+
+// Scanner streams events from the text trace format without
+// materializing the whole trace, for analyses over logs larger than
+// memory. Identifiers are interned in order of first appearance, like
+// ParseText; Meta() reports the ranges seen so far, so engines that
+// need fixed capacities should either know them up front or use
+// ScanAll.
+type Scanner struct {
+	sc      *bufio.Scanner
+	threads *intern
+	locks   *intern
+	vars    *intern
+	line    int
+	err     error
+}
+
+// NewScanner wraps a text-format trace stream.
+func NewScanner(r io.Reader) *Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	return &Scanner{sc: sc, threads: newIntern(), locks: newIntern(), vars: newIntern()}
+}
+
+// Next returns the next event. It reports ok == false at end of input
+// or on error; check Err afterwards.
+func (s *Scanner) Next() (ev Event, ok bool) {
+	if s.err != nil {
+		return Event{}, false
+	}
+	for s.sc.Scan() {
+		s.line++
+		line := strings.TrimSpace(s.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			s.err = fmt.Errorf("trace: line %d: want \"<thread> <op> <operand>\", got %q", s.line, line)
+			return Event{}, false
+		}
+		ev.T = vt.TID(s.threads.id(fields[0]))
+		switch fields[1] {
+		case "r":
+			ev.Kind, ev.Obj = Read, s.vars.id(fields[2])
+		case "w":
+			ev.Kind, ev.Obj = Write, s.vars.id(fields[2])
+		case "acq":
+			ev.Kind, ev.Obj = Acquire, s.locks.id(fields[2])
+		case "rel":
+			ev.Kind, ev.Obj = Release, s.locks.id(fields[2])
+		case "fork":
+			ev.Kind, ev.Obj = Fork, s.threads.id(fields[2])
+		case "join":
+			ev.Kind, ev.Obj = Join, s.threads.id(fields[2])
+		default:
+			s.err = fmt.Errorf("trace: line %d: unknown operation %q", s.line, fields[1])
+			return Event{}, false
+		}
+		return ev, true
+	}
+	s.err = s.sc.Err()
+	return Event{}, false
+}
+
+// Err returns the first error encountered, or nil at clean EOF.
+func (s *Scanner) Err() error { return s.err }
+
+// Meta reports the identifier ranges seen so far.
+func (s *Scanner) Meta() Meta {
+	return Meta{
+		Threads: int(s.threads.count),
+		Locks:   int(s.locks.count),
+		Vars:    int(s.vars.count),
+	}
+}
+
+// ScanAll drains the scanner into a materialized trace (equivalent to
+// ParseText, provided for symmetry).
+func (s *Scanner) ScanAll() (*Trace, error) {
+	var events []Event
+	for {
+		ev, ok := s.Next()
+		if !ok {
+			break
+		}
+		events = append(events, ev)
+	}
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	return &Trace{Meta: s.Meta(), Events: events}, nil
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScannerStreamsEvents(t *testing.T) {
+	s := NewScanner(strings.NewReader(sampleText))
+	var got []Event
+	for {
+		ev, ok := s.Next()
+		if !ok {
+			break
+		}
+		got = append(got, ev)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	want := mustParse(t, sampleText)
+	if len(got) != want.Len() {
+		t.Fatalf("scanned %d events, want %d", len(got), want.Len())
+	}
+	for i := range got {
+		if got[i] != want.Events[i] {
+			t.Errorf("event %d: %v vs %v", i, got[i], want.Events[i])
+		}
+	}
+	if s.Meta() != want.Meta {
+		t.Errorf("meta = %+v, want %+v", s.Meta(), want.Meta)
+	}
+}
+
+func TestScannerScanAllMatchesParseText(t *testing.T) {
+	tr, err := NewScanner(strings.NewReader(sampleText)).ScanAll()
+	if err != nil {
+		t.Fatalf("ScanAll: %v", err)
+	}
+	want := mustParse(t, sampleText)
+	if tr.Len() != want.Len() || tr.Meta != want.Meta {
+		t.Errorf("ScanAll diverges from ParseText")
+	}
+}
+
+func TestScannerReportsErrors(t *testing.T) {
+	s := NewScanner(strings.NewReader("t0 acq l0\nt0 badop l0\n"))
+	if _, ok := s.Next(); !ok {
+		t.Fatal("first event must scan")
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("bad line must stop the scan")
+	}
+	if s.Err() == nil {
+		t.Error("Err must report the parse failure")
+	}
+	// Scanner stays stopped.
+	if _, ok := s.Next(); ok {
+		t.Error("scanner must not resume after an error")
+	}
+}
+
+func TestScannerCleanEOF(t *testing.T) {
+	s := NewScanner(strings.NewReader("# only comments\n\n"))
+	if _, ok := s.Next(); ok {
+		t.Fatal("comment-only input must yield no events")
+	}
+	if s.Err() != nil {
+		t.Errorf("clean EOF must not error: %v", s.Err())
+	}
+}

@@ -1,0 +1,267 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"treeclock/internal/vt"
+)
+
+func mustParse(t *testing.T, s string) *Trace {
+	t.Helper()
+	tr, err := ParseTextString(s)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return tr
+}
+
+const sampleText = `
+# sample
+t0 acq l0
+t0 w x0
+t0 rel l0
+t1 acq l0
+t1 r x0
+t1 rel l0
+`
+
+func TestParseText(t *testing.T) {
+	tr := mustParse(t, sampleText)
+	if tr.Meta.Threads != 2 || tr.Meta.Locks != 1 || tr.Meta.Vars != 1 {
+		t.Errorf("meta = %+v", tr.Meta)
+	}
+	if tr.Len() != 6 {
+		t.Errorf("len = %d, want 6", tr.Len())
+	}
+	want := []Event{
+		{0, 0, Acquire}, {0, 0, Write}, {0, 0, Release},
+		{1, 0, Acquire}, {1, 0, Read}, {1, 0, Release},
+	}
+	for i, e := range tr.Events {
+		if e != want[i] {
+			t.Errorf("event %d = %v, want %v", i, e, want[i])
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+}
+
+func TestParseTextSymbolicNames(t *testing.T) {
+	tr := mustParse(t, "main fork worker\nworker w shared\nmain join worker\nmain r shared\n")
+	if tr.Meta.Threads != 2 || tr.Meta.Vars != 1 {
+		t.Errorf("meta = %+v", tr.Meta)
+	}
+	if tr.Events[0].Kind != Fork || tr.Events[0].Obj != 1 {
+		t.Errorf("fork event = %v", tr.Events[0])
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	for _, bad := range []string{
+		"t0 acq",          // too few fields
+		"t0 acq l0 extra", // too many fields
+		"t0 lock l0",      // unknown op
+	} {
+		if _, err := ParseTextString(bad); err == nil {
+			t.Errorf("parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	tr := mustParse(t, sampleText)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, tr); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	tr2, err := ParseText(&buf)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if tr2.Len() != tr.Len() {
+		t.Fatalf("round trip changed length: %d vs %d", tr2.Len(), tr.Len())
+	}
+	for i := range tr.Events {
+		if tr.Events[i] != tr2.Events[i] {
+			t.Errorf("event %d: %v vs %v", i, tr.Events[i], tr2.Events[i])
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := mustParse(t, sampleText)
+	tr.Meta.Name = "sample"
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	tr2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if tr2.Meta != tr.Meta || tr2.Len() != tr.Len() {
+		t.Fatalf("round trip mismatch: %+v vs %+v", tr2.Meta, tr.Meta)
+	}
+	for i := range tr.Events {
+		if tr.Events[i] != tr2.Events[i] {
+			t.Errorf("event %d differs", i)
+		}
+	}
+}
+
+func TestReadBinaryGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("not a gob stream")); err == nil {
+		t.Error("decoding garbage must fail")
+	}
+}
+
+func TestValidateLockSemantics(t *testing.T) {
+	cases := []struct {
+		name   string
+		events []Event
+		ok     bool
+	}{
+		{"double acquire other thread", []Event{{0, 0, Acquire}, {1, 0, Acquire}}, false},
+		{"double acquire same thread", []Event{{0, 0, Acquire}, {0, 0, Acquire}}, false},
+		{"release without hold", []Event{{0, 0, Release}}, false},
+		{"release by non-holder", []Event{{0, 0, Acquire}, {1, 0, Release}}, false},
+		{"well formed", []Event{{0, 0, Acquire}, {0, 0, Release}, {1, 0, Acquire}, {1, 0, Release}}, true},
+		{"nested different locks", []Event{{0, 0, Acquire}, {0, 1, Acquire}, {0, 1, Release}, {0, 0, Release}}, true},
+	}
+	for _, c := range cases {
+		tr := &Trace{Meta: Meta{Threads: 2, Locks: 2, Vars: 1}, Events: c.events}
+		err := tr.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestValidateRanges(t *testing.T) {
+	meta := Meta{Threads: 2, Locks: 1, Vars: 1}
+	cases := []Event{
+		{5, 0, Read},     // thread out of range
+		{0, 9, Read},     // var out of range
+		{0, 9, Acquire},  // lock out of range
+		{0, 9, Fork},     // thread operand out of range
+		{0, 0, Kind(42)}, // bad kind
+	}
+	for _, e := range cases {
+		tr := &Trace{Meta: meta, Events: []Event{e}}
+		if tr.Validate() == nil {
+			t.Errorf("Validate accepted bad event %v", e)
+		}
+	}
+}
+
+func TestValidateForkJoin(t *testing.T) {
+	meta := Meta{Threads: 3, Locks: 0, Vars: 1}
+	bad := [][]Event{
+		{{0, 0, Fork}},                              // fork self (Obj 0 == T 0)
+		{{1, 0, Write}, {0, 1, Fork}},               // forked thread already active
+		{{0, 1, Fork}, {2, 1, Fork}},                // forked twice
+		{{0, 1, Join}, {1, 0, Write}},               // act after join
+		{{0, 1, Fork}, {1, 0, Write}, {1, 0, Read}}, // wrong var? actually fine
+	}
+	// The last case is actually valid; check it separately.
+	for i, evs := range bad[:4] {
+		tr := &Trace{Meta: meta, Events: evs}
+		if tr.Validate() == nil {
+			t.Errorf("case %d: Validate accepted %v", i, evs)
+		}
+	}
+	ok := &Trace{Meta: meta, Events: []Event{{0, 1, Fork}, {1, 0, Write}, {0, 1, Join}, {0, 0, Read}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid fork/join rejected: %v", err)
+	}
+}
+
+func TestLocalTimes(t *testing.T) {
+	tr := mustParse(t, "t0 w x0\nt1 w x0\nt0 r x0\nt0 r x0\nt1 r x0\n")
+	lt := tr.LocalTimes()
+	want := []vt.Time{1, 1, 2, 3, 2}
+	for i := range want {
+		if lt[i] != want[i] {
+			t.Errorf("lTime[%d] = %d, want %d", i, lt[i], want[i])
+		}
+	}
+}
+
+func TestConflicting(t *testing.T) {
+	w0 := Event{0, 0, Write}
+	r1 := Event{1, 0, Read}
+	r2 := Event{2, 0, Read}
+	wOther := Event{1, 1, Write}
+	acq := Event{1, 0, Acquire}
+	if !Conflicting(w0, r1) || !Conflicting(r1, w0) {
+		t.Error("write-read on same var must conflict")
+	}
+	if Conflicting(r1, r2) {
+		t.Error("read-read must not conflict")
+	}
+	if Conflicting(w0, wOther) {
+		t.Error("different vars must not conflict")
+	}
+	if Conflicting(w0, Event{0, 0, Read}) {
+		t.Error("same thread must not conflict")
+	}
+	if Conflicting(w0, acq) {
+		t.Error("sync events never conflict")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	tr := mustParse(t, sampleText)
+	tr.Meta.Name = "sample"
+	tr.Meta.Vars = 10 // capacity larger than usage
+	s := ComputeStats(tr)
+	if s.Name != "sample" || s.Events != 6 || s.Threads != 2 || s.Vars != 1 || s.Locks != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Reads != 1 || s.Writes != 1 {
+		t.Errorf("reads/writes = %d/%d", s.Reads, s.Writes)
+	}
+	wantSync := 100 * 4.0 / 6.0
+	if s.SyncPct < wantSync-0.01 || s.SyncPct > wantSync+0.01 {
+		t.Errorf("SyncPct = %f, want %f", s.SyncPct, wantSync)
+	}
+	wantRW := 100 * 2.0 / 6.0
+	if s.RWPct < wantRW-0.01 || s.RWPct > wantRW+0.01 {
+		t.Errorf("RWPct = %f, want %f", s.RWPct, wantRW)
+	}
+}
+
+func TestKindStringAndPredicates(t *testing.T) {
+	if Read.String() != "r" || Write.String() != "w" || Acquire.String() != "acq" ||
+		Release.String() != "rel" || Fork.String() != "fork" || Join.String() != "join" {
+		t.Error("kind mnemonics wrong")
+	}
+	if !Read.IsAccess() || !Write.IsAccess() || Acquire.IsAccess() {
+		t.Error("IsAccess wrong")
+	}
+	if !Acquire.IsSync() || !Release.IsSync() || Read.IsSync() {
+		t.Error("IsSync wrong")
+	}
+	if Kind(42).String() == "" {
+		t.Error("unknown kind must still render")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	cases := map[Event]string{
+		{0, 1, Read}:    "t0 r x1",
+		{2, 0, Acquire}: "t2 acq l0",
+		{1, 2, Fork}:    "t1 fork t2",
+	}
+	for e, want := range cases {
+		if e.String() != want {
+			t.Errorf("String(%v) = %q, want %q", e, e.String(), want)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package vc implements the classic flat vector clock, the baseline data
+// structure the paper compares tree clocks against. Join, copy and
+// comparison all take Θ(k) time for k threads, regardless of how many
+// entries actually change — the cost the tree clock removes.
+package vc
+
+import "treeclock/internal/vt"
+
+// VectorClock stores one local time per thread in a flat array.
+// It implements vt.Clock[*VectorClock].
+type VectorClock struct {
+	v     vt.Vector
+	stats *vt.WorkStats
+}
+
+// New returns a vector clock over k threads representing the zero vector
+// time. If stats is non-nil, every operation accumulates work counters
+// into it (shared across all clocks of an engine run).
+func New(k int, stats *vt.WorkStats) *VectorClock {
+	return &VectorClock{v: vt.NewVector(k), stats: stats}
+}
+
+// Factory returns a vt.Factory producing vector clocks over k threads
+// that all share stats (which may be nil).
+func Factory(k int, stats *vt.WorkStats) vt.Factory[*VectorClock] {
+	return func() *VectorClock { return New(k, stats) }
+}
+
+// K returns the thread capacity.
+func (c *VectorClock) K() int { return len(c.v) }
+
+// Init is a no-op for vector clocks: thread identity is implicit in the
+// index used by Inc. It exists to satisfy vt.Clock.
+func (c *VectorClock) Init(t vt.TID) {}
+
+// Get returns the recorded local time of thread t in O(1).
+func (c *VectorClock) Get(t vt.TID) vt.Time { return c.v[t] }
+
+// Inc adds d to thread t's entry.
+func (c *VectorClock) Inc(t vt.TID, d vt.Time) {
+	c.v[t] += d
+	if c.stats != nil {
+		c.stats.Entries++
+		c.stats.Changed++
+	}
+}
+
+// Join performs the pointwise-maximum update c ← c ⊔ o in Θ(k).
+func (c *VectorClock) Join(o *VectorClock) {
+	if c == o {
+		return
+	}
+	if c.stats == nil {
+		for i, t := range o.v {
+			if t > c.v[i] {
+				c.v[i] = t
+			}
+		}
+		return
+	}
+	c.stats.Joins++
+	c.stats.Entries += uint64(len(c.v))
+	for i, t := range o.v {
+		if t > c.v[i] {
+			c.v[i] = t
+			c.stats.Changed++
+		}
+	}
+}
+
+// MonotoneCopy overwrites c with o. For a vector clock the monotonicity
+// assumption buys nothing: the copy is Θ(k) either way (this is exactly
+// the baseline behaviour the paper measures).
+func (c *VectorClock) MonotoneCopy(o *VectorClock) {
+	if c == o {
+		return
+	}
+	if c.stats == nil {
+		copy(c.v, o.v)
+		return
+	}
+	c.stats.Copies++
+	c.stats.Entries += uint64(len(c.v))
+	for i, t := range o.v {
+		if c.v[i] != t {
+			c.v[i] = t
+			c.stats.Changed++
+		}
+	}
+}
+
+// CopyCheckMonotone overwrites c with o and reports whether the copy was
+// monotone (c ⊑ o beforehand). The check shares the same Θ(k) loop as
+// the copy itself, so it is free for the baseline.
+func (c *VectorClock) CopyCheckMonotone(o *VectorClock) bool {
+	if c == o {
+		return true
+	}
+	monotone := true
+	if c.stats != nil {
+		c.stats.Copies++
+		c.stats.Entries += uint64(len(c.v))
+	}
+	for i, t := range o.v {
+		if c.v[i] > t {
+			monotone = false
+		}
+		if c.v[i] != t {
+			c.v[i] = t
+			if c.stats != nil {
+				c.stats.Changed++
+			}
+		}
+	}
+	return monotone
+}
+
+// LessEq reports c ⊑ o in Θ(k).
+func (c *VectorClock) LessEq(o *VectorClock) bool { return c.v.LessEq(o.v) }
+
+// Vector writes the represented vector time into dst and returns it.
+func (c *VectorClock) Vector(dst vt.Vector) vt.Vector {
+	copy(dst, c.v)
+	return dst
+}
+
+// String renders the underlying vector.
+func (c *VectorClock) String() string { return c.v.String() }
+
+var _ vt.Clock[*VectorClock] = (*VectorClock)(nil)

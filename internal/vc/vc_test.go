@@ -1,0 +1,124 @@
+package vc
+
+import (
+	"testing"
+
+	"treeclock/internal/vt"
+)
+
+func TestBasicOps(t *testing.T) {
+	c := New(4, nil)
+	c.Init(2) // no-op, must not panic
+	c.Inc(2, 1)
+	c.Inc(2, 1)
+	if got := c.Get(2); got != 2 {
+		t.Errorf("Get(2) = %d, want 2", got)
+	}
+	if got := c.Get(0); got != 0 {
+		t.Errorf("Get(0) = %d, want 0", got)
+	}
+	if c.K() != 4 {
+		t.Errorf("K() = %d, want 4", c.K())
+	}
+}
+
+func TestJoin(t *testing.T) {
+	a := New(3, nil)
+	b := New(3, nil)
+	a.Inc(0, 5)
+	b.Inc(1, 7)
+	b.Inc(0, 2)
+	a.Join(b)
+	want := vt.Vector{5, 7, 0}
+	if got := a.Vector(vt.NewVector(3)); !got.Equal(want) {
+		t.Errorf("after join: %v, want %v", got, want)
+	}
+	a.Join(a) // self-join must be a no-op
+	if got := a.Vector(vt.NewVector(3)); !got.Equal(want) {
+		t.Errorf("after self-join: %v, want %v", got, want)
+	}
+}
+
+func TestMonotoneCopy(t *testing.T) {
+	a := New(3, nil)
+	b := New(3, nil)
+	b.Inc(1, 4)
+	a.MonotoneCopy(b)
+	if !a.Vector(vt.NewVector(3)).Equal(vt.Vector{0, 4, 0}) {
+		t.Errorf("copy result %v", a)
+	}
+	a.MonotoneCopy(a) // self-copy no-op
+	if !a.Vector(vt.NewVector(3)).Equal(vt.Vector{0, 4, 0}) {
+		t.Errorf("self-copy changed clock: %v", a)
+	}
+}
+
+func TestCopyCheckMonotone(t *testing.T) {
+	a := New(2, nil)
+	b := New(2, nil)
+	b.Inc(0, 1)
+	if !a.CopyCheckMonotone(b) {
+		t.Error("copy from dominating clock must report monotone")
+	}
+	// Now a = [1,0]; make b = [0,5]: not monotone.
+	b2 := New(2, nil)
+	b2.Inc(1, 5)
+	if a.CopyCheckMonotone(b2) {
+		t.Error("copy from incomparable clock must report non-monotone")
+	}
+	if !a.Vector(vt.NewVector(2)).Equal(vt.Vector{0, 5}) {
+		t.Errorf("copy result %v, want [0, 5]", a)
+	}
+	if !a.CopyCheckMonotone(a) {
+		t.Error("self-copy must report monotone")
+	}
+}
+
+func TestLessEq(t *testing.T) {
+	a := New(2, nil)
+	b := New(2, nil)
+	b.Inc(0, 1)
+	if !a.LessEq(b) || b.LessEq(a) {
+		t.Error("LessEq disagrees with vector comparison")
+	}
+}
+
+func TestWorkCounters(t *testing.T) {
+	var st vt.WorkStats
+	a := New(4, &st)
+	b := New(4, &st)
+	a.Inc(0, 1) // 1 entry, 1 changed
+	b.Inc(1, 1)
+	b.Inc(1, 1)
+	a.Join(b) // 4 entries, 1 changed (entry 1)
+	if st.Joins != 1 {
+		t.Errorf("Joins = %d, want 1", st.Joins)
+	}
+	if st.Entries != 3+4 {
+		t.Errorf("Entries = %d, want 7", st.Entries)
+	}
+	if st.Changed != 3+1 {
+		t.Errorf("Changed = %d, want 4", st.Changed)
+	}
+	a.MonotoneCopy(b) // 4 entries, entry 0 changes (1 -> 0)
+	if st.Copies != 1 || st.Entries != 7+4 || st.Changed != 4+1 {
+		t.Errorf("after copy: %+v", st)
+	}
+	a.CopyCheckMonotone(b) // equal clocks: no changes
+	if st.Copies != 2 || st.Entries != 11+4 || st.Changed != 5 {
+		t.Errorf("after check-copy: %+v", st)
+	}
+}
+
+func TestFactory(t *testing.T) {
+	var st vt.WorkStats
+	f := Factory(3, &st)
+	c := f()
+	c.Inc(0, 1)
+	if st.Changed != 1 {
+		t.Error("factory clock must share the stats sink")
+	}
+	if c.String() != "[1, 0, 0]" {
+		t.Errorf("String() = %q", c.String())
+	}
+}

@@ -1,0 +1,46 @@
+package vt
+
+// Clock is the interface shared by the tree clock and the vector clock.
+// Partial-order engines are generic over Clock, so exactly the same
+// algorithm code runs with either data structure; any performance
+// difference is attributable to the data structure alone, which is the
+// paper's experimental methodology.
+//
+// The type parameter C is the implementing type itself (F-bounded), so
+// that Join/MonotoneCopy receive a concrete operand and implementations
+// need no dynamic type assertions.
+//
+// Protocol contract (matching the paper's usage):
+//   - Init is called exactly once, and only on clocks that represent a
+//     thread; auxiliary clocks (locks, variables) stay uninitialized and
+//     represent the zero vector time until first written.
+//   - Inc(t, d) is called only with t equal to the owning thread.
+//   - MonotoneCopy(o) requires the receiver's vector time to be ⊑ o's
+//     (Lemma 2 guarantees this at lock-release events). When the
+//     precondition may not hold, use CopyCheckMonotone.
+type Clock[C any] interface {
+	// Init makes the clock belong to thread t with local time 0.
+	Init(t TID)
+	// Get returns the recorded local time of thread t in O(1)
+	// (Remark 1: epoch optimizations apply to both clock types).
+	Get(t TID) Time
+	// Inc adds d to the owning thread t's local time.
+	Inc(t TID, d Time)
+	// Join updates the clock to the pointwise maximum with o.
+	Join(o C)
+	// MonotoneCopy overwrites the clock with o, assuming this ⊑ o.
+	MonotoneCopy(o C)
+	// CopyCheckMonotone overwrites the clock with o without assuming
+	// monotonicity; it reports whether the copy was in fact monotone
+	// (false signals a write-write race in the SHB algorithm).
+	CopyCheckMonotone(o C) bool
+	// Vector writes the represented vector time into dst (which must
+	// have length ≥ the clock's capacity) and returns it. It is a
+	// Θ(k) snapshot intended for timestamps, tests and reporting.
+	Vector(dst Vector) Vector
+}
+
+// Factory constructs fresh, uninitialized clocks for one engine run.
+// Implementations bind the thread capacity and an optional shared
+// WorkStats at closure-creation time.
+type Factory[C any] func() C

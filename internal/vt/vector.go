@@ -1,0 +1,91 @@
+package vt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Vector is a plain vector timestamp: an array of local times indexed by
+// thread identifier. Vector is the mathematical object (the paper's
+// "vector time"); VectorClock and TreeClock are data structures that
+// represent one.
+type Vector []Time
+
+// NewVector returns a zero vector time over k threads.
+func NewVector(k int) Vector { return make(Vector, k) }
+
+// Get returns the local time recorded for thread t, and 0 when t lies
+// outside the vector (unknown threads have time 0).
+func (v Vector) Get(t TID) Time {
+	if int(t) < 0 || int(t) >= len(v) {
+		return 0
+	}
+	return v[t]
+}
+
+// Set records local time c for thread t. It panics when t is out of
+// range, like a slice store.
+func (v Vector) Set(t TID, c Time) { v[t] = c }
+
+// Join updates v to the pointwise maximum of v and u (v ← v ⊔ u) and
+// returns the number of entries that changed.
+func (v Vector) Join(u Vector) int {
+	changed := 0
+	for i, c := range u {
+		if c > v[i] {
+			v[i] = c
+			changed++
+		}
+	}
+	return changed
+}
+
+// LessEq reports v ⊑ u (pointwise less-or-equal).
+func (v Vector) LessEq(u Vector) bool {
+	for i, c := range v {
+		if c > u.Get(TID(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports pointwise equality.
+func (v Vector) Equal(u Vector) bool {
+	if len(v) != len(u) {
+		return false
+	}
+	for i := range v {
+		if v[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Concurrent reports that neither v ⊑ u nor u ⊑ v holds.
+func (v Vector) Concurrent(u Vector) bool { return !v.LessEq(u) && !u.LessEq(v) }
+
+// CopyFrom overwrites v with u. The two vectors must have equal length.
+func (v Vector) CopyFrom(u Vector) { copy(v, u) }
+
+// Clone returns a fresh copy of v.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// String renders the vector in the paper's [t0, t1, ...] notation.
+func (v Vector) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, c := range v {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", c)
+	}
+	b.WriteByte(']')
+	return b.String()
+}

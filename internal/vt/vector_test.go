@@ -1,0 +1,175 @@
+package vt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorGetOutOfRange(t *testing.T) {
+	v := NewVector(3)
+	v[1] = 7
+	if got := v.Get(1); got != 7 {
+		t.Errorf("Get(1) = %d, want 7", got)
+	}
+	if got := v.Get(5); got != 0 {
+		t.Errorf("Get(5) = %d, want 0", got)
+	}
+	if got := v.Get(-1); got != 0 {
+		t.Errorf("Get(-1) = %d, want 0", got)
+	}
+}
+
+func TestVectorJoin(t *testing.T) {
+	v := Vector{1, 5, 3}
+	u := Vector{2, 4, 3}
+	changed := v.Join(u)
+	if changed != 1 {
+		t.Errorf("Join changed %d entries, want 1", changed)
+	}
+	want := Vector{2, 5, 3}
+	if !v.Equal(want) {
+		t.Errorf("Join result %v, want %v", v, want)
+	}
+}
+
+func TestVectorJoinIdempotent(t *testing.T) {
+	v := Vector{3, 1, 4}
+	u := v.Clone()
+	if changed := v.Join(u); changed != 0 {
+		t.Errorf("self-join changed %d entries, want 0", changed)
+	}
+}
+
+func TestVectorLessEq(t *testing.T) {
+	cases := []struct {
+		a, b Vector
+		want bool
+	}{
+		{Vector{1, 2}, Vector{1, 2}, true},
+		{Vector{1, 2}, Vector{2, 2}, true},
+		{Vector{2, 2}, Vector{1, 2}, false},
+		{Vector{0, 0}, Vector{5, 5}, true},
+		{Vector{1, 0}, Vector{0, 1}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.LessEq(c.b); got != c.want {
+			t.Errorf("%v ⊑ %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestVectorConcurrent(t *testing.T) {
+	a := Vector{1, 0}
+	b := Vector{0, 1}
+	if !a.Concurrent(b) {
+		t.Errorf("%v and %v should be concurrent", a, b)
+	}
+	c := Vector{2, 1}
+	if a.Concurrent(c) {
+		t.Errorf("%v and %v should be ordered", a, c)
+	}
+}
+
+func TestVectorEqualLengthMismatch(t *testing.T) {
+	if (Vector{1}).Equal(Vector{1, 0}) {
+		t.Error("vectors of different lengths must not compare equal")
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	if got := (Vector{1, 2, 3}).String(); got != "[1, 2, 3]" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := (Vector{}).String(); got != "[]" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestEpochZero(t *testing.T) {
+	if !(Epoch{}).Zero() {
+		t.Error("zero epoch must report Zero")
+	}
+	if (Epoch{T: 1, Clk: 3}).Zero() {
+		t.Error("nonzero epoch must not report Zero")
+	}
+}
+
+// randVec produces a random vector of length k with entries in [0, 20).
+func randVec(r *rand.Rand, k int) Vector {
+	v := NewVector(k)
+	for i := range v {
+		v[i] = Time(r.Intn(20))
+	}
+	return v
+}
+
+// Property: join is the least upper bound — the result dominates both
+// operands, and any vector dominating both dominates the result.
+func TestVectorJoinIsLUB(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		k := 1 + rr.Intn(8)
+		a, b := randVec(rr, k), randVec(rr, k)
+		j := a.Clone()
+		j.Join(b)
+		if !a.LessEq(j) || !b.LessEq(j) {
+			return false
+		}
+		// Any upper bound dominates the join.
+		ub := a.Clone()
+		ub.Join(b)
+		for i := range ub {
+			ub[i] += Time(rr.Intn(3))
+		}
+		return j.LessEq(ub)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: r}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: join is commutative and associative.
+func TestVectorJoinAlgebra(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		k := 1 + rr.Intn(8)
+		a, b, c := randVec(rr, k), randVec(rr, k), randVec(rr, k)
+		ab := a.Clone()
+		ab.Join(b)
+		ba := b.Clone()
+		ba.Join(a)
+		if !ab.Equal(ba) {
+			return false
+		}
+		abc1 := ab.Clone()
+		abc1.Join(c)
+		bc := b.Clone()
+		bc.Join(c)
+		abc2 := a.Clone()
+		abc2.Join(bc)
+		return abc1.Equal(abc2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkStatsAddReset(t *testing.T) {
+	var s, o WorkStats
+	o = WorkStats{Entries: 3, Changed: 2, Joins: 1, Copies: 4, DeepCopies: 5, ForcedRootAttach: 6}
+	s.Add(o)
+	s.Add(o)
+	if s.Entries != 6 || s.Changed != 4 || s.Joins != 2 || s.Copies != 8 || s.DeepCopies != 10 || s.ForcedRootAttach != 12 {
+		t.Errorf("Add accumulated wrong totals: %+v", s)
+	}
+	s.Reset()
+	if s != (WorkStats{}) {
+		t.Errorf("Reset left %+v", s)
+	}
+	if (&WorkStats{Entries: 1}).String() == "" {
+		t.Error("String must not be empty")
+	}
+}

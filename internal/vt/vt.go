@@ -1,0 +1,29 @@
+// Package vt defines the vector-time primitives shared by every clock
+// implementation and partial-order engine in this repository: thread
+// identifiers, logical times, plain vector timestamps, epochs, the Clock
+// constraint satisfied by both tree clocks and vector clocks, and the
+// work counters used to measure data-structure effort (VTWork, TCWork,
+// VCWork in the paper's terminology).
+package vt
+
+// TID identifies a thread. Thread identifiers are dense: a trace with k
+// threads uses identifiers 0..k-1.
+type TID int32
+
+// Time is a logical (local) time. The local time of an event e is the
+// number of events performed by tid(e) up to and including e.
+type Time int32
+
+// None is the sentinel for "no thread".
+const None TID = -1
+
+// Epoch is a compact (thread, local time) pair identifying a single
+// event, in the style of the FastTrack epoch optimization. The zero
+// Epoch (Clk == 0) means "no event": local times start at 1.
+type Epoch struct {
+	T   TID
+	Clk Time
+}
+
+// Zero reports whether the epoch denotes "no event".
+func (e Epoch) Zero() bool { return e.Clk == 0 }

@@ -1,0 +1,51 @@
+package vt
+
+import "fmt"
+
+// WorkStats accumulates data-structure effort across all clocks of one
+// engine run. Engines hand the same *WorkStats to every clock they
+// create; a nil *WorkStats disables counting (timing runs).
+//
+// Interpretation (paper §4, §6 "Comparison with vt-work"):
+//   - Changed counts vector-time entries whose stored value changed,
+//     including the per-event increments. This is VTWork(σ): it is a
+//     property of the trace, independent of the data structure, so a
+//     tree-clock run and a vector-clock run of the same trace report
+//     identical Changed totals (asserted by property tests).
+//   - Entries counts data-structure entries accessed (comparisons plus
+//     updates — the "light gray" areas of Figures 4/5). With vector
+//     clocks every join/copy touches k entries, so Entries = VCWork;
+//     with tree clocks Entries = TCWork and Theorem 1 bounds it by
+//     3·VTWork.
+type WorkStats struct {
+	Entries uint64 // entries accessed (TCWork / VCWork)
+	Changed uint64 // entries whose value changed (VTWork)
+
+	Joins      uint64 // join operations performed
+	Copies     uint64 // monotone copy operations performed
+	DeepCopies uint64 // full O(k) copies (non-monotone fallback)
+
+	// ForcedRootAttach counts the defensive re-attachment of an old
+	// tree-clock root that the monotone-copy traversal did not visit.
+	// Under the paper's protocols this never happens; the counter
+	// exists so tests can assert that claim.
+	ForcedRootAttach uint64
+}
+
+// Add accumulates o into s.
+func (s *WorkStats) Add(o WorkStats) {
+	s.Entries += o.Entries
+	s.Changed += o.Changed
+	s.Joins += o.Joins
+	s.Copies += o.Copies
+	s.DeepCopies += o.DeepCopies
+	s.ForcedRootAttach += o.ForcedRootAttach
+}
+
+// Reset zeroes all counters.
+func (s *WorkStats) Reset() { *s = WorkStats{} }
+
+func (s *WorkStats) String() string {
+	return fmt.Sprintf("entries=%d changed=%d joins=%d copies=%d deep=%d",
+		s.Entries, s.Changed, s.Joins, s.Copies, s.DeepCopies)
+}

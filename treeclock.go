@@ -1,0 +1,208 @@
+package treeclock
+
+import (
+	"io"
+
+	"treeclock/internal/analysis"
+	"treeclock/internal/core"
+	"treeclock/internal/gen"
+	"treeclock/internal/hb"
+	"treeclock/internal/maz"
+	"treeclock/internal/shb"
+	"treeclock/internal/trace"
+	"treeclock/internal/vc"
+	"treeclock/internal/vt"
+)
+
+// Core types, re-exported from the internal packages so downstream
+// users import only this package.
+type (
+	// TreeClock is the tree clock data structure (paper Algorithm 2).
+	TreeClock = core.TreeClock
+	// VectorClock is the flat Θ(k)-per-operation baseline.
+	VectorClock = vc.VectorClock
+	// ThreadID identifies a thread (dense, 0-based).
+	ThreadID = vt.TID
+	// Time is a logical (local) time.
+	Time = vt.Time
+	// Vector is a plain vector timestamp.
+	Vector = vt.Vector
+	// Epoch is a compact (thread, local time) event identifier.
+	Epoch = vt.Epoch
+	// WorkStats counts data-structure work (entries touched/changed).
+	WorkStats = vt.WorkStats
+)
+
+// NewTreeClock returns an empty tree clock over numThreads threads.
+// Call Init(t) to make it a thread's clock; auxiliary clocks (locks,
+// variables) stay uninitialized.
+func NewTreeClock(numThreads int) *TreeClock { return core.New(numThreads, nil) }
+
+// NewTreeClockCounting is NewTreeClock with a shared work-counter sink.
+func NewTreeClockCounting(numThreads int, st *WorkStats) *TreeClock {
+	return core.New(numThreads, st)
+}
+
+// NewVectorClock returns a zero vector clock over numThreads threads.
+func NewVectorClock(numThreads int) *VectorClock { return vc.New(numThreads, nil) }
+
+// NewVectorClockCounting is NewVectorClock with a work-counter sink.
+func NewVectorClockCounting(numThreads int, st *WorkStats) *VectorClock {
+	return vc.New(numThreads, st)
+}
+
+// Trace types.
+type (
+	// Event is one trace step.
+	Event = trace.Event
+	// Kind is an event operation.
+	Kind = trace.Kind
+	// Meta describes a trace's identifier spaces.
+	Meta = trace.Meta
+	// Trace is a materialized execution trace.
+	Trace = trace.Trace
+	// TraceStats summarizes a trace (paper Tables 1/3 fields).
+	TraceStats = trace.Stats
+)
+
+// Event kinds.
+const (
+	Read    = trace.Read
+	Write   = trace.Write
+	Acquire = trace.Acquire
+	Release = trace.Release
+	Fork    = trace.Fork
+	Join    = trace.Join
+)
+
+// TraceScanner streams events from a text-format trace without
+// materializing it (for logs larger than memory).
+type TraceScanner = trace.Scanner
+
+// NewTraceScanner wraps a text-format trace stream.
+func NewTraceScanner(r io.Reader) *TraceScanner { return trace.NewScanner(r) }
+
+// ParseTrace reads the text trace format ("<thread> <op> <operand>"
+// lines; see internal/trace for the grammar).
+func ParseTrace(r io.Reader) (*Trace, error) { return trace.ParseText(r) }
+
+// ParseTraceString is ParseTrace over a string.
+func ParseTraceString(s string) (*Trace, error) { return trace.ParseTextString(s) }
+
+// WriteTraceText serializes a trace to the text format.
+func WriteTraceText(w io.Writer, tr *Trace) error { return trace.WriteText(w, tr) }
+
+// WriteTraceBinary serializes a trace to the compact binary format.
+func WriteTraceBinary(w io.Writer, tr *Trace) error { return trace.WriteBinary(w, tr) }
+
+// ReadTraceBinary deserializes a binary trace.
+func ReadTraceBinary(r io.Reader) (*Trace, error) { return trace.ReadBinary(r) }
+
+// ComputeTraceStats scans a trace and summarizes it.
+func ComputeTraceStats(tr *Trace) TraceStats { return trace.ComputeStats(tr) }
+
+// Engines. Each partial order comes in a tree-clock and a vector-clock
+// variant; the algorithm code is shared and generic, so the variants
+// differ only in the data structure (the paper's methodology).
+type (
+	// HBTreeEngine computes happens-before with tree clocks
+	// (Algorithm 3).
+	HBTreeEngine = hb.Engine[*core.TreeClock]
+	// HBVectorEngine computes happens-before with vector clocks
+	// (Algorithm 1).
+	HBVectorEngine = hb.Engine[*vc.VectorClock]
+	// SHBTreeEngine computes schedulable-happens-before with tree
+	// clocks (Algorithm 4).
+	SHBTreeEngine = shb.Engine[*core.TreeClock]
+	// SHBVectorEngine is the vector-clock SHB variant.
+	SHBVectorEngine = shb.Engine[*vc.VectorClock]
+	// MAZTreeEngine computes the Mazurkiewicz order with tree clocks
+	// (Algorithm 5).
+	MAZTreeEngine = maz.Engine[*core.TreeClock]
+	// MAZVectorEngine is the vector-clock MAZ variant.
+	MAZVectorEngine = maz.Engine[*vc.VectorClock]
+)
+
+// NewHBTree returns a happens-before engine backed by tree clocks.
+func NewHBTree(meta Meta) *HBTreeEngine {
+	return hb.New(meta, core.Factory(meta.Threads, nil))
+}
+
+// NewHBTreeCounting is NewHBTree with work counting.
+func NewHBTreeCounting(meta Meta, st *WorkStats) *HBTreeEngine {
+	return hb.New(meta, core.Factory(meta.Threads, st))
+}
+
+// NewHBVector returns a happens-before engine backed by vector clocks.
+func NewHBVector(meta Meta) *HBVectorEngine {
+	return hb.New(meta, vc.Factory(meta.Threads, nil))
+}
+
+// NewHBVectorCounting is NewHBVector with work counting.
+func NewHBVectorCounting(meta Meta, st *WorkStats) *HBVectorEngine {
+	return hb.New(meta, vc.Factory(meta.Threads, st))
+}
+
+// NewSHBTree returns a schedulable-happens-before engine backed by
+// tree clocks.
+func NewSHBTree(meta Meta) *SHBTreeEngine {
+	return shb.New(meta, core.Factory(meta.Threads, nil))
+}
+
+// NewSHBVector returns the vector-clock SHB engine.
+func NewSHBVector(meta Meta) *SHBVectorEngine {
+	return shb.New(meta, vc.Factory(meta.Threads, nil))
+}
+
+// NewMAZTree returns a Mazurkiewicz-order engine backed by tree clocks.
+func NewMAZTree(meta Meta) *MAZTreeEngine {
+	return maz.New(meta, core.Factory(meta.Threads, nil))
+}
+
+// NewMAZVector returns the vector-clock MAZ engine.
+func NewMAZVector(meta Meta) *MAZVectorEngine {
+	return maz.New(meta, vc.Factory(meta.Threads, nil))
+}
+
+// Analysis types.
+type (
+	// Race is one detected concurrent conflicting pair.
+	Race = analysis.Pair
+	// RaceKind classifies a race (w-w, w-r, r-w).
+	RaceKind = analysis.PairKind
+	// RaceSummary is the aggregate of an analysis run.
+	RaceSummary = analysis.Summary
+	// RaceAccumulator collects detected pairs during a run.
+	RaceAccumulator = analysis.Accumulator
+)
+
+// Race kinds.
+const (
+	WriteWriteRace = analysis.WriteWrite
+	WriteReadRace  = analysis.WriteRead
+	ReadWriteRace  = analysis.ReadWrite
+)
+
+// Workload generation.
+type GenConfig = gen.Config
+
+// GenerateMixed synthesizes a well-formed trace with the configured
+// thread/lock/variable counts, sync ratio and access locality.
+func GenerateMixed(cfg GenConfig) *Trace { return gen.Mixed(cfg) }
+
+// Scalability scenario generators (paper §6, Figure 10).
+var (
+	GenerateSingleLock       = gen.SingleLock
+	GenerateFiftyLocksSkewed = gen.FiftyLocksSkewed
+	GenerateStar             = gen.Star
+	GeneratePairwise         = gen.Pairwise
+)
+
+// Application-shaped generators.
+var (
+	GenerateProducerConsumer = gen.ProducerConsumer
+	GeneratePipeline         = gen.Pipeline
+	GenerateBarrierPhases    = gen.BarrierPhases
+	GenerateReadersWriters   = gen.ReadersWriters
+	GenerateForkJoinTree     = gen.ForkJoinTree
+)
