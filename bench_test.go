@@ -10,9 +10,11 @@
 package treeclock_test
 
 import (
+	"bytes"
 	"sync"
 	"testing"
 
+	"treeclock"
 	"treeclock/internal/bench"
 	"treeclock/internal/core"
 	"treeclock/internal/gen"
@@ -195,6 +197,95 @@ func BenchmarkAblation(b *testing.B) {
 		}
 		b.ReportMetric(float64(tr.Len())*float64(b.N)/processing, "events/s")
 	})
+}
+
+// streamTrace is the 1M-event workload for the streaming-vs-materialized
+// comparison, serialized once per format and re-read from memory each
+// iteration so the benchmark isolates the analysis path.
+func streamTrace() *trace.Trace {
+	return cached("stream-1m", func() *trace.Trace {
+		return gen.Mixed(gen.Config{
+			Name: "stream-1m", Threads: 32, Locks: 24, Vars: 8192,
+			Events: 1_000_000, Seed: 17, SyncFrac: 0.25,
+			LockAffinity: 3, Groups: 6, HotFrac: 0.06,
+		})
+	})
+}
+
+func streamBytes(b *testing.B, format treeclock.TraceFormat) []byte {
+	b.Helper()
+	key := "stream-1m-text"
+	if format == treeclock.FormatBinary {
+		key = "stream-1m-bin"
+	}
+	if v, ok := traceCache.Load(key); ok {
+		return v.([]byte)
+	}
+	var buf bytes.Buffer
+	var err error
+	if format == treeclock.FormatBinary {
+		err = trace.WriteBinary(&buf, streamTrace())
+	} else {
+		err = trace.WriteText(&buf, streamTrace())
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	v, _ := traceCache.LoadOrStore(key, buf.Bytes())
+	return v.([]byte)
+}
+
+// BenchmarkStreaming measures the one-pass streaming path (RunStream:
+// parse + analyze with no prior metadata and no materialization) for
+// every registry engine over a 1M-event trace, in both formats.
+// events/s counts trace events; allocs/op approximates the peak
+// allocation behaviour of the O(live-state) streaming pipeline —
+// compare against BenchmarkMaterialized, whose numbers exclude parsing
+// but include the materialized event slice.
+func BenchmarkStreaming(b *testing.B) {
+	for _, name := range treeclock.Engines() {
+		for _, f := range []struct {
+			label  string
+			format treeclock.TraceFormat
+		}{{"text", treeclock.FormatText}, {"bin", treeclock.FormatBinary}} {
+			data := streamBytes(b, f.format)
+			b.Run(name+"/"+f.label, func(b *testing.B) {
+				b.ReportAllocs()
+				n := streamTrace().Len()
+				for i := 0; i < b.N; i++ {
+					res, err := treeclock.RunStream(name, bytes.NewReader(data),
+						treeclock.StreamFormat(f.format))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Events != uint64(n) {
+						b.Fatalf("streamed %d events, want %d", res.Events, n)
+					}
+				}
+				b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+			})
+		}
+	}
+}
+
+// BenchmarkMaterialized is the baseline for BenchmarkStreaming: the
+// same 1M-event workload analyzed from the pre-parsed in-memory trace
+// with metadata known up front.
+func BenchmarkMaterialized(b *testing.B) {
+	tr := streamTrace()
+	for _, info := range treeclock.EngineInfos() {
+		po, ck, ok := bench.ForNames(info.Order, info.Clock)
+		if !ok {
+			b.Fatalf("registry entry %q not known to the harness", info.Name)
+		}
+		b.Run(info.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bench.Run(tr, bench.Config{PO: po, Clock: ck, Analysis: true})
+			}
+			b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
 }
 
 func itoa(n int) string {

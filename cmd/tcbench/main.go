@@ -8,11 +8,15 @@
 //	tcbench -experiment fig10 -fig10-events 1000000 -fig10-threads 10,60,110
 //
 // Experiments: table1, table2, table3, fig6, fig7, fig8, fig9, fig10,
-// ablation, all. Results print to stdout; see EXPERIMENTS.md for the
-// recorded paper-vs-measured comparison.
+// ablation, stream, all. Results print to stdout; see EXPERIMENTS.md
+// for the recorded paper-vs-measured comparison. The stream experiment
+// compares the one-pass streaming path (RunStream: parse + analyze with
+// no prior metadata) against the materialized path for every registry
+// engine; with -stream-file it instead streams a trace file directly.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -20,12 +24,18 @@ import (
 	"strings"
 	"time"
 
+	"treeclock"
 	"treeclock/internal/bench"
+	"treeclock/internal/gen"
+	"treeclock/internal/trace"
 )
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "experiment to run: table1|table2|table3|fig6|fig7|fig8|fig9|fig10|ablation|all")
+		experiment  = flag.String("experiment", "all", "experiment to run: table1|table2|table3|fig6|fig7|fig8|fig9|fig10|ablation|stream|all")
+		streamEv    = flag.Int("stream-events", 400000, "events in the generated stream-experiment trace")
+		streamFile  = flag.String("stream-file", "", "stream this trace file instead of a generated workload (text format, or bin with -stream-bin)")
+		streamBin   = flag.Bool("stream-bin", false, "treat -stream-file as binary format")
 		scale       = flag.Float64("scale", 1.0, "suite event-count multiplier (1.0 ≈ hundreds of thousands of events per large trace)")
 		repeats     = flag.Int("repeats", 3, "timing repetitions to average (paper: 3)")
 		fig10Events = flag.Int("fig10-events", 400000, "events per scalability trace (paper: 10M)")
@@ -59,6 +69,7 @@ func main() {
 		{"fig9", func() { h.Figure9(os.Stdout) }},
 		{"fig10", func() { h.Figure10(os.Stdout) }},
 		{"ablation", func() { h.Ablation(os.Stdout) }},
+		{"stream", func() { streamExperiment(*streamEv, *streamFile, *streamBin) }},
 	}
 
 	want := strings.ToLower(*experiment)
@@ -76,6 +87,87 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// streamExperiment compares the one-pass streaming path against the
+// materialized path for every registry engine. With a file it streams
+// that file once per engine (re-opened each run); otherwise it
+// generates a communication-rich workload and streams its serialized
+// bytes from memory.
+func streamExperiment(events int, file string, bin bool) {
+	if file != "" {
+		fmt.Printf("Streaming %s through every registry engine (one pass, no prior metadata):\n", file)
+		for _, name := range treeclock.Engines() {
+			f, err := os.Open(file)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tcbench: %v\n", err)
+				os.Exit(1)
+			}
+			opts := []treeclock.StreamOption{}
+			if bin {
+				opts = append(opts, treeclock.StreamBinary())
+			}
+			start := time.Now()
+			res, err := treeclock.RunStream(name, f, opts...)
+			el := time.Since(start)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tcbench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("  %-10s %9d events %8.0f ev/ms  %d pairs\n",
+				name, res.Events, evPerMS(int(res.Events), el), res.Summary.Total)
+		}
+		return
+	}
+
+	tr := gen.Mixed(gen.Config{
+		Name: "stream-bench", Threads: 32, Locks: 24, Vars: 4096,
+		Events: events, Seed: 11, SyncFrac: 0.25,
+		LockAffinity: 3, Groups: 6, HotFrac: 0.06,
+	})
+	var text, binBuf bytes.Buffer
+	if err := trace.WriteText(&text, tr); err != nil {
+		fmt.Fprintf(os.Stderr, "tcbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := trace.WriteBinary(&binBuf, tr); err != nil {
+		fmt.Fprintf(os.Stderr, "tcbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Streaming vs materialized, %d events (%d threads), text %d bytes / binary %d bytes:\n",
+		tr.Len(), tr.Meta.Threads, text.Len(), binBuf.Len())
+	for _, info := range treeclock.EngineInfos() {
+		po, ck, ok := bench.ForNames(info.Order, info.Clock)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tcbench: registry entry %q not known to the harness\n", info.Name)
+			os.Exit(1)
+		}
+		mat := bench.Run(tr, bench.Config{PO: po, Clock: ck, Analysis: true})
+		stream := func(r *bytes.Reader, opts ...treeclock.StreamOption) (time.Duration, *treeclock.StreamResult) {
+			start := time.Now()
+			res, err := treeclock.RunStream(info.Name, r, opts...)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tcbench: %s: %v\n", info.Name, err)
+				os.Exit(1)
+			}
+			return time.Since(start), res
+		}
+		elText, resText := stream(bytes.NewReader(text.Bytes()))
+		elBin, resBin := stream(bytes.NewReader(binBuf.Bytes()), treeclock.StreamBinary())
+		if resText.Summary.Total != mat.Pairs || resBin.Summary.Total != mat.Pairs {
+			fmt.Fprintf(os.Stderr, "tcbench: %s: pair counts diverge (materialized %d, text %d, bin %d)\n",
+				info.Name, mat.Pairs, resText.Summary.Total, resBin.Summary.Total)
+			os.Exit(1)
+		}
+		fmt.Printf("  %-10s materialized %8.0f ev/ms   stream-text %8.0f ev/ms   stream-bin %8.0f ev/ms   %d pairs\n",
+			info.Name, evPerMS(tr.Len(), mat.Elapsed), evPerMS(tr.Len(), elText), evPerMS(tr.Len(), elBin), mat.Pairs)
+	}
+}
+
+// evPerMS reports events per millisecond at microsecond resolution.
+func evPerMS(events int, d time.Duration) float64 {
+	return float64(events) / (float64(d.Microseconds())/1000 + 1e-9)
 }
 
 func parseInts(s string) ([]int, error) {

@@ -1,13 +1,18 @@
-// Command tcrace runs a partial-order race analysis over a trace file.
+// Command tcrace runs a partial-order race analysis over a trace file
+// in a single streaming pass: the trace is never materialized and no
+// metadata is needed up front, so arbitrarily large logs are analyzed
+// with memory proportional to the live identifier spaces.
 //
 // Usage:
 //
-//	tcrace -algo hb trace.txt          # happens-before races, tree clocks
-//	tcrace -algo shb -clock vc < t.txt # SHB with the vector-clock baseline
-//	tcrace -algo maz -format bin t.tr  # MAZ reversible pairs
+//	tcrace -engine hb-tree trace.txt      # happens-before races, tree clocks
+//	tcrace -engine shb-vc < t.txt         # SHB with the vector-clock baseline
+//	tcrace -engine maz-tree -format bin t.tr
+//	tcrace -algo shb -clock vc < t.txt    # legacy flag spelling
 //
 // Prints the race summary and up to 64 sample pairs, plus timing and —
-// with -work — the data-structure work counters.
+// with -work — the data-structure work counters. Engine names come
+// from the registry (see -list).
 package main
 
 import (
@@ -17,19 +22,42 @@ import (
 	"os"
 	"time"
 
-	"treeclock/internal/bench"
-	"treeclock/internal/trace"
+	"treeclock"
 )
 
 func main() {
 	var (
-		algo    = flag.String("algo", "hb", "partial order: hb, shb or maz")
-		clock   = flag.String("clock", "tc", "clock data structure: tc (tree clock) or vc (vector clock)")
-		format  = flag.String("format", "text", "trace format: text or bin")
-		work    = flag.Bool("work", false, "also report data-structure work counters")
-		samples = flag.Int("samples", 10, "sample races to print")
+		engineFlag = flag.String("engine", "", "registry engine name (see -list); overrides -algo/-clock")
+		algo       = flag.String("algo", "hb", "partial order: hb, shb or maz")
+		clock      = flag.String("clock", "tc", "clock data structure: tc (tree clock) or vc (vector clock)")
+		format     = flag.String("format", "text", "trace format: text or bin")
+		work       = flag.Bool("work", false, "also report data-structure work counters")
+		samples    = flag.Int("samples", 10, "sample races to print")
+		list       = flag.Bool("list", false, "list registered engines and exit")
+		noValidate = flag.Bool("no-validate", false, "skip incremental well-formedness checking (lock/fork/join discipline)")
 	)
 	flag.Parse()
+
+	if *list {
+		for _, info := range treeclock.EngineInfos() {
+			fmt.Printf("%-10s %s\n", info.Name, info.Doc)
+		}
+		return
+	}
+
+	name := *engineFlag
+	if name == "" {
+		suffix := "-tree"
+		switch *clock {
+		case "tc", "tree":
+		case "vc":
+			suffix = "-vc"
+		default:
+			fmt.Fprintf(os.Stderr, "tcrace: unknown clock %q\n", *clock)
+			os.Exit(2)
+		}
+		name = *algo + suffix
+	}
 
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {
@@ -41,77 +69,48 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	var tr *trace.Trace
-	var err error
+
+	opts := []treeclock.StreamOption{}
+	if !*noValidate {
+		opts = append(opts, treeclock.StreamValidate())
+	}
 	switch *format {
 	case "text":
-		tr, err = trace.ParseText(in)
 	case "bin":
-		tr, err = trace.ReadBinary(in)
+		opts = append(opts, treeclock.StreamBinary())
 	default:
-		err = fmt.Errorf("unknown format %q", *format)
+		fmt.Fprintf(os.Stderr, "tcrace: unknown format %q\n", *format)
+		os.Exit(2)
 	}
+	var st treeclock.WorkStats
+	if *work {
+		opts = append(opts, treeclock.StreamWorkStats(&st))
+	}
+
+	start := time.Now()
+	res, err := treeclock.RunStream(name, in, opts...)
+	elapsed := time.Since(start)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tcrace: %v\n", err)
 		os.Exit(1)
 	}
-	if err := tr.Validate(); err != nil {
-		fmt.Fprintf(os.Stderr, "tcrace: invalid trace: %v\n", err)
-		os.Exit(1)
-	}
 
-	var po bench.PO
-	switch *algo {
-	case "hb":
-		po = bench.HB
-	case "shb":
-		po = bench.SHB
-	case "maz":
-		po = bench.MAZ
-	default:
-		fmt.Fprintf(os.Stderr, "tcrace: unknown algorithm %q\n", *algo)
-		os.Exit(2)
-	}
-	ck := bench.TC
-	if *clock == "vc" {
-		ck = bench.VC
-	} else if *clock != "tc" {
-		fmt.Fprintf(os.Stderr, "tcrace: unknown clock %q\n", *clock)
-		os.Exit(2)
-	}
-
-	// Run via the harness for uniform detector handling; re-run the
-	// tree-clock engine directly when samples are requested.
-	start := time.Now()
-	res := bench.Run(tr, bench.Config{PO: po, Clock: ck, Analysis: true, Work: *work})
-	elapsed := time.Since(start)
-
-	s := trace.ComputeStats(tr)
-	fmt.Printf("trace: %d events, %d threads, %d vars, %d locks (%.1f%% sync)\n",
-		s.Events, s.Threads, s.Vars, s.Locks, s.SyncPct)
-	fmt.Printf("%s with %s: %d concurrent conflicting pairs detected in %v\n",
-		po, ck, res.Pairs, res.Elapsed.Round(time.Microsecond))
+	fmt.Printf("trace: %d events, %d threads, %d vars, %d locks (streamed, no prior metadata)\n",
+		res.Events, res.Meta.Threads, res.Meta.Vars, res.Meta.Locks)
+	fmt.Printf("%s: %d concurrent conflicting pairs detected in %v\n",
+		res.Engine, res.Summary.Total, elapsed.Round(time.Microsecond))
 	if *work {
 		fmt.Printf("work: %d entries touched, %d changed (VTWork), %d joins, %d copies, %d deep copies\n",
-			res.Work.Entries, res.Work.Changed, res.Work.Joins, res.Work.Copies, res.Work.DeepCopies)
+			st.Entries, st.Changed, st.Joins, st.Copies, st.DeepCopies)
 	}
-	_ = elapsed
-
-	if res.Pairs > 0 && *samples > 0 {
-		printSamples(tr, po, ck, *samples)
-	}
-}
-
-// printSamples re-runs the engine to recover sample pairs (the harness
-// returns only counts).
-func printSamples(tr *trace.Trace, po bench.PO, ck bench.Clock, n int) {
-	samples := bench.SamplePairs(tr, po, ck)
-	fmt.Println("sample pairs:")
-	for i, p := range samples {
-		if i >= n {
-			fmt.Printf("  ... (%d samples kept)\n", len(samples))
-			break
+	if len(res.Samples) > 0 && *samples > 0 {
+		fmt.Println("sample pairs:")
+		for i, p := range res.Samples {
+			if i >= *samples {
+				fmt.Printf("  ... (%d samples kept)\n", len(res.Samples))
+				break
+			}
+			fmt.Printf("  %s\n", p)
 		}
-		fmt.Printf("  %s\n", p)
 	}
 }

@@ -13,21 +13,69 @@
 // constant of the number of timestamp entries any implementation must
 // update (the paper's Theorem 1).
 //
+// # Architecture
+//
+// All partial-order engines are one shared streaming runtime
+// (internal/engine) plus a small per-order Semantics plugin:
+//
+//   - The runtime owns the sync scaffolding common to every order:
+//     per-thread and per-lock clocks, the Acquire/Release/Fork/Join
+//     dispatch, the per-event local-time increment, event counting,
+//     timestamps, and lazy allocation of state on first sight of an
+//     identifier.
+//   - A Semantics implementation (the plugin interface re-exported here
+//     as Semantics) contributes only the Read and Write hooks and any
+//     per-variable state the order needs: HB feeds the race detector,
+//     SHB adds last-write clocks, MAZ adds the read-set bookkeeping of
+//     Algorithm 5.
+//   - Clocks are dynamic: the vt.Clock contract includes Grow, and both
+//     TreeClock and VectorClock extend their thread capacity on demand
+//     (see the Grow contract in internal/core), so no engine needs the
+//     trace's thread/lock/variable counts up front.
+//
+// # Streaming analysis
+//
+// RunStream is the one-pass API built on that runtime: it feeds a
+// trace from a plain io.Reader (text or binary format, see
+// NewTraceScanner and NewBinaryTraceScanner) straight through an
+// engine with no prior Meta and no materialization, so memory is
+// proportional to the live identifier spaces rather than the trace
+// length. Engines are chosen by registry name — "hb-tree", "hb-vc",
+// "shb-tree", "shb-vc", "maz-tree", "maz-vc" (see Engines and
+// EngineInfos) — and the result carries the race summary, sample
+// pairs, discovered metadata and final timestamps. The streaming and
+// materialized paths are differentially tested to produce identical
+// race reports and timestamps.
+//
 // # Layout
 //
 //   - The clock data structures: NewTreeClock (the contribution) and
 //     NewVectorClock (the Θ(k)-per-operation baseline). Both implement
-//     the same operations (Get, Inc, Join, MonotoneCopy, ...).
-//   - Traces: Event, Trace, ParseTrace / WriteTraceText and friends.
-//   - Streaming engines computing a partial order over a trace, in
-//     tree-clock and vector-clock variants: NewHBTree / NewHBVector,
-//     NewSHBTree / NewSHBVector, NewMAZTree / NewMAZVector. Engines
-//     optionally run a FastTrack-style race analysis.
+//     the same operations (Get, Inc, Grow, Join, MonotoneCopy, ...).
+//   - Traces: Event, Trace, ParseTrace / WriteTraceText and friends,
+//     plus the streaming scanners for both formats.
+//   - Engines: RunStream with the registry for streaming use, and the
+//     pre-sized constructors NewHBTree / NewHBVector, NewSHBTree /
+//     NewSHBVector, NewMAZTree / NewMAZVector for materialized traces.
+//     Engines optionally run a FastTrack-style race analysis.
 //   - Workload generators (GenerateMixed, scenario generators) and the
 //     experiment harness behind cmd/tcbench, which regenerates every
-//     table and figure of the paper (see DESIGN.md and EXPERIMENTS.md).
+//     table and figure of the paper (see DESIGN.md and EXPERIMENTS.md)
+//     and compares the streaming and materialized paths (-experiment
+//     stream).
 //
 // # Quickstart
+//
+//	res, err := treeclock.RunStream("hb-tree", traceFile)
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	fmt.Printf("%d events, %d races\n", res.Events, res.Summary.Total)
+//	for _, race := range res.Samples {
+//		fmt.Println(race)
+//	}
+//
+// Or, materialized:
 //
 //	tr, _ := treeclock.ParseTraceString(`
 //	t0 acq l0

@@ -1,0 +1,3 @@
+module treeclock
+
+go 1.24

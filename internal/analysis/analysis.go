@@ -112,28 +112,50 @@ type varState struct {
 
 // Detector performs the epoch checks for one engine run. It is generic
 // over the clock type so the same detector code runs on tree clocks and
-// vector clocks.
+// vector clocks. Both identifier spaces are dynamic: variables and
+// threads beyond the construction-time hints are accommodated on first
+// sight, so the detector works under the streaming engine runtime where
+// no trace metadata exists up front.
 type Detector[C vt.Clock[C]] struct {
-	k    int
+	k    int // thread-count high-water mark (sizing hint for read vectors)
 	vars []varState
 	Acc  *Accumulator
 }
 
-// NewDetector returns a detector for nVars variables over k threads.
+// NewDetector returns a detector sized for nVars variables over k
+// threads. Both are hints, not limits: state grows on demand.
 func NewDetector[C vt.Clock[C]](k, nVars int) *Detector[C] {
 	return &Detector[C]{k: k, vars: make([]varState, nVars), Acc: NewAccumulator()}
+}
+
+// state returns the access history of variable x, growing the variable
+// space as needed (amortized doubling).
+func (d *Detector[C]) state(x int32) *varState {
+	d.vars = vt.GrowSlice(d.vars, int(x)+1)
+	return &d.vars[x]
+}
+
+// seen notes thread t, keeping k the thread high-water mark.
+func (d *Detector[C]) seen(t vt.TID) {
+	if int(t) >= d.k {
+		d.k = int(t) + 1
+	}
 }
 
 // Read processes a read of x by thread t whose clock is ct. For SHB the
 // call must happen before the engine joins LW_x into ct, so the check
 // sees the pre-edge state (the race (lw(r), r) of §5.1).
 func (d *Detector[C]) Read(x int32, t vt.TID, ct C) {
-	vs := &d.vars[x]
+	vs := d.state(x)
+	d.seen(t)
 	now := vt.Epoch{T: t, Clk: ct.Get(t)}
 	if !vs.w.Zero() && vs.w.Clk > ct.Get(vs.w.T) {
 		d.Acc.Report(WriteRead, x, vs.w, now)
 	}
 	if vs.shared != nil {
+		if int(t) >= len(vs.shared) {
+			vs.shared = vt.GrowSlice(vs.shared, d.k)
+		}
 		vs.shared[t] = now.Clk
 		return
 	}
@@ -144,7 +166,7 @@ func (d *Detector[C]) Read(x int32, t vt.TID, ct C) {
 		return
 	}
 	// Concurrent reads: promote to a full read vector.
-	vs.shared = vt.NewVector(d.k)
+	vs.shared = vt.NewVector(max(d.k, int(vs.r.T)+1))
 	vs.shared[vs.r.T] = vs.r.Clk
 	vs.shared[t] = now.Clk
 	vs.r = vt.Epoch{}
@@ -153,7 +175,8 @@ func (d *Detector[C]) Read(x int32, t vt.TID, ct C) {
 // Write processes a write of x by thread t whose clock is ct. For SHB
 // the call must happen before the engine overwrites LW_x.
 func (d *Detector[C]) Write(x int32, t vt.TID, ct C) {
-	vs := &d.vars[x]
+	vs := d.state(x)
+	d.seen(t)
 	now := vt.Epoch{T: t, Clk: ct.Get(t)}
 	if !vs.w.Zero() && vs.w.Clk > ct.Get(vs.w.T) {
 		d.Acc.Report(WriteWrite, x, vs.w, now)

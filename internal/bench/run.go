@@ -47,6 +47,34 @@ func (p PO) String() string {
 	}
 }
 
+// ForNames maps an engine registry entry's order/clock names ("hb",
+// "shb", "maz" × "tree", "vc") to the harness constants, reporting
+// whether both names are known. It is the one place the string names
+// and the bench constants are tied together.
+func ForNames(order, clock string) (PO, Clock, bool) {
+	var po PO
+	switch order {
+	case "hb":
+		po = HB
+	case "shb":
+		po = SHB
+	case "maz":
+		po = MAZ
+	default:
+		return 0, 0, false
+	}
+	var ck Clock
+	switch clock {
+	case "tree", "tc":
+		ck = TC
+	case "vc":
+		ck = VC
+	default:
+		return 0, 0, false
+	}
+	return po, ck, true
+}
+
 // Clock selects the data structure.
 type Clock int
 
@@ -106,12 +134,11 @@ func Run(tr *trace.Trace, cfg Config) Result {
 	if cfg.Work {
 		st = &vt.WorkStats{}
 	}
-	k := tr.Meta.Threads
 	if cfg.Clock == TC {
-		f := core.FactoryMode(k, st, cfg.Mode)
+		f := core.FactoryMode(st, cfg.Mode)
 		res.Elapsed, res.Pairs = dispatch(tr, cfg, f)
 	} else {
-		f := vc.Factory(k, st)
+		f := vc.Factory(st)
 		res.Elapsed, res.Pairs = dispatch(tr, cfg, f)
 	}
 	if st != nil {
@@ -161,11 +188,10 @@ func timed(f func()) time.Duration {
 // SamplePairs runs the analysis and returns the retained sample pairs
 // (bounded; counting in Run covers the totals).
 func SamplePairs(tr *trace.Trace, po PO, ck Clock) []analysis.Pair {
-	k := tr.Meta.Threads
 	if ck == TC {
-		return samplePairs(tr, po, core.Factory(k, nil))
+		return samplePairs(tr, po, core.Factory(nil))
 	}
-	return samplePairs(tr, po, vc.Factory(k, nil))
+	return samplePairs(tr, po, vc.Factory(nil))
 }
 
 func samplePairs[C vt.Clock[C]](tr *trace.Trace, po PO, f vt.Factory[C]) []analysis.Pair {

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"treeclock/internal/vt"
+)
+
+func growVec(c *TreeClock, k int) vt.Vector {
+	v := vt.NewVector(k)
+	for t := 0; t < k; t++ {
+		v[t] = c.Get(vt.TID(t))
+	}
+	return v
+}
+
+func TestGrowPreservesVectorTime(t *testing.T) {
+	c := New(2, nil)
+	c.Init(0)
+	c.Inc(0, 5)
+	o := New(2, nil)
+	o.Init(1)
+	o.Inc(1, 3)
+	c.Join(o)
+	before := growVec(c, 8)
+	c.Grow(8)
+	if c.K() != 8 {
+		t.Fatalf("K() = %d after Grow(8)", c.K())
+	}
+	if got := growVec(c, 8); !got.Equal(before) {
+		t.Errorf("Grow changed the vector time: %v -> %v", before, got)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("invalid after Grow: %v", err)
+	}
+	c.Grow(4) // shrink requests are no-ops
+	if c.K() != 8 {
+		t.Errorf("Grow(4) shrank the clock to %d", c.K())
+	}
+}
+
+func TestGrowIncremental(t *testing.T) {
+	c := New(0, nil)
+	c.Init(0)
+	for k := 1; k <= 40; k++ {
+		c.Grow(k)
+	}
+	if c.K() != 40 {
+		t.Fatalf("K() = %d", c.K())
+	}
+	c.Inc(0, 1)
+	if c.Get(39) != 0 || c.Get(0) != 1 {
+		t.Errorf("entries wrong after incremental growth: %v", growVec(c, 40))
+	}
+}
+
+func TestGetBeyondCapacity(t *testing.T) {
+	c := New(2, nil)
+	c.Init(0)
+	c.Inc(0, 7)
+	if got := c.Get(17); got != 0 {
+		t.Errorf("Get beyond capacity = %d, want 0", got)
+	}
+}
+
+// TestJoinGrowsReceiver joins a larger-capacity clock into a smaller
+// one and checks the result against a same-capacity baseline.
+func TestJoinGrowsReceiver(t *testing.T) {
+	small := New(1, nil)
+	small.Init(0)
+	small.Inc(0, 2)
+	big := New(6, nil)
+	big.Init(5)
+	big.Inc(5, 4)
+	small.Join(big)
+	if small.K() < 6 {
+		t.Fatalf("receiver did not grow: K() = %d", small.K())
+	}
+	want := vt.Vector{2, 0, 0, 0, 0, 4}
+	if got := growVec(small, 6); !got.Equal(want) {
+		t.Errorf("join across capacities = %v, want %v", got, want)
+	}
+	if err := small.Validate(); err != nil {
+		t.Errorf("invalid after growing join: %v", err)
+	}
+}
+
+// TestMonotoneCopyAcrossCapacities covers both directions: a smaller
+// receiver grows, and a larger receiver clears its tail.
+func TestMonotoneCopyAcrossCapacities(t *testing.T) {
+	src := New(3, nil)
+	src.Init(2)
+	src.Inc(2, 9)
+
+	smaller := New(1, nil)
+	smaller.MonotoneCopy(src)
+	if got := growVec(smaller, 3); !got.Equal(vt.Vector{0, 0, 9}) {
+		t.Errorf("smaller receiver: %v", got)
+	}
+
+	larger := New(5, nil)
+	larger.MonotoneCopy(src) // larger is zero, precondition holds
+	if got := growVec(larger, 5); !got.Equal(vt.Vector{0, 0, 9, 0, 0}) {
+		t.Errorf("larger receiver: %v", got)
+	}
+	if err := larger.Validate(); err != nil {
+		t.Errorf("invalid after copy: %v", err)
+	}
+}
+
+// TestCopyCheckMonotoneClearsStaleTail: a non-monotone copy from a
+// smaller clock must not leave stale entries beyond the source's
+// capacity.
+func TestCopyCheckMonotoneClearsStaleTail(t *testing.T) {
+	aux := New(6, nil)
+	donor := New(6, nil)
+	donor.Init(5)
+	donor.Inc(5, 3)
+	aux.MonotoneCopy(donor) // aux now knows t5@3
+
+	src := New(2, nil)
+	src.Init(1)
+	src.Inc(1, 2)
+	if aux.CopyCheckMonotone(src) {
+		t.Error("copy reported monotone despite stale t5 entry")
+	}
+	if got := growVec(aux, 6); !got.Equal(vt.Vector{0, 2, 0, 0, 0, 0}) {
+		t.Errorf("stale tail survived: %v", got)
+	}
+	if err := aux.Validate(); err != nil {
+		t.Errorf("invalid after fallback copy: %v", err)
+	}
+}
+
+func TestInitGrows(t *testing.T) {
+	c := New(0, nil)
+	c.Init(7)
+	if c.K() != 8 || c.Root() != 7 {
+		t.Errorf("Init(7) on empty clock: K=%d root=%d", c.K(), c.Root())
+	}
+	c.Inc(7, 1)
+	if c.Get(7) != 1 {
+		t.Errorf("Get(7) = %d", c.Get(7))
+	}
+}

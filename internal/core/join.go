@@ -59,7 +59,7 @@ func (c *TreeClock) Join(o *TreeClock) {
 		c.stats.Joins++
 		c.stats.Entries++ // root progress test
 	}
-	if o.clk[zr] <= c.clk[zr] {
+	if o.clk[zr] <= c.Get(zr) {
 		// o's root has not progressed; by direct monotonicity
 		// nothing in o is new (Algorithm 2, line 18).
 		return
@@ -69,6 +69,7 @@ func (c *TreeClock) Join(o *TreeClock) {
 		c.deepCopyFrom(o)
 		return
 	}
+	c.Grow(int(o.k))
 	if zr == c.root {
 		// Another clock claims a later local time for this clock's
 		// own thread: knowledge of a thread always originates from
@@ -102,6 +103,7 @@ func (c *TreeClock) MonotoneCopy(o *TreeClock) {
 		c.deepCopyFrom(o)
 		return
 	}
+	c.Grow(int(o.k))
 	if c.stats != nil {
 		c.stats.Copies++
 	}
@@ -133,7 +135,7 @@ func (c *TreeClock) MonotoneCopy(o *TreeClock) {
 // was not monotone, which in the SHB algorithm signals a write-write
 // race, bounding the number of deep copies by the number of such races.
 func (c *TreeClock) CopyCheckMonotone(o *TreeClock) bool {
-	if c.root == none || (o.root != none && c.clk[c.root] <= o.clk[c.root]) {
+	if c.root == none || (o.root != none && c.clk[c.root] <= o.Get(c.root)) {
 		c.MonotoneCopy(o)
 		return true
 	}
@@ -304,11 +306,14 @@ func (c *TreeClock) pushChild(u, p vt.TID) {
 // Used for copies into empty clocks (initialization) and as the
 // non-monotone fallback of CopyCheckMonotone; only the fallback counts
 // toward WorkStats.DeepCopies (§5.1 bounds it by write-write races).
+// When the receiver's capacity exceeds the operand's, the tail entries
+// are cleared (o represents 0 for every thread beyond its capacity).
 func (c *TreeClock) deepCopyFrom(o *TreeClock) {
+	c.Grow(int(o.k))
 	if c.stats != nil {
 		c.stats.Entries += uint64(c.k)
 		for t := int32(0); t < c.k; t++ {
-			if c.clk[t] != o.clk[t] {
+			if c.clk[t] != o.Get(vt.TID(t)) {
 				c.stats.Changed++
 			}
 		}
@@ -316,6 +321,10 @@ func (c *TreeClock) deepCopyFrom(o *TreeClock) {
 	c.root = o.root
 	copy(c.clk, o.clk)
 	copy(c.sh, o.sh)
+	for t := int(o.k); t < int(c.k); t++ {
+		c.clk[t] = 0
+		c.sh[t] = shape{par: notIn, head: none, nxt: none, prv: none}
+	}
 }
 
 var _ vt.Clock[*TreeClock] = (*TreeClock)(nil)

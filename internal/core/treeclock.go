@@ -21,6 +21,18 @@
 // intrusive child-list links, kept in descending-aclk order) lives in a
 // second array. The thread map is the array index. All traversals are
 // iterative.
+//
+// # The Grow contract
+//
+// The thread capacity k is a lower bound, not a fixed universe: Grow(k)
+// appends zero entries to the clk array and absent (notIn) entries to
+// the shape array, preserving the existing tree. Get on a thread at or
+// beyond the capacity reports 0 (an unknown thread has the zero local
+// time), and Join/MonotoneCopy/CopyCheckMonotone accept operands of any
+// capacity, growing the receiver first when the operand is larger.
+// Growth never changes the represented vector time, so engines can
+// discover threads mid-trace (the streaming runtime in internal/engine
+// relies on this) without invalidating any clock state.
 package core
 
 import (
@@ -91,11 +103,12 @@ type TreeClock struct {
 	stats *vt.WorkStats
 }
 
-// New returns an empty tree clock over k threads. If stats is non-nil,
-// every operation accumulates work counters into it.
+// New returns an empty tree clock over k threads (k may be 0 for a
+// clock that grows on demand). If stats is non-nil, every operation
+// accumulates work counters into it.
 func New(k int, stats *vt.WorkStats) *TreeClock {
-	if k <= 0 {
-		panic("core: tree clock needs a positive thread count")
+	if k < 0 {
+		panic("core: tree clock needs a non-negative thread count")
 	}
 	c := &TreeClock{
 		k:     int32(k),
@@ -110,40 +123,63 @@ func New(k int, stats *vt.WorkStats) *TreeClock {
 	return c
 }
 
-// Factory returns a vt.Factory producing tree clocks over k threads
+// Factory returns a capacity-aware vt.Factory producing tree clocks
 // sharing stats (which may be nil).
-func Factory(k int, stats *vt.WorkStats) vt.Factory[*TreeClock] {
-	return func() *TreeClock { return New(k, stats) }
+func Factory(stats *vt.WorkStats) vt.Factory[*TreeClock] {
+	return func(k int) *TreeClock { return New(k, stats) }
 }
 
 // FactoryMode is Factory with an explicit ablation mode.
-func FactoryMode(k int, stats *vt.WorkStats, m Mode) vt.Factory[*TreeClock] {
-	return func() *TreeClock {
+func FactoryMode(stats *vt.WorkStats, m Mode) vt.Factory[*TreeClock] {
+	return func(k int) *TreeClock {
 		c := New(k, stats)
 		c.mode = m
 		return c
 	}
 }
 
-// K returns the thread capacity.
+// K returns the current thread capacity.
 func (c *TreeClock) K() int { return int(c.k) }
+
+// Grow extends the thread capacity to at least k: the clk array gains
+// zero entries and the shape array gains absent (notIn) entries, so the
+// represented vector time is unchanged. Amortized O(1) per entry.
+func (c *TreeClock) Grow(k int) {
+	if k <= int(c.k) {
+		return
+	}
+	c.clk = vt.GrowSlice(c.clk, k)
+	c.sh = vt.GrowSlice(c.sh, k)
+	for i := int(c.k); i < k; i++ {
+		c.sh[i] = shape{par: notIn, head: none, nxt: none, prv: none}
+	}
+	c.k = int32(k)
+}
 
 // Root returns the thread at the root, or vt.None for an empty clock.
 func (c *TreeClock) Root() vt.TID { return c.root }
 
 // Init makes the clock belong to thread t: t becomes the root with
-// local time 0. Only thread clocks are initialized (paper, Init note).
+// local time 0, growing the capacity to at least t+1. Only thread
+// clocks are initialized (paper, Init note).
 func (c *TreeClock) Init(t vt.TID) {
 	if c.root != none {
 		panic("core: Init on a non-empty tree clock")
 	}
+	c.Grow(int(t) + 1)
 	c.root = t
 	c.sh[t].par = none
 }
 
 // Get returns the recorded local time of thread t in O(1) (Remark 1).
-// Absent threads have time 0.
-func (c *TreeClock) Get(t vt.TID) vt.Time { return c.clk[t] }
+// Absent threads — including threads at or beyond the capacity — have
+// time 0.
+func (c *TreeClock) Get(t vt.TID) vt.Time {
+	if int(t) >= int(c.k) {
+		return 0
+	}
+	return c.clk[t]
+}
 
 // Inc adds d to the owning thread's local time. t must be the root
 // thread (the engine's own thread); the parameter mirrors the vector

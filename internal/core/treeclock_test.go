@@ -49,13 +49,13 @@ func TestInitIncGet(t *testing.T) {
 	}
 }
 
-func TestNewPanicsOnZeroThreads(t *testing.T) {
+func TestNewPanicsOnNegativeThreads(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Error("New(0, nil) must panic")
+			t.Error("New(-1, nil) must panic")
 		}
 	}()
-	New(0, nil)
+	New(-1, nil)
 }
 
 func TestDoubleInitPanics(t *testing.T) {

@@ -1,0 +1,215 @@
+// Package engine is the shared runtime for the streaming partial-order
+// engines (the paper's Algorithms 1/3/4/5). It owns everything the HB,
+// SHB and Mazurkiewicz analyses have in common — per-thread and per-lock
+// clock state, the Acquire/Release/Fork/Join dispatch, the per-event
+// local-time increment (footnote 1), event counting, timestamps, and
+// lazy per-object allocation — and delegates only the read/write
+// semantics to a small Semantics plugin. Instantiating the runtime with
+// a different Semantics yields a different partial order; instantiating
+// it with a different vt.Clock yields the tree-clock or vector-clock
+// variant. The partial-order packages (internal/hb, internal/shb,
+// internal/maz) are therefore reduced to plugins plus a constructor.
+//
+// The runtime is streaming end to end: it needs no trace.Meta. Thread,
+// lock and variable state is allocated (and clocks are grown, see the
+// Grow contract in internal/core) on first sight of an identifier, so a
+// trace can be fed event by event from a reader of unbounded length
+// with memory proportional to the live identifier spaces only.
+package engine
+
+import (
+	"treeclock/internal/analysis"
+	"treeclock/internal/trace"
+	"treeclock/internal/vt"
+)
+
+// Semantics is the per-partial-order plugin: it defines what a read and
+// a write of a shared variable mean for the order being computed. All
+// other event kinds are handled uniformly by the runtime. Hooks run
+// after the thread's local-time increment, with ct the thread's clock
+// (the event's timestamp is ct when the hook returns). Implementations
+// keep any extra per-variable state (last-write clocks, read sets) and
+// must grow it on first sight of an identifier, mirroring the runtime.
+type Semantics[C vt.Clock[C]] interface {
+	// Read handles op = r(x) by thread t.
+	Read(rt *Runtime[C], t vt.TID, x int32, ct C)
+	// Write handles op = w(x) by thread t.
+	Write(rt *Runtime[C], t vt.TID, x int32, ct C)
+}
+
+// Runtime computes a partial order over a streamed trace. Per thread t
+// it maintains the clock C_t; per lock ℓ the clock C_ℓ holding the
+// timestamp of ℓ's last release. Reads and writes are delegated to the
+// Semantics plugin.
+type Runtime[C vt.Clock[C]] struct {
+	sem     Semantics[C]
+	factory vt.Factory[C]
+	threads []C
+	locks   []C
+	lockSet []bool // locks[l] allocated
+	det     *analysis.Detector[C]
+	acc     *analysis.Accumulator
+	events  uint64
+	vars    int // variable-id high-water mark (for Meta reporting)
+	name    string
+}
+
+// New returns a dynamically growing runtime: it assumes nothing about
+// the trace's identifier spaces and allocates state on first sight.
+func New[C vt.Clock[C]](sem Semantics[C], factory vt.Factory[C]) *Runtime[C] {
+	return &Runtime[C]{sem: sem, factory: factory}
+}
+
+// NewWithMeta returns a runtime pre-sized for a known trace: thread
+// clocks are created up front at full capacity, exactly as when
+// analyzing a materialized trace. The runtime still grows past the
+// metadata if the trace turns out larger.
+func NewWithMeta[C vt.Clock[C]](sem Semantics[C], factory vt.Factory[C], meta trace.Meta) *Runtime[C] {
+	r := New(sem, factory)
+	r.name = meta.Name
+	r.vars = meta.Vars
+	r.growThreads(meta.Threads)
+	r.growLocks(meta.Locks)
+	return r
+}
+
+// growThreads extends the thread space to n, creating and initializing
+// a clock for each new thread at the current capacity.
+func (r *Runtime[C]) growThreads(n int) {
+	for len(r.threads) < n {
+		t := vt.TID(len(r.threads))
+		c := r.factory(n)
+		c.Init(t)
+		r.threads = append(r.threads, c)
+	}
+}
+
+// growLocks extends the lock space to n; lock clocks themselves are
+// allocated on first use (many locks in real traces are touched by a
+// single thread or never at all).
+func (r *Runtime[C]) growLocks(n int) {
+	for len(r.locks) < n {
+		var zero C
+		r.locks = append(r.locks, zero)
+		r.lockSet = append(r.lockSet, false)
+	}
+}
+
+// lock returns lock l's clock, allocating it on first sight.
+func (r *Runtime[C]) lock(l int32) C {
+	if int(l) >= len(r.locks) {
+		r.growLocks(int(l) + 1)
+	}
+	if !r.lockSet[l] {
+		r.locks[l] = r.factory(len(r.threads))
+		r.lockSet[l] = true
+	}
+	return r.locks[l]
+}
+
+// NewClock hands semantics plugins a fresh auxiliary clock (zero vector
+// time) at the runtime's current thread capacity, sharing the factory's
+// work-stats sink.
+func (r *Runtime[C]) NewClock() C { return r.factory(len(r.threads)) }
+
+// Threads returns the number of threads seen so far.
+func (r *Runtime[C]) Threads() int { return len(r.threads) }
+
+// Meta reports the identifier spaces seen so far (streaming runs) or
+// declared up front (NewWithMeta), whichever is larger.
+func (r *Runtime[C]) Meta() trace.Meta {
+	return trace.Meta{Name: r.name, Threads: len(r.threads), Locks: len(r.locks), Vars: r.vars}
+}
+
+// EnableRaceDetection attaches a FastTrack-style detector (the
+// "+Analysis" configuration of HB and SHB) and returns it. Without it,
+// read and write events reach the Semantics plugin only, matching the
+// pure partial-order computation the paper times as "HB"/"SHB".
+func (r *Runtime[C]) EnableRaceDetection() *analysis.Detector[C] {
+	r.det = analysis.NewDetector[C](len(r.threads), r.vars)
+	r.acc = r.det.Acc
+	return r.det
+}
+
+// EnableAnalysis attaches a bare accumulator, for semantics (MAZ) that
+// perform their own pair checks and only need a place to report them.
+func (r *Runtime[C]) EnableAnalysis() *analysis.Accumulator {
+	r.acc = analysis.NewAccumulator()
+	return r.acc
+}
+
+// Detector returns the attached race detector, or nil.
+func (r *Runtime[C]) Detector() *analysis.Detector[C] { return r.det }
+
+// Analysis returns the attached accumulator (the detector's, when race
+// detection is enabled), or nil.
+func (r *Runtime[C]) Analysis() *analysis.Accumulator { return r.acc }
+
+// Step processes one event.
+func (r *Runtime[C]) Step(ev trace.Event) {
+	t := ev.T
+	if int(t) >= len(r.threads) {
+		r.growThreads(int(t) + 1)
+	}
+	ct := r.threads[t]
+	ct.Inc(t, 1)
+	switch ev.Kind {
+	case trace.Acquire:
+		ct.Join(r.lock(ev.Obj))
+	case trace.Release:
+		// Lemma 2: C_ℓ ⊑ C_t holds here, so the copy is monotone.
+		r.lock(ev.Obj).MonotoneCopy(ct)
+	case trace.Read:
+		if int(ev.Obj) >= r.vars {
+			r.vars = int(ev.Obj) + 1
+		}
+		r.sem.Read(r, t, ev.Obj, ct)
+	case trace.Write:
+		if int(ev.Obj) >= r.vars {
+			r.vars = int(ev.Obj) + 1
+		}
+		r.sem.Write(r, t, ev.Obj, ct)
+	case trace.Fork:
+		// The child inherits the parent's knowledge.
+		if int(ev.Obj) >= len(r.threads) {
+			r.growThreads(int(ev.Obj) + 1)
+		}
+		r.threads[ev.Obj].Join(ct)
+	case trace.Join:
+		if int(ev.Obj) >= len(r.threads) {
+			r.growThreads(int(ev.Obj) + 1)
+		}
+		ct.Join(r.threads[ev.Obj])
+	}
+	r.events++
+}
+
+// Process runs a whole event slice through Step.
+func (r *Runtime[C]) Process(events []trace.Event) {
+	for i := range events {
+		r.Step(events[i])
+	}
+}
+
+// ProcessSource drains a streaming event source through Step in one
+// pass, returning the source's error, if any.
+func (r *Runtime[C]) ProcessSource(src trace.EventSource) error {
+	for {
+		ev, ok := src.Next()
+		if !ok {
+			return src.Err()
+		}
+		r.Step(ev)
+	}
+}
+
+// Events returns the number of events processed.
+func (r *Runtime[C]) Events() uint64 { return r.events }
+
+// ThreadClock exposes thread t's clock (its current timestamp).
+func (r *Runtime[C]) ThreadClock(t vt.TID) C { return r.threads[t] }
+
+// Timestamp snapshots thread t's current vector time into dst.
+func (r *Runtime[C]) Timestamp(t vt.TID, dst vt.Vector) vt.Vector {
+	return r.threads[t].Vector(dst)
+}

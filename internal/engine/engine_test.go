@@ -1,0 +1,164 @@
+package engine_test
+
+import (
+	"strings"
+	"testing"
+
+	"treeclock/internal/core"
+	"treeclock/internal/engine"
+	"treeclock/internal/gen"
+	"treeclock/internal/hb"
+	"treeclock/internal/maz"
+	"treeclock/internal/shb"
+	"treeclock/internal/trace"
+	"treeclock/internal/vc"
+	"treeclock/internal/vt"
+)
+
+// newRuntime builds a dynamic runtime for one partial order.
+func newRuntime[C vt.Clock[C]](t *testing.T, order string, f vt.Factory[C]) *engine.Runtime[C] {
+	t.Helper()
+	switch order {
+	case "hb":
+		return engine.New[C](hb.NewSemantics[C](), f)
+	case "shb":
+		return engine.New[C](shb.NewSemantics[C](), f)
+	case "maz":
+		return engine.New[C](maz.NewSemantics[C](), f)
+	}
+	t.Fatalf("unknown order %q", order)
+	return nil
+}
+
+var orders = []string{"hb", "shb", "maz"}
+
+// TestDynamicMatchesPreSized is the core streaming property: a runtime
+// that discovers every identifier on the fly computes exactly the same
+// final timestamps as one pre-sized from the trace metadata.
+func TestDynamicMatchesPreSized(t *testing.T) {
+	traces := []*trace.Trace{
+		gen.Mixed(gen.Config{Name: "mix", Threads: 9, Locks: 4, Vars: 24, Events: 3000, Seed: 3, SyncFrac: 0.3}),
+		gen.Star(8, 1500, 5),
+		gen.ForkJoinTree(5, 30, 7),
+	}
+	for _, tr := range traces {
+		for _, order := range orders {
+			// Tree clocks.
+			dyn := newRuntime[*core.TreeClock](t, order, core.Factory(nil))
+			dyn.Process(tr.Events)
+			sized := engineWithMeta(t, order, tr.Meta)
+			sized.Process(tr.Events)
+			if dyn.Threads() > tr.Meta.Threads {
+				t.Fatalf("%s/%s: discovered %d threads, meta says %d",
+					tr.Meta.Name, order, dyn.Threads(), tr.Meta.Threads)
+			}
+			k := tr.Meta.Threads
+			for th := 0; th < dyn.Threads(); th++ {
+				got := dyn.Timestamp(vt.TID(th), vt.NewVector(k))
+				want := sized.Timestamp(vt.TID(th), vt.NewVector(k))
+				if !got.Equal(want) {
+					t.Fatalf("%s/%s: thread %d: dynamic %v, pre-sized %v",
+						tr.Meta.Name, order, th, got, want)
+				}
+			}
+		}
+	}
+}
+
+func engineWithMeta(t *testing.T, order string, meta trace.Meta) *engine.Runtime[*core.TreeClock] {
+	t.Helper()
+	switch order {
+	case "hb":
+		return engine.NewWithMeta[*core.TreeClock](hb.NewSemantics[*core.TreeClock](), core.Factory(nil), meta)
+	case "shb":
+		return engine.NewWithMeta[*core.TreeClock](shb.NewSemantics[*core.TreeClock](), core.Factory(nil), meta)
+	case "maz":
+		return engine.NewWithMeta[*core.TreeClock](maz.NewSemantics[*core.TreeClock](), core.Factory(nil), meta)
+	}
+	t.Fatalf("unknown order %q", order)
+	return nil
+}
+
+// TestRuntimeDiscoversIdentifiers feeds a trace whose identifiers
+// appear out of order and checks the discovered Meta.
+func TestRuntimeDiscoversIdentifiers(t *testing.T) {
+	src := trace.NewScanner(strings.NewReader(`
+t9 w x41
+t9 acq l7
+t9 rel l7
+t2 acq l7
+t2 r x41
+t2 rel l7
+`))
+	rt := engine.New[*vc.VectorClock](hb.NewSemantics[*vc.VectorClock](), vc.Factory(nil))
+	det := rt.EnableRaceDetection()
+	if err := rt.ProcessSource(src); err != nil {
+		t.Fatal(err)
+	}
+	meta := rt.Meta()
+	if meta.Threads != 2 || meta.Locks != 1 || meta.Vars != 1 {
+		t.Errorf("discovered meta = %+v, want 2 threads, 1 lock, 1 var", meta)
+	}
+	if rt.Events() != 6 {
+		t.Errorf("Events() = %d, want 6", rt.Events())
+	}
+	if det.Acc.Total != 0 {
+		t.Errorf("lock-ordered accesses flagged racy: %d", det.Acc.Total)
+	}
+}
+
+// TestRuntimeSparseThreadIDs exercises growth with a thread id far
+// beyond anything seen before (binary traces don't intern ids).
+func TestRuntimeSparseThreadIDs(t *testing.T) {
+	events := []trace.Event{
+		{T: 0, Obj: 0, Kind: trace.Write},
+		{T: 40, Obj: 0, Kind: trace.Write},
+		{T: 3, Obj: 0, Kind: trace.Read},
+	}
+	for _, order := range orders {
+		rt := newRuntime[*core.TreeClock](t, order, core.Factory(nil))
+		var total uint64
+		if order == "maz" {
+			acc := rt.EnableAnalysis()
+			rt.Process(events)
+			total = acc.Total
+		} else {
+			det := rt.EnableRaceDetection()
+			rt.Process(events)
+			total = det.Acc.Total
+		}
+		if rt.Threads() != 41 {
+			t.Errorf("%s: Threads() = %d, want 41", order, rt.Threads())
+		}
+		if order == "hb" && total != 2 {
+			// w0-w40 (write-write) and w40-r3 (write-read): the
+			// FastTrack detector checks reads against the last write.
+			t.Errorf("hb: %d races, want 2", total)
+		}
+	}
+}
+
+// TestForkJoinAcrossGrowth checks fork targets create and order the
+// child thread correctly when the child id triggers growth.
+func TestForkJoinAcrossGrowth(t *testing.T) {
+	tr, err := trace.ParseTextString(`
+t0 w x0
+t0 fork t1
+t1 r x0
+t0 join t1
+t0 w x0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := engine.New[*core.TreeClock](hb.NewSemantics[*core.TreeClock](), core.Factory(nil))
+	det := rt.EnableRaceDetection()
+	rt.Process(tr.Events)
+	if det.Acc.Total != 0 {
+		t.Errorf("fork/join-ordered accesses flagged racy: %v", det.Acc.Samples)
+	}
+	got := rt.Timestamp(0, vt.NewVector(rt.Threads()))
+	if !got.Equal(vt.Vector{4, 1}) { // t0: w, fork, join, w; knows t1@1
+		t.Errorf("final t0 timestamp %v, want [4, 1]", got)
+	}
+}

@@ -4,99 +4,63 @@
 // with *core.TreeClock it is Algorithm 3, with *vc.VectorClock it is
 // Algorithm 1 — identical algorithm code, so measured differences are
 // attributable to the data structure alone.
+//
+// All sync scaffolding (thread and lock clocks, the event dispatch,
+// identifier growth) lives in the shared runtime of internal/engine;
+// this package contributes only the HB read/write semantics: accesses
+// carry no ordering of their own, so the hooks merely feed the optional
+// race detector.
 package hb
 
 import (
-	"treeclock/internal/analysis"
+	"treeclock/internal/engine"
 	"treeclock/internal/trace"
 	"treeclock/internal/vt"
 )
 
-// Engine computes HB timestamps while streaming events.
-//
-// Per thread t it maintains the clock C_t; per lock ℓ the clock C_ℓ
-// holding the timestamp of ℓ's last release. Every event first
-// increments its thread's local entry (footnote 1); the event's
-// HB-timestamp is C_t right after Step returns.
-type Engine[C vt.Clock[C]] struct {
-	meta    trace.Meta
-	threads []C
-	locks   []C
-	det     *analysis.Detector[C]
-	events  uint64
+// Semantics is the HB plugin for the shared engine runtime. Under
+// happens-before, reads and writes induce no edges; with race detection
+// enabled they are checked against the variable's access history.
+type Semantics[C vt.Clock[C]] struct{}
+
+// NewSemantics returns the (stateless) HB semantics.
+func NewSemantics[C vt.Clock[C]]() Semantics[C] { return Semantics[C]{} }
+
+// Read implements engine.Semantics.
+func (Semantics[C]) Read(rt *engine.Runtime[C], t vt.TID, x int32, ct C) {
+	if d := rt.Detector(); d != nil {
+		d.Read(x, t, ct)
+	}
 }
 
-// New builds an engine for traces with the given metadata. factory
-// produces the clocks (binding thread count and an optional shared
-// work-stats sink).
+// Write implements engine.Semantics.
+func (Semantics[C]) Write(rt *engine.Runtime[C], t vt.TID, x int32, ct C) {
+	if d := rt.Detector(); d != nil {
+		d.Write(x, t, ct)
+	}
+}
+
+// Engine computes HB timestamps while streaming events. It is the
+// shared runtime bound to the HB semantics; every method (Step,
+// Process, Events, ThreadClock, Timestamp, EnableRaceDetection, ...)
+// is promoted from engine.Runtime.
+type Engine[C vt.Clock[C]] struct {
+	engine.Runtime[C]
+}
+
+// New builds an engine pre-sized for traces with the given metadata.
+// factory produces the clocks (binding an optional shared work-stats
+// sink; the capacity is supplied by the runtime).
 func New[C vt.Clock[C]](meta trace.Meta, factory vt.Factory[C]) *Engine[C] {
-	e := &Engine[C]{meta: meta}
-	e.threads = make([]C, meta.Threads)
-	for t := range e.threads {
-		e.threads[t] = factory()
-		e.threads[t].Init(vt.TID(t))
-	}
-	e.locks = make([]C, meta.Locks)
-	for l := range e.locks {
-		e.locks[l] = factory() // uninitialized: zero vector time
-	}
+	e := &Engine[C]{}
+	e.Runtime = *engine.NewWithMeta[C](Semantics[C]{}, factory, meta)
 	return e
 }
 
-// EnableRaceDetection attaches a FastTrack-style detector (the
-// "+Analysis" configuration) and returns it. Without a detector, read
-// and write events only advance the thread's local time, matching the
-// pure partial-order computation the paper times as "HB".
-func (e *Engine[C]) EnableRaceDetection() *analysis.Detector[C] {
-	e.det = analysis.NewDetector[C](e.meta.Threads, e.meta.Vars)
-	return e.det
+// NewStreaming builds an engine that discovers the trace's identifier
+// spaces on the fly (no prior metadata).
+func NewStreaming[C vt.Clock[C]](factory vt.Factory[C]) *Engine[C] {
+	e := &Engine[C]{}
+	e.Runtime = *engine.New[C](Semantics[C]{}, factory)
+	return e
 }
-
-// Step processes one event.
-func (e *Engine[C]) Step(ev trace.Event) {
-	t := ev.T
-	ct := e.threads[t]
-	ct.Inc(t, 1)
-	switch ev.Kind {
-	case trace.Acquire:
-		ct.Join(e.locks[ev.Obj])
-	case trace.Release:
-		// Lemma 2: C_ℓ ⊑ C_t holds here, so the copy is monotone.
-		e.locks[ev.Obj].MonotoneCopy(ct)
-	case trace.Read:
-		if e.det != nil {
-			e.det.Read(ev.Obj, t, ct)
-		}
-	case trace.Write:
-		if e.det != nil {
-			e.det.Write(ev.Obj, t, ct)
-		}
-	case trace.Fork:
-		// The child inherits the parent's knowledge.
-		e.threads[ev.Obj].Join(ct)
-	case trace.Join:
-		ct.Join(e.threads[ev.Obj])
-	}
-	e.events++
-}
-
-// Process runs the whole event slice through Step.
-func (e *Engine[C]) Process(events []trace.Event) {
-	for i := range events {
-		e.Step(events[i])
-	}
-}
-
-// Events returns the number of events processed.
-func (e *Engine[C]) Events() uint64 { return e.events }
-
-// ThreadClock exposes thread t's clock (its current timestamp).
-func (e *Engine[C]) ThreadClock(t vt.TID) C { return e.threads[t] }
-
-// Timestamp snapshots thread t's current vector time into dst.
-func (e *Engine[C]) Timestamp(t vt.TID, dst vt.Vector) vt.Vector {
-	return e.threads[t].Vector(dst)
-}
-
-// Detector returns the attached detector, or nil.
-func (e *Engine[C]) Detector() *analysis.Detector[C] { return e.det }

@@ -2,10 +2,15 @@
 // Algorithm 5): HB plus an ordering between every pair of conflicting
 // events in trace order. Generic over the clock data structure like
 // the HB and SHB engines.
+//
+// All sync scaffolding lives in the shared runtime of internal/engine;
+// this package contributes only the MAZ read/write semantics and the
+// per-variable state of Algorithm 5.
 package maz
 
 import (
 	"treeclock/internal/analysis"
+	"treeclock/internal/engine"
 	"treeclock/internal/trace"
 	"treeclock/internal/vt"
 )
@@ -17,157 +22,136 @@ type varState[C any] struct {
 	lwT   vt.TID // thread of the last write (for the analysis check)
 	// rd[t] is R_{t,x}: the clock of thread t's last read since it
 	// was allocated; inLRD[t] marks membership in LRDs_x (reads since
-	// the last write). Allocated lazily on the variable's first read.
+	// the last write). Allocated lazily on the variable's first read
+	// and grown as new threads appear.
 	rd    []C
 	rdSet []bool
 	inLRD []bool
 	lrds  []vt.TID // LRDs_x as a list for cheap iteration and reset
 }
 
-// Engine computes MAZ timestamps while streaming events.
-type Engine[C vt.Clock[C]] struct {
-	meta    trace.Meta
-	factory vt.Factory[C]
-	threads []C
-	locks   []C
-	vars    []varState[C]
-	acc     *analysis.Accumulator
-	events  uint64
+// Semantics is the MAZ plugin for the shared engine runtime. With an
+// accumulator attached (Runtime.EnableAnalysis) it also reports
+// reversible pairs: the stateless model-checking use case of §6
+// identifies conflicting pairs whose order is not already forced
+// transitively (the candidate backtrack points of dynamic partial-order
+// reduction). A pair is counted when the prior access is not ordered
+// before the current event at the moment its direct edge is about to be
+// added.
+type Semantics[C vt.Clock[C]] struct {
+	vars []varState[C]
 }
 
-// New builds a MAZ engine.
+// NewSemantics returns fresh MAZ semantics (one per engine run).
+func NewSemantics[C vt.Clock[C]]() *Semantics[C] { return &Semantics[C]{} }
+
+// state returns variable x's bookkeeping, growing the variable space as
+// needed (amortized doubling).
+func (s *Semantics[C]) state(x int32) *varState[C] {
+	s.vars = vt.GrowSlice(s.vars, int(x)+1)
+	return &s.vars[x]
+}
+
+// ensureReadState sizes vs's per-thread read bookkeeping to cover t
+// (amortized doubling, like every other growth site).
+func ensureReadState[C vt.Clock[C]](rt *engine.Runtime[C], vs *varState[C], t vt.TID) {
+	n := rt.Threads()
+	if int(t) >= n {
+		n = int(t) + 1
+	}
+	vs.rd = vt.GrowSlice(vs.rd, n)
+	vs.rdSet = vt.GrowSlice(vs.rdSet, n)
+	vs.inLRD = vt.GrowSlice(vs.inLRD, n)
+}
+
+// Read implements engine.Semantics.
+func (s *Semantics[C]) Read(rt *engine.Runtime[C], t vt.TID, x int32, ct C) {
+	vs := s.state(x)
+	if vs.lwSet {
+		if acc := rt.Analysis(); acc != nil {
+			// lw's own local time is its entry for its thread.
+			if wc := vs.lw.Get(vs.lwT); wc > ct.Get(vs.lwT) {
+				acc.Report(analysis.WriteRead, x,
+					vt.Epoch{T: vs.lwT, Clk: wc}, vt.Epoch{T: t, Clk: ct.Get(t)})
+			}
+		}
+		ct.Join(vs.lw)
+	}
+	ensureReadState(rt, vs, t)
+	if !vs.rdSet[t] {
+		vs.rd[t] = rt.NewClock()
+		vs.rdSet[t] = true
+	}
+	// R_{t,x} holds an earlier timestamp of the same thread, so the
+	// copy is monotone.
+	vs.rd[t].MonotoneCopy(ct)
+	if !vs.inLRD[t] {
+		vs.inLRD[t] = true
+		vs.lrds = append(vs.lrds, t)
+	}
+}
+
+// Write implements engine.Semantics.
+func (s *Semantics[C]) Write(rt *engine.Runtime[C], t vt.TID, x int32, ct C) {
+	vs := s.state(x)
+	if acc := rt.Analysis(); acc != nil {
+		// All reversibility checks run against the pre-edge
+		// timestamp, before any of this event's own conflict edges
+		// are joined in — each candidate pair is judged
+		// independently, as in dynamic partial-order reduction.
+		now := vt.Epoch{T: t, Clk: ct.Get(t)}
+		if vs.lwSet {
+			if wc := vs.lw.Get(vs.lwT); wc > ct.Get(vs.lwT) {
+				acc.Report(analysis.WriteWrite, x,
+					vt.Epoch{T: vs.lwT, Clk: wc}, now)
+			}
+		}
+		for _, u := range vs.lrds {
+			if rc := vs.rd[u].Get(u); rc > ct.Get(u) {
+				acc.Report(analysis.ReadWrite, x,
+					vt.Epoch{T: u, Clk: rc}, now)
+			}
+		}
+	}
+	if vs.lwSet {
+		ct.Join(vs.lw)
+	}
+	// Order every pending reader before this write; later writes
+	// inherit the ordering transitively through this one, which is why
+	// LRDs is cleared (§5.2).
+	for _, u := range vs.lrds {
+		ct.Join(vs.rd[u])
+		vs.inLRD[u] = false
+	}
+	vs.lrds = vs.lrds[:0]
+	if !vs.lwSet {
+		vs.lw = rt.NewClock()
+		vs.lwSet = true
+	}
+	// ct has just joined lw, so lw ⊑ ct: monotone.
+	vs.lw.MonotoneCopy(ct)
+	vs.lwT = t
+}
+
+// Engine computes MAZ timestamps while streaming events. It is the
+// shared runtime bound to the MAZ semantics; every method (including
+// EnableAnalysis/Analysis for reversible-pair counting) is promoted
+// from engine.Runtime.
+type Engine[C vt.Clock[C]] struct {
+	engine.Runtime[C]
+}
+
+// New builds a MAZ engine pre-sized for traces with the given metadata.
 func New[C vt.Clock[C]](meta trace.Meta, factory vt.Factory[C]) *Engine[C] {
-	e := &Engine[C]{meta: meta, factory: factory}
-	e.threads = make([]C, meta.Threads)
-	for t := range e.threads {
-		e.threads[t] = factory()
-		e.threads[t].Init(vt.TID(t))
-	}
-	e.locks = make([]C, meta.Locks)
-	for l := range e.locks {
-		e.locks[l] = factory()
-	}
-	e.vars = make([]varState[C], meta.Vars)
+	e := &Engine[C]{}
+	e.Runtime = *engine.NewWithMeta[C](NewSemantics[C](), factory, meta)
 	return e
 }
 
-// EnableAnalysis attaches the reversible-pair analysis: the stateless
-// model-checking use case of §6 identifies conflicting pairs whose
-// order is not already forced transitively (the candidate backtrack
-// points of dynamic partial-order reduction). A pair is counted when
-// the prior access is not ordered before the current event at the
-// moment its direct edge is about to be added.
-func (e *Engine[C]) EnableAnalysis() *analysis.Accumulator {
-	e.acc = analysis.NewAccumulator()
-	return e.acc
+// NewStreaming builds a MAZ engine that discovers the trace's
+// identifier spaces on the fly (no prior metadata).
+func NewStreaming[C vt.Clock[C]](factory vt.Factory[C]) *Engine[C] {
+	e := &Engine[C]{}
+	e.Runtime = *engine.New[C](NewSemantics[C](), factory)
+	return e
 }
-
-func (e *Engine[C]) ensureReadState(vs *varState[C]) {
-	if vs.rd == nil {
-		vs.rd = make([]C, e.meta.Threads)
-		vs.rdSet = make([]bool, e.meta.Threads)
-		vs.inLRD = make([]bool, e.meta.Threads)
-	}
-}
-
-// Step processes one event.
-func (e *Engine[C]) Step(ev trace.Event) {
-	t := ev.T
-	ct := e.threads[t]
-	ct.Inc(t, 1)
-	switch ev.Kind {
-	case trace.Acquire:
-		ct.Join(e.locks[ev.Obj])
-	case trace.Release:
-		e.locks[ev.Obj].MonotoneCopy(ct)
-	case trace.Read:
-		vs := &e.vars[ev.Obj]
-		if vs.lwSet {
-			if e.acc != nil {
-				// lw's own local time is its entry for its thread.
-				if wc := vs.lw.Get(vs.lwT); wc > ct.Get(vs.lwT) {
-					e.acc.Report(analysis.WriteRead, ev.Obj,
-						vt.Epoch{T: vs.lwT, Clk: wc}, vt.Epoch{T: t, Clk: ct.Get(t)})
-				}
-			}
-			ct.Join(vs.lw)
-		}
-		e.ensureReadState(vs)
-		if !vs.rdSet[t] {
-			vs.rd[t] = e.factory()
-			vs.rdSet[t] = true
-		}
-		// R_{t,x} holds an earlier timestamp of the same thread, so
-		// the copy is monotone.
-		vs.rd[t].MonotoneCopy(ct)
-		if !vs.inLRD[t] {
-			vs.inLRD[t] = true
-			vs.lrds = append(vs.lrds, t)
-		}
-	case trace.Write:
-		vs := &e.vars[ev.Obj]
-		if e.acc != nil {
-			// All reversibility checks run against the pre-edge
-			// timestamp, before any of this event's own conflict
-			// edges are joined in — each candidate pair is judged
-			// independently, as in dynamic partial-order reduction.
-			now := vt.Epoch{T: t, Clk: ct.Get(t)}
-			if vs.lwSet {
-				if wc := vs.lw.Get(vs.lwT); wc > ct.Get(vs.lwT) {
-					e.acc.Report(analysis.WriteWrite, ev.Obj,
-						vt.Epoch{T: vs.lwT, Clk: wc}, now)
-				}
-			}
-			for _, rt := range vs.lrds {
-				if rc := vs.rd[rt].Get(rt); rc > ct.Get(rt) {
-					e.acc.Report(analysis.ReadWrite, ev.Obj,
-						vt.Epoch{T: rt, Clk: rc}, now)
-				}
-			}
-		}
-		if vs.lwSet {
-			ct.Join(vs.lw)
-		}
-		// Order every pending reader before this write; later writes
-		// inherit the ordering transitively through this one, which
-		// is why LRDs is cleared (§5.2).
-		for _, rt := range vs.lrds {
-			ct.Join(vs.rd[rt])
-			vs.inLRD[rt] = false
-		}
-		vs.lrds = vs.lrds[:0]
-		if !vs.lwSet {
-			vs.lw = e.factory()
-			vs.lwSet = true
-		}
-		// ct has just joined lw, so lw ⊑ ct: monotone.
-		vs.lw.MonotoneCopy(ct)
-		vs.lwT = t
-	case trace.Fork:
-		e.threads[ev.Obj].Join(ct)
-	case trace.Join:
-		ct.Join(e.threads[ev.Obj])
-	}
-	e.events++
-}
-
-// Process runs the whole event slice through Step.
-func (e *Engine[C]) Process(events []trace.Event) {
-	for i := range events {
-		e.Step(events[i])
-	}
-}
-
-// Events returns the number of events processed.
-func (e *Engine[C]) Events() uint64 { return e.events }
-
-// ThreadClock exposes thread t's clock.
-func (e *Engine[C]) ThreadClock(t vt.TID) C { return e.threads[t] }
-
-// Timestamp snapshots thread t's current vector time into dst.
-func (e *Engine[C]) Timestamp(t vt.TID, dst vt.Vector) vt.Vector {
-	return e.threads[t].Vector(dst)
-}
-
-// Analysis returns the attached accumulator, or nil.
-func (e *Engine[C]) Analysis() *analysis.Accumulator { return e.acc }

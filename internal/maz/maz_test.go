@@ -57,8 +57,8 @@ func stepCompare[C vt.Clock[C]](t *testing.T, tr *trace.Trace, e *Engine[C], res
 func TestMAZMatchesOracleBothClocks(t *testing.T) {
 	for _, tr := range randomTraces() {
 		res := oracle.Timestamps(tr, oracle.MAZ)
-		stepCompare(t, tr, New(tr.Meta, core.Factory(tr.Meta.Threads, nil)), res, "tree clock")
-		stepCompare(t, tr, New(tr.Meta, vc.Factory(tr.Meta.Threads, nil)), res, "vector clock")
+		stepCompare(t, tr, New(tr.Meta, core.Factory(nil)), res, "tree clock")
+		stepCompare(t, tr, New(tr.Meta, vc.Factory(nil)), res, "vector clock")
 	}
 }
 
@@ -66,7 +66,7 @@ func TestMAZHandComputed(t *testing.T) {
 	// Conflicting accesses are ordered by trace order even without
 	// locks; read-to-write orderings are included.
 	tr := parse(t, "t0 w x0\nt1 r x0\nt2 w x0\n")
-	e := New(tr.Meta, core.Factory(tr.Meta.Threads, nil))
+	e := New(tr.Meta, core.Factory(nil))
 	e.Process(tr.Events)
 	if got := e.Timestamp(2, vt.NewVector(3)); !got.Equal(vt.Vector{1, 1, 1}) {
 		t.Errorf("t2 timestamp = %v, want [1, 1, 1]", got)
@@ -87,8 +87,8 @@ func TestMAZNoConcurrentConflicting(t *testing.T) {
 func TestVTWorkIdenticalAcrossClocks(t *testing.T) {
 	for _, tr := range randomTraces() {
 		var stTC, stVC vt.WorkStats
-		New(tr.Meta, core.Factory(tr.Meta.Threads, &stTC)).Process(tr.Events)
-		New(tr.Meta, vc.Factory(tr.Meta.Threads, &stVC)).Process(tr.Events)
+		New(tr.Meta, core.Factory(&stTC)).Process(tr.Events)
+		New(tr.Meta, vc.Factory(&stVC)).Process(tr.Events)
 		if stTC.Changed != stVC.Changed {
 			t.Errorf("%s: VTWork disagrees: tree %d vs vector %d", tr.Meta.Name, stTC.Changed, stVC.Changed)
 		}
@@ -150,10 +150,10 @@ func TestAnalysisMatchesOracleMirror(t *testing.T) {
 		res := oracle.Timestamps(tr, oracle.MAZ)
 		wantTotal, wantKinds := mirrorAnalysis(tr, res)
 
-		eTC := New(tr.Meta, core.Factory(tr.Meta.Threads, nil))
+		eTC := New(tr.Meta, core.Factory(nil))
 		accTC := eTC.EnableAnalysis()
 		eTC.Process(tr.Events)
-		eVC := New(tr.Meta, vc.Factory(tr.Meta.Threads, nil))
+		eVC := New(tr.Meta, vc.Factory(nil))
 		accVC := eVC.EnableAnalysis()
 		eVC.Process(tr.Events)
 
@@ -173,7 +173,7 @@ func TestAnalysisMatchesOracleMirror(t *testing.T) {
 
 func TestAnalysisOnSyncOnlyTraceIsZero(t *testing.T) {
 	tr := gen.SingleLock(6, 500, 2)
-	e := New(tr.Meta, core.Factory(tr.Meta.Threads, nil))
+	e := New(tr.Meta, core.Factory(nil))
 	acc := e.EnableAnalysis()
 	e.Process(tr.Events)
 	if acc.Total != 0 {
@@ -192,7 +192,7 @@ func TestAnalysisOnSyncOnlyTraceIsZero(t *testing.T) {
 
 func TestAnalysisFindsRacyPair(t *testing.T) {
 	tr := parse(t, "t0 w x0\nt1 w x0\nt1 r x0\nt0 w x0\n")
-	e := New(tr.Meta, core.Factory(tr.Meta.Threads, nil))
+	e := New(tr.Meta, core.Factory(nil))
 	acc := e.EnableAnalysis()
 	e.Process(tr.Events)
 	// e0-e1 (w-w, unordered before the direct edge), e1's read is by

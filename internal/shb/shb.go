@@ -2,112 +2,84 @@
 // (§5.1, Algorithm 4): HB plus an ordering from each read's last write
 // to the read. Like the HB engine it is generic over the clock data
 // structure.
+//
+// All sync scaffolding lives in the shared runtime of internal/engine;
+// this package contributes only the SHB read/write semantics and the
+// per-variable last-write state they need.
 package shb
 
 import (
-	"treeclock/internal/analysis"
+	"treeclock/internal/engine"
 	"treeclock/internal/trace"
 	"treeclock/internal/vt"
 )
 
-// Engine computes SHB timestamps while streaming events.
+// Semantics is the SHB plugin for the shared engine runtime.
 //
-// Beyond the HB state it keeps, per variable x, the clock LW_x holding
-// the timestamp of the last write to x. Reads join LW_x; writes copy
-// C_t into LW_x with CopyCheckMonotone — the copy is monotone unless
-// the previous write races this one, so with tree clocks the deep-copy
-// fallback is bounded by the number of write-write races (§5.1).
-type Engine[C vt.Clock[C]] struct {
-	meta    trace.Meta
-	factory vt.Factory[C]
-	threads []C
-	locks   []C
-	lw      []C
-	lwSet   []bool // lw[x] allocated (first write seen)
-	det     *analysis.Detector[C]
-	events  uint64
+// Per variable x it keeps the clock LW_x holding the timestamp of the
+// last write to x. Reads join LW_x; writes copy C_t into LW_x with
+// CopyCheckMonotone — the copy is monotone unless the previous write
+// races this one, so with tree clocks the deep-copy fallback is bounded
+// by the number of write-write races (§5.1). Last-write clocks are
+// allocated lazily (many variables are read-only or never touched) and
+// the variable space grows on first sight of an identifier.
+type Semantics[C vt.Clock[C]] struct {
+	lw    []C
+	lwSet []bool // lw[x] allocated (first write seen)
 }
 
-// New builds an SHB engine.
+// NewSemantics returns fresh SHB semantics (one per engine run).
+func NewSemantics[C vt.Clock[C]]() *Semantics[C] { return &Semantics[C]{} }
+
+// grow extends the per-variable state to cover x (amortized doubling).
+func (s *Semantics[C]) grow(x int32) {
+	s.lw = vt.GrowSlice(s.lw, int(x)+1)
+	s.lwSet = vt.GrowSlice(s.lwSet, int(x)+1)
+}
+
+// Read implements engine.Semantics: the race check precedes the lw
+// join — afterwards the pair would always be ordered.
+func (s *Semantics[C]) Read(rt *engine.Runtime[C], t vt.TID, x int32, ct C) {
+	if d := rt.Detector(); d != nil {
+		d.Read(x, t, ct)
+	}
+	if int(x) < len(s.lw) && s.lwSet[x] {
+		ct.Join(s.lw[x])
+	}
+}
+
+// Write implements engine.Semantics.
+func (s *Semantics[C]) Write(rt *engine.Runtime[C], t vt.TID, x int32, ct C) {
+	if d := rt.Detector(); d != nil {
+		d.Write(x, t, ct)
+	}
+	s.grow(x)
+	if !s.lwSet[x] {
+		s.lw[x] = rt.NewClock()
+		s.lwSet[x] = true
+	}
+	s.lw[x].CopyCheckMonotone(ct)
+}
+
+// Engine computes SHB timestamps while streaming events. It is the
+// shared runtime bound to the SHB semantics; every method is promoted
+// from engine.Runtime.
+type Engine[C vt.Clock[C]] struct {
+	engine.Runtime[C]
+}
+
+// New builds an SHB engine pre-sized for traces with the given
+// metadata.
 func New[C vt.Clock[C]](meta trace.Meta, factory vt.Factory[C]) *Engine[C] {
-	e := &Engine[C]{meta: meta, factory: factory}
-	e.threads = make([]C, meta.Threads)
-	for t := range e.threads {
-		e.threads[t] = factory()
-		e.threads[t].Init(vt.TID(t))
-	}
-	e.locks = make([]C, meta.Locks)
-	for l := range e.locks {
-		e.locks[l] = factory()
-	}
-	// Last-write clocks are allocated lazily: many variables are
-	// read-only or never touched.
-	e.lw = make([]C, meta.Vars)
-	e.lwSet = make([]bool, meta.Vars)
+	e := &Engine[C]{}
+	e.Runtime = *engine.NewWithMeta[C](NewSemantics[C](), factory, meta)
 	return e
 }
 
-// EnableRaceDetection attaches the SHB race detector (reporting pairs
-// concurrent before the event's own lw edge, as in the SHB paper) and
-// returns it.
-func (e *Engine[C]) EnableRaceDetection() *analysis.Detector[C] {
-	e.det = analysis.NewDetector[C](e.meta.Threads, e.meta.Vars)
-	return e.det
+// NewStreaming builds an SHB engine that discovers the trace's
+// identifier spaces on the fly (no prior metadata).
+func NewStreaming[C vt.Clock[C]](factory vt.Factory[C]) *Engine[C] {
+	e := &Engine[C]{}
+	e.Runtime = *engine.New[C](NewSemantics[C](), factory)
+	return e
 }
-
-// Step processes one event.
-func (e *Engine[C]) Step(ev trace.Event) {
-	t := ev.T
-	ct := e.threads[t]
-	ct.Inc(t, 1)
-	switch ev.Kind {
-	case trace.Acquire:
-		ct.Join(e.locks[ev.Obj])
-	case trace.Release:
-		e.locks[ev.Obj].MonotoneCopy(ct)
-	case trace.Read:
-		// The race check precedes the lw join: afterwards the pair
-		// would always be ordered.
-		if e.det != nil {
-			e.det.Read(ev.Obj, t, ct)
-		}
-		if e.lwSet[ev.Obj] {
-			ct.Join(e.lw[ev.Obj])
-		}
-	case trace.Write:
-		if e.det != nil {
-			e.det.Write(ev.Obj, t, ct)
-		}
-		if !e.lwSet[ev.Obj] {
-			e.lw[ev.Obj] = e.factory()
-			e.lwSet[ev.Obj] = true
-		}
-		e.lw[ev.Obj].CopyCheckMonotone(ct)
-	case trace.Fork:
-		e.threads[ev.Obj].Join(ct)
-	case trace.Join:
-		ct.Join(e.threads[ev.Obj])
-	}
-	e.events++
-}
-
-// Process runs the whole event slice through Step.
-func (e *Engine[C]) Process(events []trace.Event) {
-	for i := range events {
-		e.Step(events[i])
-	}
-}
-
-// Events returns the number of events processed.
-func (e *Engine[C]) Events() uint64 { return e.events }
-
-// ThreadClock exposes thread t's clock.
-func (e *Engine[C]) ThreadClock(t vt.TID) C { return e.threads[t] }
-
-// Timestamp snapshots thread t's current vector time into dst.
-func (e *Engine[C]) Timestamp(t vt.TID, dst vt.Vector) vt.Vector {
-	return e.threads[t].Vector(dst)
-}
-
-// Detector returns the attached detector, or nil.
-func (e *Engine[C]) Detector() *analysis.Detector[C] { return e.det }

@@ -56,8 +56,8 @@ func stepCompare[C vt.Clock[C]](t *testing.T, tr *trace.Trace, e *Engine[C], res
 func TestSHBMatchesOracleBothClocks(t *testing.T) {
 	for _, tr := range randomTraces() {
 		res := oracle.Timestamps(tr, oracle.SHB)
-		stepCompare(t, tr, New(tr.Meta, core.Factory(tr.Meta.Threads, nil)), res, "tree clock")
-		stepCompare(t, tr, New(tr.Meta, vc.Factory(tr.Meta.Threads, nil)), res, "vector clock")
+		stepCompare(t, tr, New(tr.Meta, core.Factory(nil)), res, "tree clock")
+		stepCompare(t, tr, New(tr.Meta, vc.Factory(nil)), res, "vector clock")
 	}
 }
 
@@ -65,7 +65,7 @@ func TestSHBHandComputed(t *testing.T) {
 	// The last-write edge orders t0's write before t1's read even
 	// without any lock.
 	tr := parse(t, "t0 w x0\nt1 r x0\nt1 w x1\nt0 r x1\n")
-	e := New(tr.Meta, core.Factory(tr.Meta.Threads, nil))
+	e := New(tr.Meta, core.Factory(nil))
 	e.Process(tr.Events)
 	if got := e.Timestamp(0, vt.NewVector(2)); !got.Equal(vt.Vector{2, 2}) {
 		t.Errorf("t0 timestamp = %v, want [2, 2]", got)
@@ -78,8 +78,8 @@ func TestSHBHandComputed(t *testing.T) {
 func TestVTWorkIdenticalAcrossClocks(t *testing.T) {
 	for _, tr := range randomTraces() {
 		var stTC, stVC vt.WorkStats
-		New(tr.Meta, core.Factory(tr.Meta.Threads, &stTC)).Process(tr.Events)
-		New(tr.Meta, vc.Factory(tr.Meta.Threads, &stVC)).Process(tr.Events)
+		New(tr.Meta, core.Factory(&stTC)).Process(tr.Events)
+		New(tr.Meta, vc.Factory(&stVC)).Process(tr.Events)
 		if stTC.Changed != stVC.Changed {
 			t.Errorf("%s: VTWork disagrees: tree %d vs vector %d", tr.Meta.Name, stTC.Changed, stVC.Changed)
 		}
@@ -96,7 +96,7 @@ func TestVTWorkIdenticalAcrossClocks(t *testing.T) {
 func TestDeepCopiesEqualWWRaces(t *testing.T) {
 	for _, tr := range randomTraces() {
 		var st vt.WorkStats
-		e := New(tr.Meta, core.Factory(tr.Meta.Threads, &st))
+		e := New(tr.Meta, core.Factory(&st))
 		det := e.EnableRaceDetection()
 		e.Process(tr.Events)
 		if st.DeepCopies != det.Acc.ByKind[0] { // WriteWrite
@@ -129,7 +129,7 @@ func shbPreRaces(tr *trace.Trace, res *oracle.Result) map[int32]bool {
 func TestSHBRaceDetectionAgainstOracle(t *testing.T) {
 	for _, tr := range randomTraces() {
 		res := oracle.Timestamps(tr, oracle.SHB)
-		e := New(tr.Meta, core.Factory(tr.Meta.Threads, nil))
+		e := New(tr.Meta, core.Factory(nil))
 		det := e.EnableRaceDetection()
 		e.Process(tr.Events)
 
@@ -170,10 +170,10 @@ func TestSHBRaceDetectionAgainstOracle(t *testing.T) {
 
 func TestSHBRaceDetectionAgreesAcrossClocks(t *testing.T) {
 	for _, tr := range randomTraces() {
-		eTC := New(tr.Meta, core.Factory(tr.Meta.Threads, nil))
+		eTC := New(tr.Meta, core.Factory(nil))
 		dTC := eTC.EnableRaceDetection()
 		eTC.Process(tr.Events)
-		eVC := New(tr.Meta, vc.Factory(tr.Meta.Threads, nil))
+		eVC := New(tr.Meta, vc.Factory(nil))
 		dVC := eVC.EnableRaceDetection()
 		eVC.Process(tr.Events)
 		if dTC.Acc.Summary() != dVC.Acc.Summary() {
@@ -189,7 +189,7 @@ func TestSHBRaceDetectionAgreesAcrossClocks(t *testing.T) {
 // later read by t0 races t1's write too, and SHB still sees it.
 func TestSHBDetectsRacesAfterFirst(t *testing.T) {
 	tr := parse(t, "t0 w x0\nt1 w x0\nt0 r x0\n")
-	e := New(tr.Meta, core.Factory(tr.Meta.Threads, nil))
+	e := New(tr.Meta, core.Factory(nil))
 	det := e.EnableRaceDetection()
 	e.Process(tr.Events)
 	sum := det.Acc.Summary()
@@ -200,7 +200,7 @@ func TestSHBDetectsRacesAfterFirst(t *testing.T) {
 
 func TestWellSyncedNoRaces(t *testing.T) {
 	tr := gen.ProducerConsumer(2, 2, 400, 11)
-	e := New(tr.Meta, core.Factory(tr.Meta.Threads, nil))
+	e := New(tr.Meta, core.Factory(nil))
 	det := e.EnableRaceDetection()
 	e.Process(tr.Events)
 	if det.Acc.Total != 0 {

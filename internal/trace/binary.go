@@ -1,0 +1,214 @@
+package trace
+
+// Binary format
+//
+// A compact, streamable encoding for large generated traces (not meant
+// for interchange outside this module). Unlike the previous gob
+// envelope, events are encoded individually, so a BinaryScanner can
+// feed an engine one event at a time with O(1) memory:
+//
+//	magic "TCT1" (4 bytes)
+//	name:    uvarint length + bytes
+//	threads: uvarint   (identifier-space sizes; informative — streaming
+//	locks:   uvarint    consumers may ignore them and discover the
+//	vars:    uvarint    spaces on the fly)
+//	events:  uvarint count, then per event:
+//	         1 byte kind, uvarint thread, uvarint operand
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"treeclock/internal/vt"
+)
+
+// binaryMagic identifies (and versions) the binary trace format.
+var binaryMagic = [4]byte{'T', 'C', 'T', '1'}
+
+// WriteBinary serializes the trace to the streamable binary format.
+func WriteBinary(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(len(tr.Meta.Name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(tr.Meta.Name); err != nil {
+		return err
+	}
+	for _, v := range [4]int{tr.Meta.Threads, tr.Meta.Locks, tr.Meta.Vars, len(tr.Events)} {
+		if err := writeUvarint(uint64(v)); err != nil {
+			return err
+		}
+	}
+	for _, e := range tr.Events {
+		if err := bw.WriteByte(byte(e.Kind)); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(e.T)); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(e.Obj)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// BinaryScanner streams events from the binary trace format without
+// materializing the trace. It implements EventSource.
+type BinaryScanner struct {
+	br      *bufio.Reader
+	meta    Meta
+	total   uint64 // declared event count
+	read    uint64 // events returned so far
+	started bool
+	err     error
+}
+
+// NewBinaryScanner wraps a binary-format trace stream. The header is
+// read lazily on the first Next or Meta call.
+func NewBinaryScanner(r io.Reader) *BinaryScanner {
+	return &BinaryScanner{br: bufio.NewReader(r)}
+}
+
+// header reads and validates the stream header once.
+func (s *BinaryScanner) header() error {
+	if s.started || s.err != nil {
+		return s.err
+	}
+	s.started = true
+	var magic [4]byte
+	if _, err := io.ReadFull(s.br, magic[:]); err != nil {
+		s.err = fmt.Errorf("trace: reading binary header: %w", err)
+		return s.err
+	}
+	if magic != binaryMagic {
+		s.err = fmt.Errorf("trace: bad binary magic %q (want %q)", magic[:], binaryMagic[:])
+		return s.err
+	}
+	nameLen, err := binary.ReadUvarint(s.br)
+	if err != nil {
+		s.err = fmt.Errorf("trace: reading binary header: %w", err)
+		return s.err
+	}
+	const maxNameLen = 1 << 20
+	if nameLen > maxNameLen {
+		s.err = fmt.Errorf("trace: binary trace name length %d too large", nameLen)
+		return s.err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(s.br, name); err != nil {
+		s.err = fmt.Errorf("trace: reading binary header: %w", err)
+		return s.err
+	}
+	s.meta.Name = string(name)
+	var fields [4]uint64
+	for i := range fields {
+		if fields[i], err = binary.ReadUvarint(s.br); err != nil {
+			s.err = fmt.Errorf("trace: reading binary header: %w", err)
+			return s.err
+		}
+		if i < 3 && fields[i] > math.MaxInt32 {
+			s.err = fmt.Errorf("trace: binary header field %d out of range (%d)", i, fields[i])
+			return s.err
+		}
+	}
+	s.meta.Threads = int(fields[0])
+	s.meta.Locks = int(fields[1])
+	s.meta.Vars = int(fields[2])
+	s.total = fields[3]
+	return nil
+}
+
+// Next returns the next event. It reports ok == false at end of input
+// or on error; check Err afterwards.
+func (s *BinaryScanner) Next() (Event, bool) {
+	if err := s.header(); err != nil || s.read == s.total {
+		return Event{}, false
+	}
+	kind, err := s.br.ReadByte()
+	if err != nil {
+		s.err = fmt.Errorf("trace: event %d: %w", s.read, err)
+		return Event{}, false
+	}
+	if Kind(kind) >= numKinds {
+		s.err = fmt.Errorf("trace: event %d: invalid kind %d", s.read, kind)
+		return Event{}, false
+	}
+	t, err := binary.ReadUvarint(s.br)
+	if err != nil {
+		s.err = fmt.Errorf("trace: event %d: %w", s.read, err)
+		return Event{}, false
+	}
+	obj, err := binary.ReadUvarint(s.br)
+	if err != nil {
+		s.err = fmt.Errorf("trace: event %d: %w", s.read, err)
+		return Event{}, false
+	}
+	// Identifiers are int32-valued; reject anything larger so a
+	// corrupt stream surfaces as an error, not a negative id.
+	const maxID = math.MaxInt32
+	if t > maxID || obj > maxID {
+		s.err = fmt.Errorf("trace: event %d: identifier out of range (thread %d, operand %d)", s.read, t, obj)
+		return Event{}, false
+	}
+	s.read++
+	return Event{T: vt.TID(t), Obj: int32(obj), Kind: Kind(kind)}, true
+}
+
+// Err returns the first error encountered, or nil at clean EOF.
+func (s *BinaryScanner) Err() error { return s.err }
+
+// Meta reports the identifier spaces declared in the stream header.
+func (s *BinaryScanner) Meta() Meta {
+	_ = s.header()
+	return s.meta
+}
+
+// Len reports the event count declared in the stream header.
+func (s *BinaryScanner) Len() int {
+	_ = s.header()
+	return int(s.total)
+}
+
+// ScanAll drains the scanner into a materialized trace.
+func (s *BinaryScanner) ScanAll() (*Trace, error) {
+	if err := s.header(); err != nil {
+		return nil, err
+	}
+	capHint := s.total
+	if capHint > 1<<20 { // don't trust a corrupt header with the allocation
+		capHint = 1 << 20
+	}
+	events := make([]Event, 0, capHint)
+	for {
+		ev, ok := s.Next()
+		if !ok {
+			break
+		}
+		events = append(events, ev)
+	}
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	return &Trace{Meta: s.meta, Events: events}, nil
+}
+
+// ReadBinary deserializes a trace written by WriteBinary.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	return NewBinaryScanner(r).ScanAll()
+}
+
+var _ EventSource = (*BinaryScanner)(nil)
+var _ EventSource = (*Scanner)(nil)

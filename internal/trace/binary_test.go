@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// binarySample builds a small trace covering every event kind.
+func binarySample(t *testing.T) *Trace {
+	t.Helper()
+	tr, err := ParseTextString(sampleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestBinaryScannerMatchesTextScanner round-trips a trace through both
+// serializations and checks the two streaming scanners agree event for
+// event (the satellite requirement of the streaming refactor).
+func TestBinaryScannerMatchesTextScanner(t *testing.T) {
+	tr := binarySample(t)
+	var text, bin bytes.Buffer
+	if err := WriteText(&text, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	ts := NewScanner(&text)
+	bs := NewBinaryScanner(&bin)
+	if got := bs.Len(); got != tr.Len() {
+		t.Errorf("BinaryScanner.Len() = %d, want %d", got, tr.Len())
+	}
+	for i := 0; ; i++ {
+		tev, tok := ts.Next()
+		bev, bok := bs.Next()
+		if tok != bok {
+			t.Fatalf("scanners diverge at event %d: text ok=%v, binary ok=%v", i, tok, bok)
+		}
+		if !tok {
+			break
+		}
+		if tev != bev {
+			t.Fatalf("event %d: text %v, binary %v", i, tev, bev)
+		}
+	}
+	if ts.Err() != nil || bs.Err() != nil {
+		t.Fatalf("scanner errors: text %v, binary %v", ts.Err(), bs.Err())
+	}
+	if bs.Meta() != tr.Meta {
+		t.Errorf("binary meta = %+v, want %+v", bs.Meta(), tr.Meta)
+	}
+}
+
+func TestBinaryScannerStreamsIncrementally(t *testing.T) {
+	tr := binarySample(t)
+	var bin bytes.Buffer
+	if err := WriteBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	s := NewBinaryScanner(&bin)
+	ev, ok := s.Next()
+	if !ok {
+		t.Fatal("first Next failed")
+	}
+	if ev != tr.Events[0] {
+		t.Errorf("first event %v, want %v", ev, tr.Events[0])
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	s := NewBinaryScanner(strings.NewReader("not a binary trace"))
+	if _, ok := s.Next(); ok {
+		t.Fatal("Next succeeded on garbage")
+	}
+	if s.Err() == nil {
+		t.Fatal("Err() = nil on garbage input")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	tr := binarySample(t)
+	var bin bytes.Buffer
+	if err := WriteBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	b := bin.Bytes()
+	_, err := ReadBinary(bytes.NewReader(b[:len(b)-2]))
+	if err == nil {
+		t.Fatal("ReadBinary succeeded on truncated input")
+	}
+}
+
+func TestBinaryPreservesSparseIDs(t *testing.T) {
+	// Binary serialization must keep numeric ids verbatim (no
+	// interning), including ids with gaps.
+	tr := &Trace{
+		Meta:   Meta{Threads: 41, Locks: 1, Vars: 100},
+		Events: []Event{{T: 40, Obj: 99, Kind: Write}, {T: 0, Obj: 0, Kind: Acquire}},
+	}
+	var bin bytes.Buffer
+	if err := WriteBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Events[0] != tr.Events[0] || back.Events[1] != tr.Events[1] {
+		t.Errorf("sparse ids not preserved: %+v", back.Events)
+	}
+}

@@ -2,7 +2,6 @@ package trace
 
 import (
 	"bufio"
-	"encoding/gob"
 	"fmt"
 	"io"
 	"strings"
@@ -115,25 +114,3 @@ func ParseText(r io.Reader) (*Trace, error) {
 // ParseTextString is ParseText over an in-memory string, convenient for
 // tests and examples.
 func ParseTextString(s string) (*Trace, error) { return ParseText(strings.NewReader(s)) }
-
-// Binary format: a small gob envelope. Compact and fast for large
-// generated traces; not meant for interchange outside this module.
-
-type gobTrace struct {
-	Meta   Meta
-	Events []Event
-}
-
-// WriteBinary serializes the trace with encoding/gob.
-func WriteBinary(w io.Writer, tr *Trace) error {
-	return gob.NewEncoder(w).Encode(gobTrace{Meta: tr.Meta, Events: tr.Events})
-}
-
-// ReadBinary deserializes a trace written by WriteBinary.
-func ReadBinary(r io.Reader) (*Trace, error) {
-	var gt gobTrace
-	if err := gob.NewDecoder(r).Decode(&gt); err != nil {
-		return nil, fmt.Errorf("trace: decoding binary trace: %w", err)
-	}
-	return &Trace{Meta: gt.Meta, Events: gt.Events}, nil
-}

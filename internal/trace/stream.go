@@ -9,12 +9,23 @@ import (
 	"treeclock/internal/vt"
 )
 
+// EventSource streams trace events one at a time: Next reports the
+// next event until the input is exhausted or fails, and Err returns
+// the first error (nil at clean EOF). The text Scanner and the
+// BinaryScanner both implement it, and the engine runtime consumes it
+// directly (Runtime.ProcessSource), so arbitrarily large traces are
+// analyzable in one pass without materialization.
+type EventSource interface {
+	Next() (Event, bool)
+	Err() error
+}
+
 // Scanner streams events from the text trace format without
 // materializing the whole trace, for analyses over logs larger than
 // memory. Identifiers are interned in order of first appearance, like
-// ParseText; Meta() reports the ranges seen so far, so engines that
-// need fixed capacities should either know them up front or use
-// ScanAll.
+// ParseText; Meta() reports the ranges seen so far. Engines built on
+// internal/engine grow their state dynamically, so they can consume a
+// Scanner directly with no prior metadata.
 type Scanner struct {
 	sc      *bufio.Scanner
 	threads *intern

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"fmt"
+
+	"treeclock/internal/vt"
+)
+
+// Validator wraps an EventSource and enforces trace well-formedness
+// incrementally, with memory proportional to the live identifier
+// spaces — the streaming counterpart of Trace.Validate. It checks the
+// same discipline rules that do not require prior metadata:
+//   - lock semantics: a lock is acquired only when free (non-reentrant,
+//     as in §2.1) and released only by its holder;
+//   - fork/join sanity: a forked thread has no earlier events, a thread
+//     is forked at most once, joined threads perform no later events,
+//     and a thread never forks/joins itself.
+//
+// The identifier-range checks of Trace.Validate are meaningless here:
+// a stream has no declared ranges, the spaces are discovered as the
+// trace unfolds.
+type Validator struct {
+	src     EventSource
+	holder  []vt.TID // per lock; vt.None when free
+	started []bool   // per thread: performed an event or was forked
+	forked  []bool
+	joined  []bool
+	idx     uint64 // events passed through
+	err     error
+}
+
+// NewValidator wraps src with incremental well-formedness checking.
+func NewValidator(src EventSource) *Validator { return &Validator{src: src} }
+
+func (v *Validator) growLocks(n int) {
+	for len(v.holder) < n {
+		v.holder = append(v.holder, vt.None)
+	}
+}
+
+func (v *Validator) growThreads(n int) {
+	v.started = vt.GrowSlice(v.started, n)
+	v.forked = vt.GrowSlice(v.forked, n)
+	v.joined = vt.GrowSlice(v.joined, n)
+}
+
+// Next returns the next valid event; on a discipline violation it
+// stops and records a descriptive error.
+func (v *Validator) Next() (Event, bool) {
+	if v.err != nil {
+		return Event{}, false
+	}
+	e, ok := v.src.Next()
+	if !ok {
+		return Event{}, false
+	}
+	if err := v.check(e); err != nil {
+		v.err = err
+		return Event{}, false
+	}
+	v.idx++
+	return e, true
+}
+
+func (v *Validator) check(e Event) error {
+	if e.T < 0 || e.Obj < 0 {
+		return fmt.Errorf("event %d (%v): negative identifier", v.idx, e)
+	}
+	if e.Kind >= numKinds {
+		return fmt.Errorf("event %d: invalid kind %d", v.idx, e.Kind)
+	}
+	v.growThreads(int(e.T) + 1)
+	if v.joined[e.T] {
+		return fmt.Errorf("event %d (%v): thread %d acts after being joined", v.idx, e, e.T)
+	}
+	v.started[e.T] = true
+	switch e.Kind {
+	case Acquire:
+		v.growLocks(int(e.Obj) + 1)
+		if v.holder[e.Obj] != vt.None {
+			return fmt.Errorf("event %d (%v): lock %d already held by thread %d", v.idx, e, e.Obj, v.holder[e.Obj])
+		}
+		v.holder[e.Obj] = e.T
+	case Release:
+		v.growLocks(int(e.Obj) + 1)
+		if v.holder[e.Obj] != e.T {
+			return fmt.Errorf("event %d (%v): lock %d not held by thread %d", v.idx, e, e.Obj, e.T)
+		}
+		v.holder[e.Obj] = vt.None
+	case Fork, Join:
+		u := vt.TID(e.Obj)
+		if u == e.T {
+			return fmt.Errorf("event %d (%v): thread %s itself", v.idx, e, e.Kind)
+		}
+		v.growThreads(int(u) + 1)
+		if e.Kind == Fork {
+			if v.started[u] {
+				return fmt.Errorf("event %d (%v): forked thread %d already active", v.idx, e, u)
+			}
+			if v.forked[u] {
+				return fmt.Errorf("event %d (%v): thread %d forked twice", v.idx, e, u)
+			}
+			v.forked[u] = true
+			v.started[u] = true
+		} else {
+			v.joined[u] = true
+		}
+	}
+	return nil
+}
+
+// Err returns the first error: a discipline violation, or the wrapped
+// source's error.
+func (v *Validator) Err() error {
+	if v.err != nil {
+		return v.err
+	}
+	return v.src.Err()
+}
+
+var _ EventSource = (*Validator)(nil)

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func drainValidator(s string) error {
+	v := NewValidator(NewScanner(strings.NewReader(s)))
+	for {
+		if _, ok := v.Next(); !ok {
+			return v.Err()
+		}
+	}
+}
+
+func TestValidatorAcceptsWellFormed(t *testing.T) {
+	if err := drainValidator(sampleText); err != nil {
+		t.Errorf("well-formed trace rejected: %v", err)
+	}
+}
+
+func TestValidatorViolations(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"double-acquire", "t0 acq l0\nt1 acq l0\n", "already held"},
+		{"reentrant-acquire", "t0 acq l0\nt0 acq l0\n", "already held"},
+		{"release-not-held", "t0 rel l0\n", "not held"},
+		{"release-wrong-thread", "t0 acq l0\nt1 rel l0\n", "not held"},
+		{"act-after-join", "t0 join t1\nt1 w x0\n", "acts after being joined"},
+		{"fork-active", "t1 w x0\nt0 fork t1\n", "already active"},
+		{"fork-twice", "t0 fork t1\nt1 w x0\nt2 fork t1\n", "already active"},
+		{"fork-self", "t0 fork t0\n", "itself"},
+		{"join-self", "t0 join t0\n", "itself"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := drainValidator(c.in)
+			if err == nil {
+				t.Fatalf("accepted %q", c.in)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestValidatorAgreesWithMaterialized cross-checks the streaming
+// validator against Trace.Validate on the discipline rules.
+func TestValidatorAgreesWithMaterialized(t *testing.T) {
+	inputs := []string{
+		sampleText,
+		"t0 acq l0\nt1 acq l0\n",
+		"t0 fork t1\nt1 r x0\nt0 join t1\n",
+		"t0 fork t1\nt1 r x0\nt0 join t1\nt1 w x0\n",
+	}
+	for _, in := range inputs {
+		tr, err := ParseTextString(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matErr := tr.Validate()
+		strErr := drainValidator(in)
+		if (matErr == nil) != (strErr == nil) {
+			t.Errorf("disagreement on %q: materialized %v, streaming %v", in, matErr, strErr)
+		}
+	}
+}
+
+// TestBinaryRejectsOversizedIDs: a corrupt stream encoding an
+// identifier beyond int32 must error, not wrap to a negative id.
+func TestBinaryRejectsOversizedIDs(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(binaryMagic[:])
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) { buf.Write(tmp[:binary.PutUvarint(tmp[:], v)]) }
+	put(0) // name length
+	put(1) // threads
+	put(0) // locks
+	put(1) // vars
+	put(1) // event count
+	buf.WriteByte(byte(Write))
+	put(0)       // thread
+	put(1 << 31) // operand: out of int32 range
+	s := NewBinaryScanner(&buf)
+	if _, ok := s.Next(); ok {
+		t.Fatal("oversized operand accepted")
+	}
+	if s.Err() == nil || !strings.Contains(s.Err().Error(), "out of range") {
+		t.Fatalf("Err() = %v, want out-of-range error", s.Err())
+	}
+}

@@ -1,0 +1,88 @@
+package vc
+
+import (
+	"testing"
+
+	"treeclock/internal/vt"
+)
+
+func TestGrowPreservesEntries(t *testing.T) {
+	c := New(2, nil)
+	c.Inc(0, 3)
+	c.Inc(1, 1)
+	c.Grow(5)
+	if c.K() != 5 {
+		t.Fatalf("K() = %d", c.K())
+	}
+	want := vt.Vector{3, 1, 0, 0, 0}
+	if got := c.Vector(vt.NewVector(5)); !got.Equal(want) {
+		t.Errorf("after Grow: %v, want %v", got, want)
+	}
+	c.Grow(3) // shrink requests are no-ops
+	if c.K() != 5 {
+		t.Errorf("Grow(3) shrank to %d", c.K())
+	}
+}
+
+func TestGetAndIncBeyondCapacity(t *testing.T) {
+	c := New(1, nil)
+	if c.Get(9) != 0 {
+		t.Error("Get beyond capacity must be 0")
+	}
+	c.Inc(4, 2) // grows on demand
+	if c.K() < 5 || c.Get(4) != 2 {
+		t.Errorf("Inc beyond capacity: K=%d Get(4)=%d", c.K(), c.Get(4))
+	}
+}
+
+func TestJoinAcrossCapacities(t *testing.T) {
+	small := New(1, nil)
+	small.Inc(0, 2)
+	big := New(4, nil)
+	big.Inc(3, 7)
+	small.Join(big)
+	want := vt.Vector{2, 0, 0, 7}
+	if got := small.Vector(vt.NewVector(4)); !got.Equal(want) {
+		t.Errorf("join = %v, want %v", got, want)
+	}
+	// Joining the smaller operand into the bigger one keeps the tail.
+	big.Join(small)
+	if got := big.Vector(vt.NewVector(4)); !got.Equal(want) {
+		t.Errorf("reverse join = %v, want %v", got, want)
+	}
+}
+
+func TestMonotoneCopyClearsTail(t *testing.T) {
+	big := New(4, nil)
+	big.Inc(3, 5)
+	src := New(2, nil)
+	src.Inc(1, 1)
+	// big ⋢ src: CopyCheckMonotone must report false and clear t3.
+	if big.CopyCheckMonotone(src) {
+		t.Error("copy reported monotone despite stale t3 entry")
+	}
+	want := vt.Vector{0, 1, 0, 0}
+	if got := big.Vector(vt.NewVector(4)); !got.Equal(want) {
+		t.Errorf("after copy: %v, want %v", got, want)
+	}
+
+	// Plain MonotoneCopy with a zero receiver tail (precondition holds).
+	zero := New(4, nil)
+	zero.MonotoneCopy(src)
+	if got := zero.Vector(vt.NewVector(4)); !got.Equal(want) {
+		t.Errorf("MonotoneCopy: %v, want %v", got, want)
+	}
+}
+
+func TestMonotoneCopyClearsTailWithStats(t *testing.T) {
+	var st vt.WorkStats
+	big := New(4, &st)
+	big.Inc(3, 5)
+	src := New(2, &st)
+	src.Inc(1, 1)
+	big.MonotoneCopy(src) // counting path must also clear the tail
+	want := vt.Vector{0, 1, 0, 0}
+	if got := big.Vector(vt.NewVector(4)); !got.Equal(want) {
+		t.Errorf("after counting copy: %v, want %v", got, want)
+	}
+}

@@ -7,7 +7,9 @@ package vc
 import "treeclock/internal/vt"
 
 // VectorClock stores one local time per thread in a flat array.
-// It implements vt.Clock[*VectorClock].
+// It implements vt.Clock[*VectorClock]. The thread capacity is dynamic:
+// Grow extends it, and the binary operations accept operands of any
+// capacity (entries beyond a clock's capacity read as 0).
 type VectorClock struct {
 	v     vt.Vector
 	stats *vt.WorkStats
@@ -20,24 +22,36 @@ func New(k int, stats *vt.WorkStats) *VectorClock {
 	return &VectorClock{v: vt.NewVector(k), stats: stats}
 }
 
-// Factory returns a vt.Factory producing vector clocks over k threads
+// Factory returns a capacity-aware vt.Factory producing vector clocks
 // that all share stats (which may be nil).
-func Factory(k int, stats *vt.WorkStats) vt.Factory[*VectorClock] {
-	return func() *VectorClock { return New(k, stats) }
+func Factory(stats *vt.WorkStats) vt.Factory[*VectorClock] {
+	return func(k int) *VectorClock { return New(k, stats) }
 }
 
-// K returns the thread capacity.
+// K returns the current thread capacity.
 func (c *VectorClock) K() int { return len(c.v) }
 
-// Init is a no-op for vector clocks: thread identity is implicit in the
-// index used by Inc. It exists to satisfy vt.Clock.
-func (c *VectorClock) Init(t vt.TID) {}
+// Grow extends the capacity to at least k; new entries are zero.
+func (c *VectorClock) Grow(k int) { c.v = vt.GrowSlice(c.v, k) }
 
-// Get returns the recorded local time of thread t in O(1).
-func (c *VectorClock) Get(t vt.TID) vt.Time { return c.v[t] }
+// Init records that the clock belongs to thread t. Thread identity is
+// implicit in the index used by Inc, so Init only ensures capacity.
+func (c *VectorClock) Init(t vt.TID) { c.Grow(int(t) + 1) }
+
+// Get returns the recorded local time of thread t in O(1). Threads at
+// or beyond the capacity have time 0.
+func (c *VectorClock) Get(t vt.TID) vt.Time {
+	if int(t) >= len(c.v) {
+		return 0
+	}
+	return c.v[t]
+}
 
 // Inc adds d to thread t's entry.
 func (c *VectorClock) Inc(t vt.TID, d vt.Time) {
+	if int(t) >= len(c.v) {
+		c.Grow(int(t) + 1)
+	}
 	c.v[t] += d
 	if c.stats != nil {
 		c.stats.Entries++
@@ -49,6 +63,9 @@ func (c *VectorClock) Inc(t vt.TID, d vt.Time) {
 func (c *VectorClock) Join(o *VectorClock) {
 	if c == o {
 		return
+	}
+	if len(o.v) > len(c.v) {
+		c.Grow(len(o.v))
 	}
 	if c.stats == nil {
 		for i, t := range o.v {
@@ -70,13 +87,20 @@ func (c *VectorClock) Join(o *VectorClock) {
 
 // MonotoneCopy overwrites c with o. For a vector clock the monotonicity
 // assumption buys nothing: the copy is Θ(k) either way (this is exactly
-// the baseline behaviour the paper measures).
+// the baseline behaviour the paper measures). Entries beyond o's
+// capacity become 0 (under the c ⊑ o precondition they already are).
 func (c *VectorClock) MonotoneCopy(o *VectorClock) {
 	if c == o {
 		return
 	}
+	if len(o.v) > len(c.v) {
+		c.Grow(len(o.v))
+	}
 	if c.stats == nil {
-		copy(c.v, o.v)
+		n := copy(c.v, o.v)
+		for i := n; i < len(c.v); i++ {
+			c.v[i] = 0
+		}
 		return
 	}
 	c.stats.Copies++
@@ -84,6 +108,12 @@ func (c *VectorClock) MonotoneCopy(o *VectorClock) {
 	for i, t := range o.v {
 		if c.v[i] != t {
 			c.v[i] = t
+			c.stats.Changed++
+		}
+	}
+	for i := len(o.v); i < len(c.v); i++ {
+		if c.v[i] != 0 {
+			c.v[i] = 0
 			c.stats.Changed++
 		}
 	}
@@ -96,6 +126,9 @@ func (c *VectorClock) CopyCheckMonotone(o *VectorClock) bool {
 	if c == o {
 		return true
 	}
+	if len(o.v) > len(c.v) {
+		c.Grow(len(o.v))
+	}
 	monotone := true
 	if c.stats != nil {
 		c.stats.Copies++
@@ -107,6 +140,15 @@ func (c *VectorClock) CopyCheckMonotone(o *VectorClock) bool {
 		}
 		if c.v[i] != t {
 			c.v[i] = t
+			if c.stats != nil {
+				c.stats.Changed++
+			}
+		}
+	}
+	for i := len(o.v); i < len(c.v); i++ {
+		if c.v[i] != 0 {
+			monotone = false
+			c.v[i] = 0
 			if c.stats != nil {
 				c.stats.Changed++
 			}

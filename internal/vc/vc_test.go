@@ -112,8 +112,8 @@ func TestWorkCounters(t *testing.T) {
 
 func TestFactory(t *testing.T) {
 	var st vt.WorkStats
-	f := Factory(3, &st)
-	c := f()
+	f := Factory(&st)
+	c := f(3)
 	c.Inc(0, 1)
 	if st.Changed != 1 {
 		t.Error("factory clock must share the stats sink")

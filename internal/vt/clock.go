@@ -18,14 +18,27 @@ package vt
 //   - MonotoneCopy(o) requires the receiver's vector time to be ⊑ o's
 //     (Lemma 2 guarantees this at lock-release events). When the
 //     precondition may not hold, use CopyCheckMonotone.
+//
+// Capacity contract: a clock's thread capacity is a lower bound, not a
+// fixed universe. Grow(k) extends the capacity; Get on a thread beyond
+// the capacity reports 0 (an unknown thread has the zero local time),
+// and the binary operations (Join, MonotoneCopy, CopyCheckMonotone)
+// accept operands of any capacity, growing the receiver as needed.
+// This is what lets the streaming engine runtime discover threads on
+// the fly instead of requiring trace metadata up front.
 type Clock[C any] interface {
-	// Init makes the clock belong to thread t with local time 0.
+	// Init makes the clock belong to thread t with local time 0,
+	// growing the capacity to at least t+1.
 	Init(t TID)
 	// Get returns the recorded local time of thread t in O(1)
 	// (Remark 1: epoch optimizations apply to both clock types).
+	// Threads at or beyond the capacity report 0.
 	Get(t TID) Time
 	// Inc adds d to the owning thread t's local time.
 	Inc(t TID, d Time)
+	// Grow extends the thread capacity to at least k. Existing entries
+	// are preserved; new threads start absent (zero local time).
+	Grow(k int)
 	// Join updates the clock to the pointwise maximum with o.
 	Join(o C)
 	// MonotoneCopy overwrites the clock with o, assuming this ⊑ o.
@@ -40,7 +53,9 @@ type Clock[C any] interface {
 	Vector(dst Vector) Vector
 }
 
-// Factory constructs fresh, uninitialized clocks for one engine run.
-// Implementations bind the thread capacity and an optional shared
-// WorkStats at closure-creation time.
-type Factory[C any] func() C
+// Factory constructs fresh, uninitialized clocks with thread capacity
+// at least k, for one engine run. Implementations bind an optional
+// shared WorkStats at closure-creation time; the capacity is supplied
+// per call so the engine runtime can size clocks to the identifier
+// space seen so far and Grow them as the trace reveals more threads.
+type Factory[C any] func(k int) C

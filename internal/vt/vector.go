@@ -14,6 +14,28 @@ type Vector []Time
 // NewVector returns a zero vector time over k threads.
 func NewVector(k int) Vector { return make(Vector, k) }
 
+// GrowSlice extends s to length at least n with zero values, using
+// amortized doubling. It is the one growth policy shared by every
+// dynamically sized structure in this repository (clock arrays,
+// detector state, per-variable engine state). s must only ever have
+// been grown through this function (never truncated or written past
+// its length), so the capacity tail is known to be zero.
+func GrowSlice[T any](s []T, n int) []T {
+	if n <= len(s) {
+		return s
+	}
+	if n <= cap(s) {
+		return s[:n]
+	}
+	ncap := 2 * cap(s)
+	if ncap < n {
+		ncap = n
+	}
+	ns := make([]T, n, ncap)
+	copy(ns, s)
+	return ns
+}
+
 // Get returns the local time recorded for thread t, and 0 when t lies
 // outside the vector (unknown threads have time 0).
 func (v Vector) Get(t TID) Time {

@@ -1,0 +1,246 @@
+package treeclock
+
+// The one-pass streaming analysis API: RunStream feeds a trace from an
+// io.Reader straight through a partial-order engine with no prior
+// metadata and no materialization, so memory is proportional to the
+// live identifier spaces (threads, locks, touched variables), not the
+// trace length. Engines are selected by name from a registry; see
+// Engines and EngineInfos.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"treeclock/internal/analysis"
+	"treeclock/internal/core"
+	"treeclock/internal/engine"
+	"treeclock/internal/hb"
+	"treeclock/internal/maz"
+	"treeclock/internal/shb"
+	"treeclock/internal/trace"
+	"treeclock/internal/vc"
+	"treeclock/internal/vt"
+)
+
+// Semantics is the plugin interface a partial order implements against
+// the shared engine runtime: a Read and a Write hook plus whatever
+// per-variable state they need. HB, SHB and MAZ are each one small
+// Semantics implementation; everything else (thread/lock clocks, the
+// sync-event dispatch, identifier growth) is the runtime's.
+type Semantics[C vt.Clock[C]] = engine.Semantics[C]
+
+// EngineRuntime is the shared streaming runtime the named engines are
+// built from. Advanced users can bind their own Semantics to it.
+type EngineRuntime[C vt.Clock[C]] = engine.Runtime[C]
+
+// EngineInfo describes one registry entry.
+type EngineInfo struct {
+	// Name is the registry key, "<order>-<clock>": e.g. "hb-tree".
+	Name string
+	// Order is the partial order: "hb", "shb" or "maz".
+	Order string
+	// Clock is the data structure: "tree" or "vc".
+	Clock string
+	// Doc is a one-line description.
+	Doc string
+}
+
+// engineRegistry maps engine names to their construction recipe.
+var engineRegistry = map[string]EngineInfo{
+	"hb-tree":  {"hb-tree", "hb", "tree", "happens-before with tree clocks (Algorithm 3)"},
+	"hb-vc":    {"hb-vc", "hb", "vc", "happens-before with vector clocks (Algorithm 1)"},
+	"shb-tree": {"shb-tree", "shb", "tree", "schedulable-happens-before with tree clocks (Algorithm 4)"},
+	"shb-vc":   {"shb-vc", "shb", "vc", "schedulable-happens-before with vector clocks"},
+	"maz-tree": {"maz-tree", "maz", "tree", "Mazurkiewicz order with tree clocks (Algorithm 5)"},
+	"maz-vc":   {"maz-vc", "maz", "vc", "Mazurkiewicz order with vector clocks"},
+}
+
+// Engines returns the registered engine names, sorted.
+func Engines() []string {
+	names := make([]string, 0, len(engineRegistry))
+	for name := range engineRegistry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// EngineInfos returns the registry entries, sorted by name.
+func EngineInfos() []EngineInfo {
+	infos := make([]EngineInfo, 0, len(engineRegistry))
+	for _, name := range Engines() {
+		infos = append(infos, engineRegistry[name])
+	}
+	return infos
+}
+
+// TraceFormat selects a trace serialization for streaming.
+type TraceFormat uint8
+
+const (
+	// FormatText is the line-oriented text format.
+	FormatText TraceFormat = iota
+	// FormatBinary is the compact binary format of WriteTraceBinary.
+	FormatBinary
+)
+
+// streamConfig collects RunStream options.
+type streamConfig struct {
+	format   TraceFormat
+	analysis bool
+	validate bool
+	stats    *WorkStats
+}
+
+// StreamOption configures RunStream.
+type StreamOption func(*streamConfig)
+
+// StreamFormat selects the input serialization (default FormatText).
+func StreamFormat(f TraceFormat) StreamOption {
+	return func(c *streamConfig) { c.format = f }
+}
+
+// StreamBinary is shorthand for StreamFormat(FormatBinary).
+func StreamBinary() StreamOption { return StreamFormat(FormatBinary) }
+
+// StreamNoAnalysis disables race / reversible-pair detection, computing
+// the pure partial order (what the paper times as "HB", "SHB", "MAZ").
+func StreamNoAnalysis() StreamOption {
+	return func(c *streamConfig) { c.analysis = false }
+}
+
+// StreamWorkStats accumulates data-structure work counters into st.
+func StreamWorkStats(st *WorkStats) StreamOption {
+	return func(c *streamConfig) { c.stats = st }
+}
+
+// StreamValidate enforces trace well-formedness incrementally while
+// streaming (lock discipline, fork/join sanity — the checks of
+// Trace.Validate that need no prior metadata). A violation aborts the
+// run with a descriptive error; without it, a malformed trace yields
+// a well-defined but meaningless analysis.
+func StreamValidate() StreamOption {
+	return func(c *streamConfig) { c.validate = true }
+}
+
+// StreamResult is the outcome of one streaming analysis pass.
+type StreamResult struct {
+	// Engine is the registry name the trace was analyzed with.
+	Engine string
+	// Meta holds the identifier spaces discovered while streaming.
+	Meta Meta
+	// Events is the number of events processed.
+	Events uint64
+	// Summary aggregates the detected concurrent conflicting pairs
+	// (zero when analysis was disabled).
+	Summary RaceSummary
+	// Samples retains up to 64 example pairs.
+	Samples []Race
+	// Timestamps holds each thread's final vector time.
+	Timestamps []Vector
+}
+
+// streamEngine is the non-generic view RunStream drives; a
+// runtimeAdapter instantiates it per clock type.
+type streamEngine interface {
+	ProcessSource(trace.EventSource) error
+	Events() uint64
+	Meta() trace.Meta
+	Finish() (analysis.Summary, []analysis.Pair, []vt.Vector)
+}
+
+type runtimeAdapter[C vt.Clock[C]] struct {
+	rt  *engine.Runtime[C]
+	acc *analysis.Accumulator
+}
+
+func (a *runtimeAdapter[C]) ProcessSource(src trace.EventSource) error {
+	return a.rt.ProcessSource(src)
+}
+func (a *runtimeAdapter[C]) Events() uint64   { return a.rt.Events() }
+func (a *runtimeAdapter[C]) Meta() trace.Meta { return a.rt.Meta() }
+
+func (a *runtimeAdapter[C]) Finish() (analysis.Summary, []analysis.Pair, []vt.Vector) {
+	k := a.rt.Threads()
+	ts := make([]vt.Vector, k)
+	for t := 0; t < k; t++ {
+		ts[t] = a.rt.Timestamp(vt.TID(t), vt.NewVector(k))
+	}
+	if a.acc == nil {
+		return analysis.Summary{}, nil, ts
+	}
+	return a.acc.Summary(), a.acc.Samples, ts
+}
+
+// newStreamEngine builds the dynamically growing runtime for one
+// registry entry over clock type C.
+func newStreamEngine[C vt.Clock[C]](order string, f vt.Factory[C], withAnalysis bool) streamEngine {
+	var rt *engine.Runtime[C]
+	switch order {
+	case "hb":
+		rt = engine.New[C](hb.NewSemantics[C](), f)
+	case "shb":
+		rt = engine.New[C](shb.NewSemantics[C](), f)
+	case "maz":
+		rt = engine.New[C](maz.NewSemantics[C](), f)
+	default:
+		panic("treeclock: unknown partial order " + order)
+	}
+	var acc *analysis.Accumulator
+	if withAnalysis {
+		if order == "maz" {
+			acc = rt.EnableAnalysis()
+		} else {
+			acc = rt.EnableRaceDetection().Acc
+		}
+	}
+	return &runtimeAdapter[C]{rt: rt, acc: acc}
+}
+
+// RunStream analyzes a trace read from r with the named engine in a
+// single streaming pass: no prior Meta, no materialization, memory
+// proportional to the live identifier spaces. The engine name is a
+// registry key (see Engines): "hb-tree", "hb-vc", "shb-tree", "shb-vc",
+// "maz-tree" or "maz-vc". Race / reversible-pair analysis is on by
+// default; configure with StreamOption values.
+func RunStream(engineName string, r io.Reader, opts ...StreamOption) (*StreamResult, error) {
+	info, ok := engineRegistry[engineName]
+	if !ok {
+		return nil, fmt.Errorf("treeclock: unknown engine %q (have %v)", engineName, Engines())
+	}
+	cfg := streamConfig{format: FormatText, analysis: true}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	var src trace.EventSource
+	switch cfg.format {
+	case FormatText:
+		src = trace.NewScanner(r)
+	case FormatBinary:
+		src = trace.NewBinaryScanner(r)
+	default:
+		return nil, fmt.Errorf("treeclock: unknown trace format %d", cfg.format)
+	}
+	if cfg.validate {
+		src = trace.NewValidator(src)
+	}
+	var e streamEngine
+	if info.Clock == "tree" {
+		e = newStreamEngine[*core.TreeClock](info.Order, core.Factory(cfg.stats), cfg.analysis)
+	} else {
+		e = newStreamEngine[*vc.VectorClock](info.Order, vc.Factory(cfg.stats), cfg.analysis)
+	}
+	if err := e.ProcessSource(src); err != nil {
+		return nil, err
+	}
+	sum, samples, ts := e.Finish()
+	return &StreamResult{
+		Engine:     engineName,
+		Meta:       e.Meta(),
+		Events:     e.Events(),
+		Summary:    sum,
+		Samples:    samples,
+		Timestamps: ts,
+	}, nil
+}

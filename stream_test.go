@@ -1,0 +1,242 @@
+package treeclock_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"treeclock"
+)
+
+// generatorSuite returns one trace per generator in internal/gen (via
+// the façade), sized small enough that the full differential sweep
+// (every generator × every registry engine × both formats) stays fast.
+func generatorSuite() []*treeclock.Trace {
+	return []*treeclock.Trace{
+		treeclock.GenerateMixed(treeclock.GenConfig{
+			Name: "mixed", Threads: 10, Locks: 6, Vars: 32,
+			Events: 4000, Seed: 21, SyncFrac: 0.3, LockAffinity: 2, Groups: 3, HotFrac: 0.1,
+		}),
+		treeclock.GenerateSingleLock(6, 2000, 1),
+		treeclock.GenerateFiftyLocksSkewed(12, 2500, 2),
+		treeclock.GenerateStar(8, 2000, 3),
+		treeclock.GeneratePairwise(6, 2000, 4),
+		treeclock.GenerateProducerConsumer(3, 3, 2000, 5),
+		treeclock.GeneratePipeline(4, 2000, 6),
+		treeclock.GenerateBarrierPhases(5, 6, 10, 7),
+		treeclock.GenerateReadersWriters(8, 2000, 8, true),
+		treeclock.GenerateForkJoinTree(5, 40, 9),
+	}
+}
+
+// materialized runs the classic pre-sized engine over a materialized
+// trace and returns the race summary, samples and final timestamps —
+// the reference the streaming path must reproduce exactly.
+func materialized(t *testing.T, tr *treeclock.Trace, engineName string) (treeclock.RaceSummary, []treeclock.Race, []treeclock.Vector) {
+	t.Helper()
+	type processor interface {
+		Process([]treeclock.Event)
+		Timestamp(treeclock.ThreadID, treeclock.Vector) treeclock.Vector
+	}
+	var (
+		e   processor
+		sum treeclock.RaceSummary
+		acc *treeclock.RaceAccumulator
+	)
+	switch engineName {
+	case "hb-tree":
+		en := treeclock.NewHBTree(tr.Meta)
+		acc = en.EnableRaceDetection().Acc
+		e = en
+	case "hb-vc":
+		en := treeclock.NewHBVector(tr.Meta)
+		acc = en.EnableRaceDetection().Acc
+		e = en
+	case "shb-tree":
+		en := treeclock.NewSHBTree(tr.Meta)
+		acc = en.EnableRaceDetection().Acc
+		e = en
+	case "shb-vc":
+		en := treeclock.NewSHBVector(tr.Meta)
+		acc = en.EnableRaceDetection().Acc
+		e = en
+	case "maz-tree":
+		en := treeclock.NewMAZTree(tr.Meta)
+		acc = en.EnableAnalysis()
+		e = en
+	case "maz-vc":
+		en := treeclock.NewMAZVector(tr.Meta)
+		acc = en.EnableAnalysis()
+		e = en
+	default:
+		t.Fatalf("unknown engine %q", engineName)
+	}
+	e.Process(tr.Events)
+	sum = acc.Summary()
+	ts := make([]treeclock.Vector, tr.Meta.Threads)
+	for th := 0; th < tr.Meta.Threads; th++ {
+		ts[th] = e.Timestamp(treeclock.ThreadID(th), make(treeclock.Vector, tr.Meta.Threads))
+	}
+	return sum, acc.Samples, ts
+}
+
+// raceReport renders a summary and its samples deterministically; the
+// streaming and materialized paths must produce byte-identical reports.
+func raceReport(sum treeclock.RaceSummary, samples []treeclock.Race) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "total=%d ww=%d wr=%d rw=%d vars=%d\n",
+		sum.Total, sum.WriteWrite, sum.WriteRead, sum.ReadWrite, sum.Vars)
+	for _, p := range samples {
+		fmt.Fprintf(&b, "%s\n", p)
+	}
+	return b.String()
+}
+
+// TestStreamingMatchesMaterialized is the acceptance test of the
+// streaming refactor: for every generator and every registry engine,
+// feeding the serialized trace through RunStream as a plain io.Reader —
+// with no precomputed Meta — must yield byte-identical race reports and
+// identical final vector timestamps to the materialized path.
+func TestStreamingMatchesMaterialized(t *testing.T) {
+	for _, tr := range generatorSuite() {
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: invalid generated trace: %v", tr.Meta.Name, err)
+		}
+		var text, bin bytes.Buffer
+		if err := treeclock.WriteTraceText(&text, tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := treeclock.WriteTraceBinary(&bin, tr); err != nil {
+			t.Fatal(err)
+		}
+		// The text format interns identifiers in order of first
+		// appearance, so the reference for the text path is the
+		// re-parsed trace (same renaming); the binary format keeps ids
+		// verbatim, so its reference is the original trace.
+		reparsed, err := treeclock.ParseTrace(bytes.NewReader(text.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, engineName := range treeclock.Engines() {
+			t.Run(tr.Meta.Name+"/"+engineName, func(t *testing.T) {
+				checkStream(t, engineName, reparsed, text.Bytes())
+				checkStream(t, engineName, tr, bin.Bytes(), treeclock.StreamBinary())
+			})
+		}
+	}
+}
+
+// checkStream streams data through engineName and compares against the
+// materialized run of ref.
+func checkStream(t *testing.T, engineName string, ref *treeclock.Trace, data []byte, opts ...treeclock.StreamOption) {
+	t.Helper()
+	wantSum, wantSamples, wantTS := materialized(t, ref, engineName)
+	res, err := treeclock.RunStream(engineName, bytes.NewReader(data), opts...)
+	if err != nil {
+		t.Fatalf("RunStream: %v", err)
+	}
+	if res.Events != uint64(ref.Len()) {
+		t.Errorf("Events = %d, want %d", res.Events, ref.Len())
+	}
+	got := raceReport(res.Summary, res.Samples)
+	want := raceReport(wantSum, wantSamples)
+	if got != want {
+		t.Errorf("race report diverges:\nstreaming:\n%s\nmaterialized:\n%s", got, want)
+	}
+	if res.Meta.Threads > ref.Meta.Threads {
+		t.Fatalf("discovered %d threads, reference has %d", res.Meta.Threads, ref.Meta.Threads)
+	}
+	for th := 0; th < res.Meta.Threads; th++ {
+		gotV, wantV := res.Timestamps[th], wantTS[th]
+		for u := 0; u < ref.Meta.Threads; u++ {
+			if gotV.Get(treeclock.ThreadID(u)) != wantV.Get(treeclock.ThreadID(u)) {
+				t.Fatalf("thread %d timestamp diverges: streaming %v, materialized %v", th, gotV, wantV)
+			}
+		}
+	}
+}
+
+// TestRunStreamNoAnalysis covers the pure partial-order configuration.
+func TestRunStreamNoAnalysis(t *testing.T) {
+	tr := treeclock.GenerateStar(6, 1000, 11)
+	var text bytes.Buffer
+	if err := treeclock.WriteTraceText(&text, tr); err != nil {
+		t.Fatal(err)
+	}
+	res, err := treeclock.RunStream("hb-tree", bytes.NewReader(text.Bytes()), treeclock.StreamNoAnalysis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Total != 0 || res.Samples != nil {
+		t.Errorf("analysis ran despite StreamNoAnalysis: %+v", res.Summary)
+	}
+	if res.Events != uint64(tr.Len()) {
+		t.Errorf("Events = %d, want %d", res.Events, tr.Len())
+	}
+}
+
+// TestRunStreamWorkStats checks the work counters flow through the
+// streaming path.
+func TestRunStreamWorkStats(t *testing.T) {
+	tr := treeclock.GenerateSingleLock(5, 800, 13)
+	var text bytes.Buffer
+	if err := treeclock.WriteTraceText(&text, tr); err != nil {
+		t.Fatal(err)
+	}
+	var st treeclock.WorkStats
+	if _, err := treeclock.RunStream("hb-vc", bytes.NewReader(text.Bytes()), treeclock.StreamWorkStats(&st)); err != nil {
+		t.Fatal(err)
+	}
+	if st.Changed == 0 || st.Entries == 0 {
+		t.Errorf("no work recorded: %+v", st)
+	}
+}
+
+// TestRunStreamErrors covers registry misses and malformed input.
+func TestRunStreamErrors(t *testing.T) {
+	if _, err := treeclock.RunStream("hb-quantum", strings.NewReader("")); err == nil {
+		t.Error("unknown engine accepted")
+	}
+	if _, err := treeclock.RunStream("hb-tree", strings.NewReader("t0 frobnicate x0\n")); err == nil {
+		t.Error("malformed trace accepted")
+	}
+}
+
+// TestRunStreamValidate covers the incremental well-formedness option.
+func TestRunStreamValidate(t *testing.T) {
+	bad := "t0 acq l0\nt1 acq l0\n"
+	if _, err := treeclock.RunStream("hb-tree", strings.NewReader(bad), treeclock.StreamValidate()); err == nil {
+		t.Error("double acquire accepted with StreamValidate")
+	}
+	if _, err := treeclock.RunStream("hb-tree", strings.NewReader(bad)); err != nil {
+		t.Errorf("without StreamValidate the stream should be accepted: %v", err)
+	}
+	good := "t0 acq l0\nt0 w x0\nt0 rel l0\n"
+	res, err := treeclock.RunStream("hb-tree", strings.NewReader(good), treeclock.StreamValidate())
+	if err != nil {
+		t.Fatalf("well-formed trace rejected: %v", err)
+	}
+	if res.Events != 3 {
+		t.Errorf("Events = %d, want 3", res.Events)
+	}
+}
+
+// TestEngineRegistry sanity-checks the registry listing.
+func TestEngineRegistry(t *testing.T) {
+	names := treeclock.Engines()
+	want := []string{"hb-tree", "hb-vc", "maz-tree", "maz-vc", "shb-tree", "shb-vc"}
+	if len(names) != len(want) {
+		t.Fatalf("Engines() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Engines() = %v, want %v", names, want)
+		}
+	}
+	for _, info := range treeclock.EngineInfos() {
+		if info.Doc == "" || info.Order == "" || info.Clock == "" {
+			t.Errorf("incomplete registry entry: %+v", info)
+		}
+	}
+}

@@ -82,6 +82,18 @@ type TraceScanner = trace.Scanner
 // NewTraceScanner wraps a text-format trace stream.
 func NewTraceScanner(r io.Reader) *TraceScanner { return trace.NewScanner(r) }
 
+// BinaryTraceScanner streams events from a binary-format trace without
+// materializing it.
+type BinaryTraceScanner = trace.BinaryScanner
+
+// NewBinaryTraceScanner wraps a binary-format trace stream (the format
+// written by WriteTraceBinary).
+func NewBinaryTraceScanner(r io.Reader) *BinaryTraceScanner { return trace.NewBinaryScanner(r) }
+
+// EventSource is the streaming event interface implemented by both
+// scanners; RunStream and the engine runtime consume it.
+type EventSource = trace.EventSource
+
 // ParseTrace reads the text trace format ("<thread> <op> <operand>"
 // lines; see internal/trace for the grammar).
 func ParseTrace(r io.Reader) (*Trace, error) { return trace.ParseText(r) }
@@ -125,43 +137,43 @@ type (
 
 // NewHBTree returns a happens-before engine backed by tree clocks.
 func NewHBTree(meta Meta) *HBTreeEngine {
-	return hb.New(meta, core.Factory(meta.Threads, nil))
+	return hb.New(meta, core.Factory(nil))
 }
 
 // NewHBTreeCounting is NewHBTree with work counting.
 func NewHBTreeCounting(meta Meta, st *WorkStats) *HBTreeEngine {
-	return hb.New(meta, core.Factory(meta.Threads, st))
+	return hb.New(meta, core.Factory(st))
 }
 
 // NewHBVector returns a happens-before engine backed by vector clocks.
 func NewHBVector(meta Meta) *HBVectorEngine {
-	return hb.New(meta, vc.Factory(meta.Threads, nil))
+	return hb.New(meta, vc.Factory(nil))
 }
 
 // NewHBVectorCounting is NewHBVector with work counting.
 func NewHBVectorCounting(meta Meta, st *WorkStats) *HBVectorEngine {
-	return hb.New(meta, vc.Factory(meta.Threads, st))
+	return hb.New(meta, vc.Factory(st))
 }
 
 // NewSHBTree returns a schedulable-happens-before engine backed by
 // tree clocks.
 func NewSHBTree(meta Meta) *SHBTreeEngine {
-	return shb.New(meta, core.Factory(meta.Threads, nil))
+	return shb.New(meta, core.Factory(nil))
 }
 
 // NewSHBVector returns the vector-clock SHB engine.
 func NewSHBVector(meta Meta) *SHBVectorEngine {
-	return shb.New(meta, vc.Factory(meta.Threads, nil))
+	return shb.New(meta, vc.Factory(nil))
 }
 
 // NewMAZTree returns a Mazurkiewicz-order engine backed by tree clocks.
 func NewMAZTree(meta Meta) *MAZTreeEngine {
-	return maz.New(meta, core.Factory(meta.Threads, nil))
+	return maz.New(meta, core.Factory(nil))
 }
 
 // NewMAZVector returns the vector-clock MAZ engine.
 func NewMAZVector(meta Meta) *MAZVectorEngine {
-	return maz.New(meta, vc.Factory(meta.Threads, nil))
+	return maz.New(meta, vc.Factory(nil))
 }
 
 // Analysis types.
