@@ -268,6 +268,41 @@ func BenchmarkStreaming(b *testing.B) {
 	}
 }
 
+// BenchmarkIngest compares the three ingestion modes — scalar (one
+// interface call per event), batch (the default) and pipelined decode —
+// on the text path of one tree and one vector engine. On single-core
+// machines the pipeline matches the synchronous modes; it needs a
+// second core to overlap decoding with analysis.
+func BenchmarkIngest(b *testing.B) {
+	modes := []struct {
+		name string
+		opts []treeclock.StreamOption
+	}{
+		{"scalar", []treeclock.StreamOption{treeclock.StreamScalar()}},
+		{"batch", nil},
+		{"pipeline", []treeclock.StreamOption{treeclock.WithPipeline(4)}},
+	}
+	data := streamBytes(b, treeclock.FormatText)
+	n := streamTrace().Len()
+	for _, name := range []string{"hb-tree", "hb-vc"} {
+		for _, m := range modes {
+			b.Run(name+"/"+m.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := treeclock.RunStream(name, bytes.NewReader(data), m.opts...)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Events != uint64(n) {
+						b.Fatalf("streamed %d events, want %d", res.Events, n)
+					}
+				}
+				b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+			})
+		}
+	}
+}
+
 // BenchmarkMaterialized is the baseline for BenchmarkStreaming: the
 // same 1M-event workload analyzed from the pre-parsed in-memory trace
 // with metadata known up front.

@@ -1,0 +1,192 @@
+package main
+
+// The ingest experiment measures end-to-end ingestion throughput —
+// parse + analyze, the events/second metric the CSST line of work
+// reports — for every registry engine across the two trace formats and
+// the three consumption modes: scalar (one interface call per event,
+// the pre-batching loop), batch (the default: NextBatch into a
+// caller-owned buffer) and pipeline (decoding overlapped with analysis
+// in a separate goroutine). With -json the results are also written as
+// a machine-readable report (BENCH_ingest.json) so the repo's perf
+// trajectory is tracked release over release.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"treeclock"
+	"treeclock/internal/gen"
+	"treeclock/internal/trace"
+)
+
+// ingestTraceInfo describes the measured workload.
+type ingestTraceInfo struct {
+	Name        string `json:"name"`
+	Events      int    `json:"events"`
+	Threads     int    `json:"threads"`
+	Locks       int    `json:"locks"`
+	Vars        int    `json:"vars"`
+	TextBytes   int    `json:"text_bytes"`
+	BinaryBytes int    `json:"binary_bytes"`
+}
+
+// ingestResult is one engine × format × mode measurement.
+type ingestResult struct {
+	Trace          string  `json:"trace"`
+	Engine         string  `json:"engine"`
+	Format         string  `json:"format"`
+	Mode           string  `json:"mode"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	Pairs          uint64  `json:"pairs"`
+}
+
+// ingestReport is the -json payload.
+type ingestReport struct {
+	Experiment string            `json:"experiment"`
+	GoVersion  string            `json:"go_version"`
+	Repeats    int               `json:"repeats"`
+	Traces     []ingestTraceInfo `json:"traces"`
+	Results    []ingestResult    `json:"results"`
+}
+
+// ingestModes are the consumption strategies under comparison; the
+// option list parameterizes RunStream.
+var ingestModes = []struct {
+	name string
+	opts []treeclock.StreamOption
+}{
+	{"scalar", []treeclock.StreamOption{treeclock.StreamScalar()}},
+	{"batch", nil},
+	{"pipeline", []treeclock.StreamOption{treeclock.WithPipeline(4)}},
+}
+
+// ingestExperiment runs the sweep and optionally writes the JSON
+// report. events sizes the generated workloads; repeats picks the best
+// of N timings per cell (minimum, the standard for throughput).
+func ingestExperiment(events, repeats int, jsonPath string) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	workloads := []*trace.Trace{
+		gen.Mixed(gen.Config{
+			Name: "ingest-mixed", Threads: 32, Locks: 24, Vars: 4096,
+			Events: events, Seed: 11, SyncFrac: 0.25,
+			LockAffinity: 3, Groups: 6, HotFrac: 0.06,
+		}),
+		gen.Star(32, events/2, 7),
+	}
+	report := ingestReport{
+		Experiment: "ingest",
+		GoVersion:  runtime.Version(),
+		Repeats:    repeats,
+	}
+	for _, tr := range workloads {
+		var text, bin bytes.Buffer
+		if err := trace.WriteText(&text, tr); err != nil {
+			fmt.Fprintf(os.Stderr, "tcbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := trace.WriteBinary(&bin, tr); err != nil {
+			fmt.Fprintf(os.Stderr, "tcbench: %v\n", err)
+			os.Exit(1)
+		}
+		report.Traces = append(report.Traces, ingestTraceInfo{
+			Name: tr.Meta.Name, Events: tr.Len(), Threads: tr.Meta.Threads,
+			Locks: tr.Meta.Locks, Vars: tr.Meta.Vars,
+			TextBytes: text.Len(), BinaryBytes: bin.Len(),
+		})
+		fmt.Printf("Ingestion sweep over %q: %d events, %d threads (text %d bytes, binary %d bytes):\n",
+			tr.Meta.Name, tr.Len(), tr.Meta.Threads, text.Len(), bin.Len())
+		formats := []struct {
+			name string
+			data []byte
+			opts []treeclock.StreamOption
+		}{
+			{"text", text.Bytes(), nil},
+			{"bin", bin.Bytes(), []treeclock.StreamOption{treeclock.StreamBinary()}},
+		}
+		for _, name := range treeclock.Engines() {
+			for _, f := range formats {
+				var pairs uint64
+				first := true
+				line := fmt.Sprintf("  %-10s %-5s", name, f.name)
+				for _, mode := range ingestModes {
+					opts := append(append([]treeclock.StreamOption{}, f.opts...), mode.opts...)
+					res := measureIngest(tr.Meta.Name, name, f.name, mode.name, f.data, opts, repeats)
+					if first {
+						pairs, first = res.Pairs, false
+					} else if res.Pairs != pairs {
+						fmt.Fprintf(os.Stderr, "tcbench: %s/%s: %s mode diverges (%d pairs, want %d)\n",
+							name, f.name, mode.name, res.Pairs, pairs)
+						os.Exit(1)
+					}
+					report.Results = append(report.Results, res)
+					line += fmt.Sprintf("   %s %8.0f ev/ms (%5.1f ns/ev, %5.3f allocs/ev)",
+						mode.name, res.EventsPerSec/1000, res.NsPerEvent, res.AllocsPerEvent)
+				}
+				fmt.Println(line + fmt.Sprintf("   %d pairs", pairs))
+			}
+		}
+	}
+	if jsonPath != "" {
+		payload, err := json.MarshalIndent(&report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonPath, append(payload, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcbench: writing %s: %v\n", jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d results)\n", jsonPath, len(report.Results))
+	}
+}
+
+// measureIngest times one cell, reporting the best run and its
+// allocation count per event (via runtime.MemStats deltas; the GC's
+// own allocations make the figure an upper bound).
+func measureIngest(traceName, engine, format, mode string, data []byte, opts []treeclock.StreamOption, repeats int) ingestResult {
+	var (
+		best   time.Duration = -1
+		allocs float64
+		res    *treeclock.StreamResult
+	)
+	for i := 0; i < repeats; i++ {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		r, err := treeclock.RunStream(engine, bytes.NewReader(data), opts...)
+		el := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcbench: %s/%s/%s: %v\n", engine, format, mode, err)
+			os.Exit(1)
+		}
+		if best < 0 || el < best {
+			best = el
+			allocs = float64(after.Mallocs - before.Mallocs)
+			res = r
+		}
+	}
+	n := float64(res.Events)
+	if n == 0 {
+		// A degenerate workload (tiny -stream-events) must not poison
+		// the report with Inf/NaN, which JSON cannot encode.
+		return ingestResult{Trace: traceName, Engine: engine, Format: format, Mode: mode}
+	}
+	return ingestResult{
+		Trace:          traceName,
+		Engine:         engine,
+		Format:         format,
+		Mode:           mode,
+		EventsPerSec:   n / best.Seconds(),
+		NsPerEvent:     float64(best.Nanoseconds()) / n,
+		AllocsPerEvent: allocs / n,
+		Pairs:          res.Summary.Total,
+	}
+}

@@ -8,11 +8,14 @@
 //	tcbench -experiment fig10 -fig10-events 1000000 -fig10-threads 10,60,110
 //
 // Experiments: table1, table2, table3, fig6, fig7, fig8, fig9, fig10,
-// ablation, stream, all. Results print to stdout; see EXPERIMENTS.md
-// for the recorded paper-vs-measured comparison. The stream experiment
-// compares the one-pass streaming path (RunStream: parse + analyze with
-// no prior metadata) against the materialized path for every registry
-// engine; with -stream-file it instead streams a trace file directly.
+// ablation, stream, ingest, all. Results print to stdout; see
+// EXPERIMENTS.md for the recorded paper-vs-measured comparison. The
+// stream experiment compares the one-pass streaming path (RunStream:
+// parse + analyze with no prior metadata) against the materialized path
+// for every registry engine; with -stream-file it instead streams a
+// trace file directly. The ingest experiment compares scalar, batched
+// and pipelined ingestion per engine × format (tcbench -experiment
+// ingest -json BENCH_ingest.json for the machine-readable report).
 package main
 
 import (
@@ -32,8 +35,9 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "experiment to run: table1|table2|table3|fig6|fig7|fig8|fig9|fig10|ablation|stream|all")
-		streamEv    = flag.Int("stream-events", 400000, "events in the generated stream-experiment trace")
+		experiment  = flag.String("experiment", "all", "experiment to run: table1|table2|table3|fig6|fig7|fig8|fig9|fig10|ablation|stream|ingest|all")
+		streamEv    = flag.Int("stream-events", 400000, "events in the generated stream- and ingest-experiment traces")
+		jsonPath    = flag.String("json", "", "write the ingest experiment's machine-readable report to this file (e.g. BENCH_ingest.json)")
 		streamFile  = flag.String("stream-file", "", "stream this trace file instead of a generated workload (text format, or bin with -stream-bin)")
 		streamBin   = flag.Bool("stream-bin", false, "treat -stream-file as binary format")
 		scale       = flag.Float64("scale", 1.0, "suite event-count multiplier (1.0 ≈ hundreds of thousands of events per large trace)")
@@ -70,6 +74,7 @@ func main() {
 		{"fig10", func() { h.Figure10(os.Stdout) }},
 		{"ablation", func() { h.Ablation(os.Stdout) }},
 		{"stream", func() { streamExperiment(*streamEv, *streamFile, *streamBin) }},
+		{"ingest", func() { ingestExperiment(*streamEv, *repeats, *jsonPath) }},
 	}
 
 	want := strings.ToLower(*experiment)

@@ -8,7 +8,13 @@
 //	tcrace -engine hb-tree trace.txt      # happens-before races, tree clocks
 //	tcrace -engine shb-vc < t.txt         # SHB with the vector-clock baseline
 //	tcrace -engine maz-tree -format bin t.tr
+//	tcrace -pipeline 4 big.txt            # decode in a separate goroutine
 //	tcrace -algo shb -clock vc < t.txt    # legacy flag spelling
+//
+// Ingestion is batched by default; -scalar forces the per-event loop
+// and -pipeline N overlaps decoding with analysis through a ring of N
+// recycled batch buffers (useful on multi-core machines when the input
+// is text).
 //
 // Prints the race summary and up to 64 sample pairs, plus timing and —
 // with -work — the data-structure work counters. Engine names come
@@ -35,6 +41,8 @@ func main() {
 		samples    = flag.Int("samples", 10, "sample races to print")
 		list       = flag.Bool("list", false, "list registered engines and exit")
 		noValidate = flag.Bool("no-validate", false, "skip incremental well-formedness checking (lock/fork/join discipline)")
+		pipeline   = flag.Int("pipeline", 0, "decode in a separate goroutine through a ring of N recycled batch buffers (0 = off)")
+		scalar     = flag.Bool("scalar", false, "force the per-event streaming loop instead of batched ingestion")
 	)
 	flag.Parse()
 
@@ -73,6 +81,12 @@ func main() {
 	opts := []treeclock.StreamOption{}
 	if !*noValidate {
 		opts = append(opts, treeclock.StreamValidate())
+	}
+	if *pipeline > 0 {
+		opts = append(opts, treeclock.WithPipeline(*pipeline))
+	}
+	if *scalar {
+		opts = append(opts, treeclock.StreamScalar())
 	}
 	switch *format {
 	case "text":

@@ -47,6 +47,25 @@
 // materialized paths are differentially tested to produce identical
 // race reports and timestamps.
 //
+// # Batched ingestion
+//
+// Ingestion is batched end to end. The text scanner is a byte-level
+// tokenizer over a reused read buffer — no per-line strings, identifier
+// names copied only on first sight — that runs at zero allocations per
+// event in steady state; every event source (both scanners, the
+// validator, the in-memory TraceReplayer) also delivers events in bulk
+// through BatchEventSource, and the engine runtime pulls batches into a
+// caller-owned buffer automatically, amortizing interface dispatch to
+// once per batch. Two RunStream knobs control the mode: StreamScalar
+// forces the per-event loop (for comparison), and WithPipeline(depth)
+// moves decoding into its own goroutine behind a ring of recycled
+// batch buffers so parsing overlaps analysis on multi-core machines.
+// Batches are consumed strictly in order, so every mode produces
+// byte-identical race reports — a property pinned by differential
+// fuzz tests across all six registry engines. cmd/tcbench -experiment
+// ingest measures the modes against each other and, with -json, emits
+// a machine-readable BENCH_ingest.json report.
+//
 // # Layout
 //
 //   - The clock data structures: NewTreeClock (the contribution) and

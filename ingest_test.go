@@ -1,0 +1,116 @@
+package treeclock_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"treeclock"
+)
+
+// ingestModes are the three consumption strategies of the batched
+// ingestion layer; every one must be observationally identical.
+var ingestModes = []struct {
+	name string
+	opts []treeclock.StreamOption
+}{
+	{"scalar", []treeclock.StreamOption{treeclock.StreamScalar()}},
+	{"batch", nil},
+	{"pipeline-2", []treeclock.StreamOption{treeclock.WithPipeline(2)}},
+	{"pipeline-8", []treeclock.StreamOption{treeclock.WithPipeline(8)}},
+}
+
+// TestIngestPathsAgree is the differential acceptance test of the
+// batched-ingestion layer: randomly generated traces, rendered to text
+// and binary, must produce byte-identical race reports and identical
+// metadata through the scalar, batched and pipelined paths, for every
+// registry engine.
+func TestIngestPathsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 6; trial++ {
+		cfg := treeclock.GenConfig{
+			Name:     "fuzz",
+			Threads:  2 + rng.Intn(12),
+			Locks:    1 + rng.Intn(8),
+			Vars:     1 + rng.Intn(200),
+			Events:   500 + rng.Intn(4000),
+			Seed:     rng.Int63(),
+			SyncFrac: rng.Float64() * 0.5,
+			ReadFrac: rng.Float64(),
+			HotFrac:  rng.Float64() * 0.2,
+		}
+		tr := treeclock.GenerateMixed(cfg)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trial %d: generator produced invalid trace: %v", trial, err)
+		}
+		var text, bin bytes.Buffer
+		if err := treeclock.WriteTraceText(&text, tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := treeclock.WriteTraceBinary(&bin, tr); err != nil {
+			t.Fatal(err)
+		}
+		formats := []struct {
+			name string
+			data []byte
+			opts []treeclock.StreamOption
+		}{
+			{"text", text.Bytes(), nil},
+			{"bin", bin.Bytes(), []treeclock.StreamOption{treeclock.StreamBinary()}},
+		}
+		for _, engine := range treeclock.Engines() {
+			for _, f := range formats {
+				var wantReport string
+				var wantMeta treeclock.Meta
+				var wantEvents uint64
+				for i, mode := range ingestModes {
+					opts := append(append([]treeclock.StreamOption{}, f.opts...), mode.opts...)
+					res, err := treeclock.RunStream(engine, bytes.NewReader(f.data), opts...)
+					if err != nil {
+						t.Fatalf("trial %d %s/%s/%s: %v", trial, engine, f.name, mode.name, err)
+					}
+					report := raceReport(res.Summary, res.Samples)
+					if i == 0 {
+						wantReport, wantMeta, wantEvents = report, res.Meta, res.Events
+						continue
+					}
+					if report != wantReport {
+						t.Errorf("trial %d %s/%s: %s race report diverges from %s:\n%s\nvs\n%s",
+							trial, engine, f.name, mode.name, ingestModes[0].name, report, wantReport)
+					}
+					if res.Meta != wantMeta || res.Events != wantEvents {
+						t.Errorf("trial %d %s/%s: %s meta/events diverge: %+v/%d vs %+v/%d",
+							trial, engine, f.name, mode.name, res.Meta, res.Events, wantMeta, wantEvents)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIngestScalarPipelineExclusive pins the option conflict error.
+func TestIngestScalarPipelineExclusive(t *testing.T) {
+	_, err := treeclock.RunStream("hb-tree", bytes.NewReader(nil),
+		treeclock.StreamScalar(), treeclock.WithPipeline(2))
+	if err == nil {
+		t.Fatal("StreamScalar + WithPipeline accepted")
+	}
+}
+
+// TestIngestMalformedThroughPipeline checks error reporting survives
+// each consumption path (same error text, valid prefix processed).
+func TestIngestMalformedThroughPipeline(t *testing.T) {
+	input := []byte("t0 w x0\nt0 acq l0\nt0 oops x0\n")
+	var want string
+	for i, mode := range ingestModes {
+		_, err := treeclock.RunStream("shb-tree", bytes.NewReader(input), mode.opts...)
+		if err == nil {
+			t.Fatalf("%s: malformed trace accepted", mode.name)
+		}
+		if i == 0 {
+			want = err.Error()
+		} else if err.Error() != want {
+			t.Errorf("%s error = %q, want %q", mode.name, err.Error(), want)
+		}
+	}
+}

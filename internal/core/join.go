@@ -111,6 +111,9 @@ func (c *TreeClock) MonotoneCopy(o *TreeClock) {
 	s, sawOldRoot := c.gatherDetach(o, oldRoot)
 	c.attach(s)
 	c.root = o.root
+	if c.sh[c.root].par == notIn {
+		c.nodes++
+	}
 	c.sh[c.root].par = none
 	if !sawOldRoot && oldRoot != c.root {
 		// Defensive: the traversal never visited the old root, which
@@ -274,6 +277,9 @@ func (c *TreeClock) attach(s []rec) {
 		if p := r.par; p != none {
 			// pushChild(u, p) with the shape entry in hand.
 			nu := &csh[u]
+			if nu.par == notIn {
+				c.nodes++
+			}
 			h := csh[p].head
 			nu.aclk = r.aclk
 			nu.par = p
@@ -292,6 +298,9 @@ func (c *TreeClock) attach(s []rec) {
 // pushChild makes u the first child of p.
 func (c *TreeClock) pushChild(u, p vt.TID) {
 	csh := c.sh
+	if csh[u].par == notIn {
+		c.nodes++
+	}
 	h := csh[p].head
 	csh[u].par = p
 	csh[u].nxt = h
@@ -319,6 +328,7 @@ func (c *TreeClock) deepCopyFrom(o *TreeClock) {
 		}
 	}
 	c.root = o.root
+	c.nodes = o.nodes
 	copy(c.clk, o.clk)
 	copy(c.sh, o.sh)
 	for t := int(o.k); t < int(c.k); t++ {

@@ -82,9 +82,10 @@ type shape struct {
 // first MonotoneCopy, matching the paper's note that only thread clocks
 // run Init.
 type TreeClock struct {
-	k    int32
-	root vt.TID
-	mode Mode
+	k     int32
+	root  vt.TID
+	mode  Mode
+	nodes int32 // threads present in the tree, maintained on attach
 
 	// Following the paper's implementation note, the clock is "two
 	// arrays of length k": clk holds the integer timestamps exactly
@@ -169,6 +170,7 @@ func (c *TreeClock) Init(t vt.TID) {
 	c.Grow(int(t) + 1)
 	c.root = t
 	c.sh[t].par = none
+	c.nodes++
 }
 
 // Get returns the recorded local time of thread t in O(1) (Remark 1).
@@ -213,37 +215,46 @@ func (c *TreeClock) Vector(dst vt.Vector) vt.Vector {
 	return dst
 }
 
-// NumNodes returns how many threads are present in the tree.
-func (c *TreeClock) NumNodes() int {
-	count := 0
-	for t := int32(0); t < c.k; t++ {
-		if c.sh[t].par != notIn {
-			count++
-		}
-	}
-	return count
-}
+// NumNodes returns how many threads are present in the tree. The count
+// is maintained incrementally as nodes are attached (a node, once
+// present, never leaves the tree), so the call is O(1) — it sits on
+// stats paths that may run per event.
+func (c *TreeClock) NumNodes() int { return int(c.nodes) }
 
-// String renders the tree in (tid,clk,aclk) form, pre-order.
+// String renders the tree in (tid,clk,aclk) form, pre-order. The walk
+// is iterative with an explicit stack, like every other traversal in
+// this package, so degenerate chain-shaped trees of any depth render
+// without growing the goroutine stack.
 func (c *TreeClock) String() string {
 	if c.root == none {
 		return "<empty>"
 	}
 	var out []byte
-	var rec func(u vt.TID, depth int)
-	rec = func(u vt.TID, depth int) {
-		for i := 0; i < depth; i++ {
+	type strFrame struct {
+		u     vt.TID
+		depth int
+	}
+	stack := []strFrame{{c.root, 0}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for i := 0; i < f.depth; i++ {
 			out = append(out, ' ', ' ')
 		}
-		if u == c.root {
-			out = append(out, fmt.Sprintf("(t%d, %d, _)\n", u, c.clk[u])...)
+		if f.u == c.root {
+			out = append(out, fmt.Sprintf("(t%d, %d, _)\n", f.u, c.clk[f.u])...)
 		} else {
-			out = append(out, fmt.Sprintf("(t%d, %d, %d)\n", u, c.clk[u], c.sh[u].aclk)...)
+			out = append(out, fmt.Sprintf("(t%d, %d, %d)\n", f.u, c.clk[f.u], c.sh[f.u].aclk)...)
 		}
-		for v := c.sh[u].head; v != none; v = c.sh[v].nxt {
-			rec(v, depth+1)
+		// Push children in reverse sibling order so the pre-order visit
+		// matches the child-list (descending-aclk) order.
+		mark := len(stack)
+		for v := c.sh[f.u].head; v != none; v = c.sh[v].nxt {
+			stack = append(stack, strFrame{v, f.depth + 1})
+		}
+		for i, j := mark, len(stack)-1; i < j; i, j = i+1, j-1 {
+			stack[i], stack[j] = stack[j], stack[i]
 		}
 	}
-	rec(c.root, 0)
 	return string(out)
 }

@@ -30,6 +30,9 @@ func (c *TreeClock) Validate() error {
 			return fmt.Errorf("absent thread %d has nonzero clk %d", t, c.clk[t])
 		}
 	}
+	if present != int(c.nodes) {
+		return fmt.Errorf("incremental node count %d, but %d nodes present", c.nodes, present)
+	}
 	if c.root == none {
 		if present != 0 {
 			return fmt.Errorf("empty clock has %d present nodes", present)

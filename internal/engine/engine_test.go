@@ -162,3 +162,48 @@ t0 w x0
 		t.Errorf("final t0 timestamp %v, want [4, 1]", got)
 	}
 }
+
+// TestProcessSourceConsumptionModes runs one trace through every
+// consumption mode of ProcessSource — per-event scalar, caller-buffer
+// batches (via the in-memory replayer) and the pipelined zero-copy
+// producer — and checks the final timestamps are identical.
+func TestProcessSourceConsumptionModes(t *testing.T) {
+	tr := gen.Mixed(gen.Config{Name: "modes", Threads: 8, Locks: 4, Vars: 32, Events: 4000, Seed: 9, SyncFrac: 0.3})
+	for _, order := range orders {
+		ref := newRuntime[*core.TreeClock](t, order, core.Factory(nil))
+		ref.Process(tr.Events)
+
+		scalar := newRuntime[*core.TreeClock](t, order, core.Factory(nil))
+		if err := scalar.ProcessScalar(trace.NewReplayer(tr)); err != nil {
+			t.Fatalf("%s: scalar: %v", order, err)
+		}
+		batched := newRuntime[*core.TreeClock](t, order, core.Factory(nil))
+		if err := batched.ProcessSource(trace.NewReplayer(tr)); err != nil {
+			t.Fatalf("%s: batched: %v", order, err)
+		}
+		smallBuf := newRuntime[*core.TreeClock](t, order, core.Factory(nil))
+		if err := smallBuf.ProcessBatches(trace.NewReplayer(tr), make([]trace.Event, 7)); err != nil {
+			t.Fatalf("%s: small buffer: %v", order, err)
+		}
+		piped := newRuntime[*core.TreeClock](t, order, core.Factory(nil))
+		p := trace.NewPipeline(trace.NewReplayer(tr), 3, 64)
+		if err := piped.ProcessSource(p); err != nil {
+			t.Fatalf("%s: pipelined: %v", order, err)
+		}
+		p.Close()
+
+		k := tr.Meta.Threads
+		for _, rt := range []*engine.Runtime[*core.TreeClock]{scalar, batched, smallBuf, piped} {
+			if rt.Events() != uint64(tr.Len()) {
+				t.Fatalf("%s: processed %d events, want %d", order, rt.Events(), tr.Len())
+			}
+			for th := 0; th < rt.Threads(); th++ {
+				got := rt.Timestamp(vt.TID(th), vt.NewVector(k))
+				want := ref.Timestamp(vt.TID(th), vt.NewVector(k))
+				if !got.Equal(want) {
+					t.Fatalf("%s: thread %d: %v, want %v", order, th, got, want)
+				}
+			}
+		}
+	}
+}

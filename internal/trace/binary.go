@@ -137,6 +137,34 @@ func (s *BinaryScanner) Next() (Event, bool) {
 	if err := s.header(); err != nil || s.read == s.total {
 		return Event{}, false
 	}
+	return s.decode()
+}
+
+// NextBatch fills buf with up to len(buf) events; see
+// BatchSource.NextBatch for the contract. The header check and the
+// remaining-count test are hoisted out of the per-event loop.
+func (s *BinaryScanner) NextBatch(buf []Event) (n int, ok bool) {
+	if err := s.header(); err != nil {
+		return 0, false
+	}
+	want := len(buf)
+	if rem := s.total - s.read; uint64(want) > rem {
+		want = int(rem)
+	}
+	for n < want {
+		ev, ok := s.decode()
+		if !ok {
+			break
+		}
+		buf[n] = ev
+		n++
+	}
+	return n, n > 0
+}
+
+// decode reads one event; the header must already be consumed and the
+// declared count not yet exhausted.
+func (s *BinaryScanner) decode() (Event, bool) {
 	kind, err := s.br.ReadByte()
 	if err != nil {
 		s.err = fmt.Errorf("trace: event %d: %w", s.read, err)

@@ -1,0 +1,164 @@
+package trace
+
+// Pipelined decode
+//
+// Decoding a trace (tokenizing text or uvarint-decoding binary) and
+// analyzing it are independent stages that the scalar loop serializes.
+// Pipeline moves decoding into its own goroutine: the producer pulls
+// batches from the wrapped source into a small ring of recycled
+// buffers and hands them to the consumer through a channel, so parsing
+// the next batch overlaps engine work on the current one. Batches
+// travel through a single FIFO channel and are consumed in order, so
+// the event sequence — and therefore every analysis result — is
+// identical to the scalar path; only wall-clock time changes.
+
+// Pipeline wraps an EventSource with an asynchronous decode stage. It
+// implements BatchProducer (the zero-copy fast path the engine runtime
+// prefers) and the plain EventSource interface. A Pipeline must be
+// Closed if the consumer abandons it before exhaustion, or the decode
+// goroutine leaks; draining it to ok == false shuts the producer down
+// on its own, and Close is then a no-op.
+type Pipeline struct {
+	src     EventSource
+	batches chan []Event  // decoded batches, in trace order
+	free    chan []Event  // recycled buffers
+	stop    chan struct{} // closed by Close to cancel the producer
+	done    chan struct{} // closed by the producer on exit
+	srcErr  error         // written by the producer before closing batches
+	cur     []Event       // current batch for the per-event Next view
+	pos     int
+	closed  bool
+}
+
+// NewPipeline runs src's decoding in a goroutine feeding batches of
+// batchSize events through a ring of depth recycled buffers. depth <= 0
+// selects 4 buffers, batchSize <= 0 selects DefaultBatchSize. A depth
+// of at least 2 is enforced — with a single buffer the stages could
+// never overlap.
+func NewPipeline(src EventSource, depth, batchSize int) *Pipeline {
+	if depth <= 0 {
+		depth = 4
+	}
+	if depth < 2 {
+		depth = 2
+	}
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	p := &Pipeline{
+		src:     src,
+		batches: make(chan []Event, depth),
+		free:    make(chan []Event, depth),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for i := 0; i < depth; i++ {
+		p.free <- make([]Event, batchSize)
+	}
+	go p.run()
+	return p
+}
+
+// run is the decode stage: it recycles buffers from the free ring,
+// fills each from the source, and ships it downstream in order.
+func (p *Pipeline) run() {
+	defer close(p.done)
+	defer close(p.batches)
+	for {
+		var buf []Event
+		select {
+		case buf = <-p.free:
+		case <-p.stop:
+			return
+		}
+		n, ok := ReadBatch(p.src, buf[:cap(buf)])
+		if n > 0 {
+			select {
+			case p.batches <- buf[:n]:
+			case <-p.stop:
+				return
+			}
+		}
+		if !ok {
+			// Capture the source's error before close(p.batches) so the
+			// channel close orders it before any Err() call.
+			p.srcErr = p.src.Err()
+			return
+		}
+	}
+}
+
+// AcquireBatch returns the next decoded batch, blocking on the decode
+// stage if it is behind. ok == false means the source is exhausted or
+// failed; check Err.
+func (p *Pipeline) AcquireBatch() ([]Event, bool) {
+	b, ok := <-p.batches
+	if !ok {
+		// The producer closes batches before done; waiting here makes
+		// srcErr visible to Err the moment exhaustion is reported.
+		<-p.done
+	}
+	return b, ok
+}
+
+// ReleaseBatch returns a batch obtained from AcquireBatch to the ring.
+func (p *Pipeline) ReleaseBatch(b []Event) {
+	select {
+	case p.free <- b[:cap(b)]:
+	default: // ring already full (double release); drop the buffer
+	}
+}
+
+// Next is the per-event view, for consumers that do not batch.
+func (p *Pipeline) Next() (Event, bool) {
+	for p.pos >= len(p.cur) {
+		if p.cur != nil {
+			p.ReleaseBatch(p.cur)
+			p.cur = nil
+		}
+		b, ok := p.AcquireBatch()
+		if !ok {
+			return Event{}, false
+		}
+		p.cur, p.pos = b, 0
+	}
+	ev := p.cur[p.pos]
+	p.pos++
+	return ev, true
+}
+
+// Err returns the wrapped source's error. It is meaningful once
+// AcquireBatch or Next has reported false (the EventSource contract);
+// calling it earlier may miss an error the producer has not hit yet.
+func (p *Pipeline) Err() error {
+	select {
+	case <-p.done:
+		return p.srcErr
+	default:
+		return nil
+	}
+}
+
+// Close cancels the decode stage and waits for it to exit. It is safe
+// to call multiple times and after exhaustion.
+//
+// The wait covers at most one in-flight ReadBatch: a Go io.Reader
+// blocked in Read cannot be interrupted, so if the underlying reader
+// may block indefinitely (a socket, a pipe), unblock it — close the
+// file or connection, or set a read deadline — to make Close return.
+func (p *Pipeline) Close() {
+	if !p.closed {
+		p.closed = true
+		close(p.stop)
+	}
+	<-p.done
+	// Drain any batch the producer shipped before it saw the stop
+	// signal, so its buffer is not falsely reported as leaked.
+	for range p.batches {
+	}
+}
+
+var (
+	_ EventSource   = (*Pipeline)(nil)
+	_ BatchProducer = (*Pipeline)(nil)
+)

@@ -1,10 +1,9 @@
 package trace
 
 import (
-	"bufio"
+	"bytes"
 	"fmt"
 	"io"
-	"strings"
 
 	"treeclock/internal/vt"
 )
@@ -14,11 +13,22 @@ import (
 // the first error (nil at clean EOF). The text Scanner and the
 // BinaryScanner both implement it, and the engine runtime consumes it
 // directly (Runtime.ProcessSource), so arbitrarily large traces are
-// analyzable in one pass without materialization.
+// analyzable in one pass without materialization. Sources that can
+// deliver events in bulk additionally implement BatchSource, which the
+// runtime prefers.
 type EventSource interface {
 	Next() (Event, bool)
 	Err() error
 }
+
+// Scanner tokenizer tuning. The read buffer starts at readBufSize and
+// doubles on demand up to maxLineSize, the bound a single line (and
+// therefore the buffer) may reach — matching the old bufio.Scanner
+// limit.
+const (
+	readBufSize = 256 * 1024
+	maxLineSize = 16 * 1024 * 1024
+)
 
 // Scanner streams events from the text trace format without
 // materializing the whole trace, for analyses over logs larger than
@@ -26,8 +36,21 @@ type EventSource interface {
 // ParseText; Meta() reports the ranges seen so far. Engines built on
 // internal/engine grow their state dynamically, so they can consume a
 // Scanner directly with no prior metadata.
+//
+// The scanner is a byte-level tokenizer over one large reused read
+// buffer: lines are located and split into fields in place, and
+// identifier interning copies a token only on first sight (the map
+// lookup itself is keyed on the byte slice without conversion). In
+// steady state — once every identifier has been seen — Next and
+// NextBatch perform zero allocations per event.
 type Scanner struct {
-	sc      *bufio.Scanner
+	r       io.Reader
+	buf     []byte // reused read buffer; grows only for oversized lines
+	pos     int    // start of unconsumed bytes
+	end     int    // end of valid bytes
+	eof     bool   // reader returned io.EOF
+	readErr error  // deferred non-EOF read error (buffered lines drain first)
+	empty   int    // consecutive zero-byte reads (io.ErrNoProgress guard)
 	threads *intern
 	locks   *intern
 	vars    *intern
@@ -37,51 +60,245 @@ type Scanner struct {
 
 // NewScanner wraps a text-format trace stream.
 func NewScanner(r io.Reader) *Scanner {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
-	return &Scanner{sc: sc, threads: newIntern(), locks: newIntern(), vars: newIntern()}
+	return &Scanner{
+		r:       r,
+		buf:     make([]byte, readBufSize),
+		threads: newIntern(),
+		locks:   newIntern(),
+		vars:    newIntern(),
+	}
 }
 
 // Next returns the next event. It reports ok == false at end of input
 // or on error; check Err afterwards.
+//
+// The hot path is a single fused scan: locating the end of the line,
+// trimming whitespace and splitting the three fields all happen in one
+// pass over the buffered bytes, with no per-line function calls. When
+// a line turns out to be split across the buffer boundary, the scan
+// restarts after a refill (bounded: once per buffer's worth of input).
 func (s *Scanner) Next() (ev Event, ok bool) {
 	if s.err != nil {
 		return Event{}, false
 	}
-	for s.sc.Scan() {
-		s.line++
-		line := strings.TrimSpace(s.sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+	for {
+		buf, i, end := s.buf, s.pos, s.end
+		// Skip leading whitespace.
+		for i < end && isSpace(buf[i]) {
+			i++
+		}
+		if i == end {
+			if !s.atEnd() {
+				s.fill()
+				if s.err != nil {
+					return Event{}, false
+				}
+				continue
+			}
+			s.pos = end
+			// Input exhausted; surface a deferred read error now that
+			// every buffered line has been delivered.
+			if s.readErr != nil {
+				s.err = fmt.Errorf("trace: %w", s.readErr)
+			}
+			return Event{}, false
+		}
+		switch buf[i] {
+		case '\n': // blank line
+			s.pos = i + 1
+			s.line++
+			continue
+		case '#': // comment line: consume through the newline
+			if nl := bytes.IndexByte(buf[i:end], '\n'); nl >= 0 {
+				s.pos = i + nl + 1
+			} else if !s.eof {
+				if s.readErr != nil {
+					return Event{}, s.failRead()
+				}
+				s.fill()
+				if s.err != nil {
+					return Event{}, false
+				}
+				continue
+			} else {
+				s.pos = end // final comment line without a newline
+			}
+			s.line++
 			continue
 		}
-		fields := strings.Fields(line)
-		if len(fields) != 3 {
+		// A real line starts at i: split fields in place while scanning
+		// for the line end. Each field is one tight run over non-delim
+		// bytes; classification is a table lookup.
+		lineStart := i
+		var f [3][]byte
+		nf := 0
+		refill := false
+		for {
+			if i == end {
+				// Only a clean EOF terminates an unterminated final
+				// line; after a read error the line may be truncated
+				// mid-token and must not be delivered.
+				if s.readErr != nil {
+					return Event{}, s.failRead()
+				}
+				if !s.eof {
+					refill = true
+				}
+				break
+			}
+			c := buf[i]
+			if c == '\n' {
+				break
+			}
+			// c is the first byte of a field.
+			j := i + 1
+			for j < end && !fieldDelim[buf[j]] {
+				j++
+			}
+			if j == end && !s.eof {
+				if s.readErr != nil {
+					return Event{}, s.failRead()
+				}
+				refill = true // the field may continue past the buffer
+				break
+			}
+			if nf < len(f) {
+				f[nf] = buf[i:j]
+			}
+			nf++
+			i = j
+			for i < end && asciiSpace[buf[i]] {
+				i++
+			}
+		}
+		if refill {
+			s.fill()
+			if s.err != nil {
+				return Event{}, false
+			}
+			continue // rescan the (compacted, extended) line
+		}
+		s.line++
+		lineEnd := i
+		if i < end {
+			s.pos = i + 1
+		} else {
+			s.pos = end
+		}
+		if nf != 3 {
+			line := buf[lineStart:lineEnd]
+			for len(line) > 0 && isSpace(line[len(line)-1]) {
+				line = line[:len(line)-1]
+			}
 			s.err = fmt.Errorf("trace: line %d: want \"<thread> <op> <operand>\", got %q", s.line, line)
 			return Event{}, false
 		}
-		ev.T = vt.TID(s.threads.id(fields[0]))
-		switch fields[1] {
+		ev.T = vt.TID(s.threads.idBytes(f[0]))
+		// The switch over string(op) compiles to byte comparisons; no
+		// allocation takes place.
+		switch string(f[1]) {
 		case "r":
-			ev.Kind, ev.Obj = Read, s.vars.id(fields[2])
+			ev.Kind, ev.Obj = Read, s.vars.idBytes(f[2])
 		case "w":
-			ev.Kind, ev.Obj = Write, s.vars.id(fields[2])
+			ev.Kind, ev.Obj = Write, s.vars.idBytes(f[2])
 		case "acq":
-			ev.Kind, ev.Obj = Acquire, s.locks.id(fields[2])
+			ev.Kind, ev.Obj = Acquire, s.locks.idBytes(f[2])
 		case "rel":
-			ev.Kind, ev.Obj = Release, s.locks.id(fields[2])
+			ev.Kind, ev.Obj = Release, s.locks.idBytes(f[2])
 		case "fork":
-			ev.Kind, ev.Obj = Fork, s.threads.id(fields[2])
+			ev.Kind, ev.Obj = Fork, s.threads.idBytes(f[2])
 		case "join":
-			ev.Kind, ev.Obj = Join, s.threads.id(fields[2])
+			ev.Kind, ev.Obj = Join, s.threads.idBytes(f[2])
 		default:
-			s.err = fmt.Errorf("trace: line %d: unknown operation %q", s.line, fields[1])
+			s.err = fmt.Errorf("trace: line %d: unknown operation %q", s.line, f[1])
 			return Event{}, false
 		}
 		return ev, true
 	}
-	s.err = s.sc.Err()
-	return Event{}, false
 }
+
+// atEnd reports whether no further input can arrive: the reader hit
+// EOF or a deferred read error.
+func (s *Scanner) atEnd() bool { return s.eof || s.readErr != nil }
+
+// failRead consumes the remaining (truncated) buffered bytes and
+// surfaces the deferred read error; it returns Next's ok value.
+func (s *Scanner) failRead() bool {
+	s.pos = s.end
+	s.err = fmt.Errorf("trace: %w", s.readErr)
+	return false
+}
+
+// NextBatch fills buf with up to len(buf) events and reports how many
+// were decoded. ok is n > 0; a false result means the input is
+// exhausted or failed — check Err. Batching amortizes the per-event
+// call overhead of the streaming loop; see BatchSource.
+func (s *Scanner) NextBatch(buf []Event) (n int, ok bool) {
+	for n < len(buf) {
+		ev, ok := s.Next()
+		if !ok {
+			break
+		}
+		buf[n] = ev
+		n++
+	}
+	return n, n > 0
+}
+
+// fill compacts the buffer and reads more input, growing the buffer
+// when a single line exceeds it.
+func (s *Scanner) fill() {
+	if s.pos > 0 {
+		s.end = copy(s.buf, s.buf[s.pos:s.end])
+		s.pos = 0
+	}
+	if s.end == len(s.buf) {
+		if len(s.buf) >= maxLineSize {
+			s.err = fmt.Errorf("trace: line %d: line longer than %d bytes", s.line+1, maxLineSize)
+			return
+		}
+		size := 2 * len(s.buf)
+		if size > maxLineSize {
+			size = maxLineSize
+		}
+		grown := make([]byte, size)
+		copy(grown, s.buf[:s.end])
+		s.buf = grown
+	}
+	n, err := s.r.Read(s.buf[s.end:])
+	s.end += n
+	if n > 0 {
+		s.empty = 0
+	} else if err == nil {
+		if s.empty++; s.empty >= 100 {
+			s.err = fmt.Errorf("trace: %w", io.ErrNoProgress)
+			return
+		}
+	}
+	switch {
+	case err == io.EOF:
+		s.eof = true
+	case err != nil:
+		// Deliver the complete lines already buffered before failing.
+		s.readErr = err
+	}
+}
+
+// asciiSpace marks ASCII whitespace (the byte-level counterpart of the
+// unicode.IsSpace set the bufio-era scanner used; trace identifiers
+// are ASCII tokens). Newline is a line terminator, not a space, and is
+// marked only in fieldDelim, which ends identifier runs.
+var asciiSpace, fieldDelim [256]bool
+
+func init() {
+	for _, b := range []byte{' ', '\t', '\r', '\v', '\f'} {
+		asciiSpace[b] = true
+		fieldDelim[b] = true
+	}
+	fieldDelim['\n'] = true
+}
+
+func isSpace(b byte) bool { return asciiSpace[b] }
 
 // Err returns the first error encountered, or nil at clean EOF.
 func (s *Scanner) Err() error { return s.err }
@@ -99,12 +316,13 @@ func (s *Scanner) Meta() Meta {
 // ParseText, provided for symmetry).
 func (s *Scanner) ScanAll() (*Trace, error) {
 	var events []Event
+	var buf [256]Event
 	for {
-		ev, ok := s.Next()
+		n, ok := s.NextBatch(buf[:])
+		events = append(events, buf[:n]...)
 		if !ok {
 			break
 		}
-		events = append(events, ev)
 	}
 	if err := s.Err(); err != nil {
 		return nil, err

@@ -1,0 +1,330 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestTokenizerCRLF checks Windows line endings parse identically to
+// Unix ones.
+func TestTokenizerCRLF(t *testing.T) {
+	unix := "t0 acq l0\nt0 w x0\nt0 rel l0\nt1 r x0\n"
+	dos := strings.ReplaceAll(unix, "\n", "\r\n")
+	a, err := NewScanner(strings.NewReader(unix)).ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewScanner(strings.NewReader(dos)).ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Meta != b.Meta || len(a.Events) != len(b.Events) {
+		t.Fatalf("CRLF parse diverges: %+v vs %+v", a.Meta, b.Meta)
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Errorf("event %d: %v vs %v", i, a.Events[i], b.Events[i])
+		}
+	}
+}
+
+// TestTokenizerWhitespace covers leading/trailing whitespace, interior
+// runs of mixed spaces and tabs, comment-only and blank lines, pinned
+// against literal expected events (ParseText shares the tokenizer, so
+// comparing against it would be self-referential).
+func TestTokenizerWhitespace(t *testing.T) {
+	input := "# header comment\n\n   \t\n\t t0   acq\t\tl0  \t\n  # indented comment\nt0 w x0\t\r\n\nt0 rel l0"
+	tr, err := NewScanner(strings.NewReader(input)).ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{T: 0, Kind: Acquire, Obj: 0},
+		{T: 0, Kind: Write, Obj: 0},
+		{T: 0, Kind: Release, Obj: 0},
+	}
+	if len(tr.Events) != len(want) {
+		t.Fatalf("got %d events %v, want %d", len(tr.Events), tr.Events, len(want))
+	}
+	for i := range want {
+		if tr.Events[i] != want[i] {
+			t.Errorf("event %d: %v, want %v", i, tr.Events[i], want[i])
+		}
+	}
+	if tr.Meta != (Meta{Threads: 1, Locks: 1, Vars: 1}) {
+		t.Errorf("meta = %+v", tr.Meta)
+	}
+}
+
+// TestTokenizerLongLine checks a line far longer than the initial read
+// buffer is handled by growing, not truncated or split.
+func TestTokenizerLongLine(t *testing.T) {
+	long := strings.Repeat("v", readBufSize*2+17)
+	input := "t0 acq l0\nt0 w " + long + "\nt0 rel l0\n"
+	tr, err := NewScanner(strings.NewReader(input)).ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 3 {
+		t.Fatalf("got %d events, want 3", len(tr.Events))
+	}
+	if tr.Meta.Vars != 1 {
+		t.Errorf("long identifier not interned: vars = %d", tr.Meta.Vars)
+	}
+	if tr.Events[1].Kind != Write || tr.Events[1].Obj != 0 {
+		t.Errorf("long-identifier event = %v", tr.Events[1])
+	}
+}
+
+// TestTokenizerNoTrailingNewline checks the final line is delivered
+// without a newline terminator.
+func TestTokenizerNoTrailingNewline(t *testing.T) {
+	cases := []struct {
+		input string
+		want  int
+	}{
+		{"t0 w x0", 1},
+		{"t0 w x0\nt1 r x0", 2},
+		{"t0 w x0\n# trailing comment", 1},
+		{"t0 w x0\n   ", 1},
+	}
+	for _, tc := range cases {
+		s := NewScanner(strings.NewReader(tc.input))
+		tr, err := s.ScanAll()
+		if err != nil {
+			t.Fatalf("%q: %v", tc.input, err)
+		}
+		if len(tr.Events) != tc.want {
+			t.Errorf("%q: got %d events, want %d", tc.input, len(tr.Events), tc.want)
+		}
+	}
+}
+
+// TestTokenizerErrorContract pins the malformed-line errors to the
+// exact text (and 1-based line numbers) of the bufio-era scanner, which
+// ParseText still produces.
+func TestTokenizerErrorContract(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  string
+	}{
+		{"too few fields", "t0 acq l0\nt0 w\n", `trace: line 2: want "<thread> <op> <operand>", got "t0 w"`},
+		{"too many fields", "t0 w x0 extra\n", `trace: line 1: want "<thread> <op> <operand>", got "t0 w x0 extra"`},
+		{"unknown op", "# c\n\nt0 frobnicate x0\n", `trace: line 3: unknown operation "frobnicate"`},
+		{"late error after comments", "# one\nt0 w x0\n# two\n\n  \nt1 nope x0\n", `trace: line 6: unknown operation "nope"`},
+		{"crlf malformed", "t0 w x0\r\nbad line here and more\r\n", `trace: line 2: want "<thread> <op> <operand>", got "bad line here and more"`},
+		{"trailing ws in message", "t0 w   \t\n", `trace: line 1: want "<thread> <op> <operand>", got "t0 w"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewScanner(strings.NewReader(tc.input))
+			for {
+				if _, ok := s.Next(); !ok {
+					break
+				}
+			}
+			if s.Err() == nil {
+				t.Fatal("malformed input accepted")
+			}
+			if got := s.Err().Error(); got != tc.want {
+				t.Errorf("error = %q, want %q", got, tc.want)
+			}
+			// The scanner and the materializing parser share the contract.
+			if _, err := ParseTextString(tc.input); err == nil || err.Error() != tc.want {
+				t.Errorf("ParseText error = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestTokenizerStopsAfterError checks the scanner stays stopped and
+// NextBatch agrees.
+func TestTokenizerStopsAfterError(t *testing.T) {
+	s := NewScanner(strings.NewReader("t0 w x0\nbogus\nt1 r x0\n"))
+	if _, ok := s.Next(); !ok {
+		t.Fatal("first event must scan")
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("malformed line must stop the scan")
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("scanner resumed after error")
+	}
+	if n, ok := s.NextBatch(make([]Event, 8)); n != 0 || ok {
+		t.Errorf("NextBatch after error = (%d, %v)", n, ok)
+	}
+}
+
+// TestTokenizerReadError checks buffered events drain before a reader
+// failure surfaces.
+func TestTokenizerReadError(t *testing.T) {
+	boom := errors.New("disk on fire")
+	r := io.MultiReader(strings.NewReader("t0 w x0\nt1 r x0\n"), &failReader{err: boom})
+	s := NewScanner(r)
+	count := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+		count++
+	}
+	if count != 2 {
+		t.Errorf("delivered %d buffered events before failing, want 2", count)
+	}
+	if !errors.Is(s.Err(), boom) {
+		t.Errorf("Err = %v, want wrapped %v", s.Err(), boom)
+	}
+}
+
+// TestTokenizerReadErrorTruncatedLine checks a final line with no
+// newline is NOT delivered when the reader failed (it may be truncated
+// mid-token — "x12" could be a prefix of "x123"); only a clean EOF
+// terminates an unterminated final line.
+func TestTokenizerReadErrorTruncatedLine(t *testing.T) {
+	boom := errors.New("connection reset")
+	for _, input := range []string{"t0 w x1\nt0 w x12", "t0 w x1\nt0 w x12 ", "t0 w x1\n# trunca", "t0 w x1\n   "} {
+		r := io.MultiReader(strings.NewReader(input), &failReader{err: boom})
+		s := NewScanner(r)
+		count := 0
+		for {
+			if _, ok := s.Next(); !ok {
+				break
+			}
+			count++
+		}
+		if count != 1 {
+			t.Errorf("%q: delivered %d events, want 1 (complete lines only)", input, count)
+		}
+		if !errors.Is(s.Err(), boom) {
+			t.Errorf("%q: Err = %v, want wrapped %v", input, s.Err(), boom)
+		}
+	}
+}
+
+type failReader struct{ err error }
+
+func (f *failReader) Read([]byte) (int, error) { return 0, f.err }
+
+// TestTokenizerInternConsistency mixes canonical, non-canonical and
+// near-canonical identifiers and pins ids to the literal order-of-
+// first-appearance contract: the fast path must never alias distinct
+// spellings like "x1" and "x01", and fast-path and map-path names must
+// share one dense id space. Expectations are spelled out explicitly —
+// ParseText shares the tokenizer, so it cannot serve as the reference.
+func TestTokenizerInternConsistency(t *testing.T) {
+	input := "t0 w x1\nt0 w x01\nmain w x001\nt0 w x1\nworker9 w hot\nt0 w x999999999999\nt0 w X2\nt0 w x2\n"
+	tr, err := NewScanner(strings.NewReader(input)).ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{T: 0, Kind: Write, Obj: 0}, // t0 -> 0, x1 -> 0 (fast path)
+		{T: 0, Kind: Write, Obj: 1}, // x01: leading zero, map path, distinct id
+		{T: 1, Kind: Write, Obj: 2}, // main -> 1 (map), x001 -> 2
+		{T: 0, Kind: Write, Obj: 0}, // x1 again: same id as first sight
+		{T: 2, Kind: Write, Obj: 3}, // worker9 -> 2, hot -> 3
+		{T: 0, Kind: Write, Obj: 4}, // x999999999999: too long for fast path
+		{T: 0, Kind: Write, Obj: 5}, // X2: uppercase prefix, map path
+		{T: 0, Kind: Write, Obj: 6}, // x2: fast path, distinct from X2
+	}
+	if len(tr.Events) != len(want) {
+		t.Fatalf("got %d events, want %d", len(tr.Events), len(want))
+	}
+	for i := range want {
+		if tr.Events[i] != want[i] {
+			t.Errorf("event %d: %v, want %v", i, tr.Events[i], want[i])
+		}
+	}
+	if tr.Meta != (Meta{Threads: 3, Locks: 0, Vars: 7}) {
+		t.Errorf("meta = %+v", tr.Meta)
+	}
+}
+
+// TestTokenizerBatchMatchesScalar streams the same input through Next
+// and NextBatch (at several buffer sizes, including sizes that straddle
+// batch boundaries) and requires identical events.
+func TestTokenizerBatchMatchesScalar(t *testing.T) {
+	var input bytes.Buffer
+	for i := 0; i < 1000; i++ {
+		fmt.Fprintf(&input, "t%d w x%d\n", i%7, i%101)
+		if i%13 == 0 {
+			fmt.Fprintf(&input, "# comment %d\n\n", i)
+		}
+	}
+	ref, err := NewScanner(bytes.NewReader(input.Bytes())).ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{1, 3, 64, 1024, 5000} {
+		s := NewScanner(bytes.NewReader(input.Bytes()))
+		buf := make([]Event, size)
+		var got []Event
+		for {
+			n, ok := s.NextBatch(buf)
+			got = append(got, buf[:n]...)
+			if !ok {
+				break
+			}
+		}
+		if err := s.Err(); err != nil {
+			t.Fatalf("batch size %d: %v", size, err)
+		}
+		if len(got) != len(ref.Events) {
+			t.Fatalf("batch size %d: %d events, want %d", size, len(got), len(ref.Events))
+		}
+		for i := range got {
+			if got[i] != ref.Events[i] {
+				t.Fatalf("batch size %d, event %d: %v vs %v", size, i, got[i], ref.Events[i])
+			}
+		}
+	}
+}
+
+// TestTokenizerTinyReads re-parses sample input through a one-byte-at-
+// a-time reader, exercising every refill/rescan path, against literal
+// expected events.
+func TestTokenizerTinyReads(t *testing.T) {
+	input := "# c\nt0 acq l0\n\nt0 w x0\r\nt0 rel l0\n  t1 r x0"
+	want := []Event{
+		{T: 0, Kind: Acquire, Obj: 0},
+		{T: 0, Kind: Write, Obj: 0},
+		{T: 0, Kind: Release, Obj: 0},
+		{T: 1, Kind: Read, Obj: 0},
+	}
+	s := NewScanner(&oneByteReader{data: []byte(input)})
+	tr, err := s.ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != len(want) {
+		t.Fatalf("got %d events %v, want %d", len(tr.Events), tr.Events, len(want))
+	}
+	for i := range want {
+		if tr.Events[i] != want[i] {
+			t.Errorf("event %d: %v, want %v", i, tr.Events[i], want[i])
+		}
+	}
+	if tr.Meta != (Meta{Threads: 2, Locks: 1, Vars: 1}) {
+		t.Errorf("meta = %+v", tr.Meta)
+	}
+}
+
+// oneByteReader yields one byte per Read call.
+type oneByteReader struct {
+	data []byte
+	off  int
+}
+
+func (r *oneByteReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	p[0] = r.data[r.off]
+	r.off++
+	return 1, nil
+}

@@ -4,6 +4,19 @@
 // in-memory representation with dense identifier spaces, well-formedness
 // validation (lock semantics), per-trace statistics matching the paper's
 // Tables 1 and 3, and text and binary serialization.
+//
+// # Streaming and batched ingestion
+//
+// Events stream through the EventSource interface: the text Scanner (a
+// byte-level tokenizer over one reused read buffer — zero allocations
+// per event in steady state), the BinaryScanner, the discipline-checking
+// Validator and the in-memory Replayer all implement it. Each also
+// implements BatchSource, delivering events in bulk into a caller-owned
+// buffer so per-event interface dispatch amortizes away; the engine
+// runtime consumes batches automatically. Pipeline optionally moves
+// decoding into its own goroutine behind a ring of recycled batch
+// buffers, overlapping parsing with analysis while preserving event
+// order exactly.
 package trace
 
 import (

@@ -62,6 +62,26 @@ func (v *Validator) Next() (Event, bool) {
 	return e, true
 }
 
+// NextBatch pulls a batch from the wrapped source and validates each
+// event; see BatchSource.NextBatch for the contract. On a violation it
+// reports the valid prefix of the batch (which consumers should still
+// process — the scalar path delivers exactly those events before
+// stopping) and the next call reports the failure.
+func (v *Validator) NextBatch(buf []Event) (int, bool) {
+	if v.err != nil {
+		return 0, false
+	}
+	n, _ := ReadBatch(v.src, buf)
+	for i := 0; i < n; i++ {
+		if err := v.check(buf[i]); err != nil {
+			v.err = err
+			return i, i > 0
+		}
+		v.idx++
+	}
+	return n, n > 0
+}
+
 func (v *Validator) check(e Event) error {
 	if e.T < 0 || e.Obj < 0 {
 		return fmt.Errorf("event %d (%v): negative identifier", v.idx, e)

@@ -90,6 +90,8 @@ type streamConfig struct {
 	format   TraceFormat
 	analysis bool
 	validate bool
+	scalar   bool
+	pipeline int // pipelined-decode depth; 0 = off
 	stats    *WorkStats
 }
 
@@ -113,6 +115,25 @@ func StreamNoAnalysis() StreamOption {
 // StreamWorkStats accumulates data-structure work counters into st.
 func StreamWorkStats(st *WorkStats) StreamOption {
 	return func(c *streamConfig) { c.stats = st }
+}
+
+// StreamScalar forces the per-event streaming loop (one interface call
+// per event) instead of the default batched consumption. It exists for
+// comparison benchmarks — batching changes no analysis result, only
+// throughput — and is incompatible with WithPipeline.
+func StreamScalar() StreamOption {
+	return func(c *streamConfig) { c.scalar = true }
+}
+
+// WithPipeline runs trace decoding in its own goroutine, feeding the
+// engine batches through a ring of depth recycled buffers so parsing
+// overlaps analysis. Batches are consumed in trace order, so results
+// are identical to the synchronous path. depth <= 0 selects a default
+// ring of 4; a depth of at least 2 is enforced. The extra goroutine
+// only pays off when decode and analysis cost are comparable — the
+// text format, mainly — so it is opt-in.
+func WithPipeline(depth int) StreamOption {
+	return func(c *streamConfig) { c.pipeline = depth }
 }
 
 // StreamValidate enforces trace well-formedness incrementally while
@@ -140,6 +161,13 @@ type StreamResult struct {
 	// Timestamps holds each thread's final vector time.
 	Timestamps []Vector
 }
+
+// scalarSource hides a source's batch methods behind a plain
+// EventSource, forcing the engine runtime onto its per-event loop.
+type scalarSource struct{ src trace.EventSource }
+
+func (s scalarSource) Next() (trace.Event, bool) { return s.src.Next() }
+func (s scalarSource) Err() error                { return s.src.Err() }
 
 // streamEngine is the non-generic view RunStream drives; a
 // runtimeAdapter instantiates it per clock type.
@@ -213,6 +241,9 @@ func RunStream(engineName string, r io.Reader, opts ...StreamOption) (*StreamRes
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	if cfg.scalar && cfg.pipeline > 0 {
+		return nil, fmt.Errorf("treeclock: StreamScalar and WithPipeline are mutually exclusive")
+	}
 	var src trace.EventSource
 	switch cfg.format {
 	case FormatText:
@@ -224,6 +255,15 @@ func RunStream(engineName string, r io.Reader, opts ...StreamOption) (*StreamRes
 	}
 	if cfg.validate {
 		src = trace.NewValidator(src)
+	}
+	if cfg.pipeline > 0 {
+		// The pipeline wraps the (validated) decoder, so tokenizing and
+		// discipline checks both run in the decode goroutine.
+		p := trace.NewPipeline(src, cfg.pipeline, trace.DefaultBatchSize)
+		defer p.Close()
+		src = p
+	} else if cfg.scalar {
+		src = scalarSource{src}
 	}
 	var e streamEngine
 	if info.Clock == "tree" {

@@ -94,6 +94,31 @@ func NewBinaryTraceScanner(r io.Reader) *BinaryTraceScanner { return trace.NewBi
 // scanners; RunStream and the engine runtime consume it.
 type EventSource = trace.EventSource
 
+// BatchEventSource is an EventSource that also delivers events in
+// batches into a caller-owned buffer, amortizing per-event call
+// overhead. Both scanners, the validator and the trace replayer
+// implement it, and the engine runtime consumes batches automatically.
+type BatchEventSource = trace.BatchSource
+
+// TraceReplayer streams a materialized trace through the same
+// EventSource/batch interface as the file scanners.
+type TraceReplayer = trace.Replayer
+
+// NewTraceReplayer wraps a materialized trace as an event source.
+func NewTraceReplayer(tr *Trace) *TraceReplayer { return trace.NewReplayer(tr) }
+
+// TracePipeline decodes a wrapped event source in its own goroutine,
+// feeding consumers batches through a ring of recycled buffers (see
+// WithPipeline for the RunStream knob). Close it if it is abandoned
+// before exhaustion.
+type TracePipeline = trace.Pipeline
+
+// NewTracePipeline wraps src with an asynchronous decode stage of the
+// given ring depth and batch size (<= 0 selects defaults).
+func NewTracePipeline(src EventSource, depth, batchSize int) *TracePipeline {
+	return trace.NewPipeline(src, depth, batchSize)
+}
+
 // ParseTrace reads the text trace format ("<thread> <op> <operand>"
 // lines; see internal/trace for the grammar).
 func ParseTrace(r io.Reader) (*Trace, error) { return trace.ParseText(r) }
