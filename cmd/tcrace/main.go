@@ -8,6 +8,7 @@
 //	tcrace -engine hb-tree trace.txt      # happens-before races, tree clocks
 //	tcrace -engine shb-vc < t.txt         # SHB with the vector-clock baseline
 //	tcrace -engine maz-tree -format bin t.tr
+//	tcrace -engine wcp-tree t.txt         # predictive races (WCP weak order)
 //	tcrace -pipeline 4 big.txt            # decode in a separate goroutine
 //	tcrace -algo shb -clock vc < t.txt    # legacy flag spelling
 //
@@ -34,7 +35,7 @@ import (
 func main() {
 	var (
 		engineFlag = flag.String("engine", "", "registry engine name (see -list); overrides -algo/-clock")
-		algo       = flag.String("algo", "hb", "partial order: hb, shb or maz")
+		algo       = flag.String("algo", "hb", "partial order: hb, shb, maz or wcp")
 		clock      = flag.String("clock", "tc", "clock data structure: tc (tree clock) or vc (vector clock)")
 		format     = flag.String("format", "text", "trace format: text or bin")
 		work       = flag.Bool("work", false, "also report data-structure work counters")

@@ -1,10 +1,14 @@
 // Command traceinfo prints the Table 3-style statistics of a trace
 // file: events (N), threads (T), memory locations (M), locks (L), and
-// the synchronization/access event shares.
+// the synchronization/access event shares. It also audits lock usage:
+// unbalanced locks (acquire/release counts differing — sections left
+// open, or stray releases on malformed input) are always flagged, and
+// -locks prints the full per-lock acquire/release table.
 //
 // Usage:
 //
 //	traceinfo trace.txt
+//	traceinfo -locks trace.txt
 //	tracegen -pattern star -threads 16 | traceinfo
 package main
 
@@ -19,8 +23,9 @@ import (
 
 func main() {
 	var (
-		format   = flag.String("format", "text", "trace format: text or bin")
-		validate = flag.Bool("validate", true, "check trace well-formedness")
+		format    = flag.String("format", "text", "trace format: text or bin")
+		validate  = flag.Bool("validate", true, "check trace well-formedness")
+		showLocks = flag.Bool("locks", false, "print per-lock acquire/release counts")
 	)
 	flag.Parse()
 
@@ -64,4 +69,29 @@ func main() {
 	fmt.Printf("  locks (L):      %d\n", s.Locks)
 	fmt.Printf("  sync events:    %.1f%%\n", s.SyncPct)
 	fmt.Printf("  r/w events:     %.1f%% (%d reads, %d writes)\n", s.RWPct, s.Reads, s.Writes)
+
+	lockStats := trace.ComputeLockStats(tr)
+	acquires, releases := 0, 0
+	for _, ls := range lockStats {
+		acquires += ls.Acquires
+		releases += ls.Releases
+	}
+	fmt.Printf("  lock ops:       %d acquires, %d releases across %d locks\n",
+		acquires, releases, len(lockStats))
+	for _, ls := range lockStats {
+		if !ls.Unbalanced() {
+			continue
+		}
+		line := fmt.Sprintf("  UNBALANCED:     l%d: %d acq / %d rel", ls.Lock, ls.Acquires, ls.Releases)
+		if ls.Holder != -1 {
+			line += fmt.Sprintf(" (held by t%d at end of trace)", ls.Holder)
+		}
+		fmt.Println(line)
+	}
+	if *showLocks {
+		fmt.Printf("  per lock:\n")
+		for _, ls := range lockStats {
+			fmt.Printf("    l%-6d %6d acq %6d rel\n", ls.Lock, ls.Acquires, ls.Releases)
+		}
+	}
 }

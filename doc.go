@@ -28,10 +28,32 @@
 //     per-variable state the order needs: HB feeds the race detector,
 //     SHB adds last-write clocks, MAZ adds the read-set bookkeeping of
 //     Algorithm 5.
+//   - Orders that depend on critical-section structure opt into the
+//     engine's extension hooks: LockSemantics (Acquire/Release) and
+//     ThreadSemantics (Fork/Join), detected once at construction and
+//     invoked after the runtime's uniform handling. WCP — the
+//     weakly-causally-precedes weak order of predictive race
+//     detection, internal/wcp — uses them to maintain per-lock
+//     critical-section histories and per-thread weak clocks; plain
+//     Read/Write plugins are dispatched exactly as before.
 //   - Clocks are dynamic: the vt.Clock contract includes Grow, and both
 //     TreeClock and VectorClock extend their thread capacity on demand
 //     (see the Grow contract in internal/core), so no engine needs the
 //     trace's thread/lock/variable counts up front.
+//
+// Adding a new partial order is a three-step recipe: (1) write a
+// Semantics plugin in a new internal package — Read/Write hooks plus
+// whatever per-variable state the order needs, growing it on first
+// sight of an identifier; implement LockSemantics/ThreadSemantics only
+// if the order observes critical sections or thread structure.
+// (2) Extend internal/oracle with a definition-level reference for the
+// order and pin the plugin against it with step-by-step timestamp
+// tests (the internal/hb and internal/wcp test files are templates);
+// the registry-wide harnesses — TestStreamingMatchesMaterialized,
+// TestClockVariantsByteIdentical, TestSuiteAgainstOracle — then cover
+// it automatically. (3) Register "<order>-tree"/"<order>-vc" in the
+// engine registry (stream.go) and add the order to bench.ForNames so
+// cmd/tcrace, cmd/tcbench and RunStream all pick it up.
 //
 // # Streaming analysis
 //
@@ -41,11 +63,15 @@
 // engine with no prior Meta and no materialization, so memory is
 // proportional to the live identifier spaces rather than the trace
 // length. Engines are chosen by registry name — "hb-tree", "hb-vc",
-// "shb-tree", "shb-vc", "maz-tree", "maz-vc" (see Engines and
-// EngineInfos) — and the result carries the race summary, sample
-// pairs, discovered metadata and final timestamps. The streaming and
-// materialized paths are differentially tested to produce identical
-// race reports and timestamps.
+// "shb-tree", "shb-vc", "maz-tree", "maz-vc", "wcp-tree", "wcp-vc"
+// (see Engines and EngineInfos) — and the result carries the race
+// summary, sample pairs, discovered metadata and final timestamps.
+// The streaming and materialized paths are differentially tested to
+// produce identical race reports and timestamps, the tree-clock and
+// vector-clock variants of every order are pinned byte-identical, and
+// each order's engine is compared event-by-event against a
+// definition-level oracle (internal/oracle) over the whole generator
+// suite.
 //
 // # Batched ingestion
 //
@@ -75,8 +101,10 @@
 //     plus the streaming scanners for both formats.
 //   - Engines: RunStream with the registry for streaming use, and the
 //     pre-sized constructors NewHBTree / NewHBVector, NewSHBTree /
-//     NewSHBVector, NewMAZTree / NewMAZVector for materialized traces.
-//     Engines optionally run a FastTrack-style race analysis.
+//     NewSHBVector, NewMAZTree / NewMAZVector, NewWCPTree /
+//     NewWCPVector for materialized traces. Engines optionally run a
+//     FastTrack-style race analysis; WCP reports predictive races — a
+//     superset of the HB races — through the same machinery.
 //   - Workload generators (GenerateMixed, scenario generators) and the
 //     experiment harness behind cmd/tcbench, which regenerates every
 //     table and figure of the paper (see DESIGN.md and EXPERIMENTS.md)

@@ -17,6 +17,7 @@ import (
 	"treeclock/internal/trace"
 	"treeclock/internal/vc"
 	"treeclock/internal/vt"
+	"treeclock/internal/wcp"
 )
 
 // PO selects the partial order to compute.
@@ -29,6 +30,11 @@ const (
 	SHB
 	// HB is happens-before.
 	HB
+	// WCP is the weakly-causally-precedes weak order (predictive race
+	// detection). It is not part of POs — the paper's tables cover
+	// MAZ/SHB/HB — but the stream and ingest experiments exercise it
+	// through the engine registry.
+	WCP
 )
 
 // POs lists the partial orders in the paper's reporting order.
@@ -42,6 +48,8 @@ func (p PO) String() string {
 		return "SHB"
 	case MAZ:
 		return "MAZ"
+	case WCP:
+		return "WCP"
 	default:
 		return "PO?"
 	}
@@ -60,6 +68,8 @@ func ForNames(order, clock string) (PO, Clock, bool) {
 		po = SHB
 	case "maz":
 		po = MAZ
+	case "wcp":
+		po = WCP
 	default:
 		return 0, 0, false
 	}
@@ -174,6 +184,14 @@ func dispatch[C vt.Clock[C]](tr *trace.Trace, cfg Config, f vt.Factory[C]) (time
 			return el, acc.Total
 		}
 		return timed(func() { e.Process(tr.Events) }), 0
+	case WCP:
+		e := wcp.New(tr.Meta, f)
+		if cfg.Analysis {
+			acc := e.EnableAnalysis()
+			el := timed(func() { e.Process(tr.Events) })
+			return el, acc.Total
+		}
+		return timed(func() { e.Process(tr.Events) }), 0
 	default:
 		panic(fmt.Sprintf("bench: unknown partial order %d", cfg.PO))
 	}
@@ -208,6 +226,11 @@ func samplePairs[C vt.Clock[C]](tr *trace.Trace, po PO, f vt.Factory[C]) []analy
 		return det.Acc.Samples
 	case MAZ:
 		e := maz.New(tr.Meta, f)
+		acc := e.EnableAnalysis()
+		e.Process(tr.Events)
+		return acc.Samples
+	case WCP:
+		e := wcp.New(tr.Meta, f)
 		acc := e.EnableAnalysis()
 		e.Process(tr.Events)
 		return acc.Samples

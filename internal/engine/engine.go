@@ -8,7 +8,16 @@
 // a different Semantics yields a different partial order; instantiating
 // it with a different vt.Clock yields the tree-clock or vector-clock
 // variant. The partial-order packages (internal/hb, internal/shb,
-// internal/maz) are therefore reduced to plugins plus a constructor.
+// internal/maz, internal/wcp) are therefore reduced to plugins plus a
+// constructor.
+//
+// Orders that depend on more than read/write structure opt into the
+// extension interfaces: LockSemantics adds Acquire/Release hooks (per-
+// lock critical-section history, release-ordering rules) and
+// ThreadSemantics adds Fork/Join hooks. The runtime detects both once
+// at construction and calls the hooks after its own uniform handling
+// of the event, so plugins observe the event's final timestamp and the
+// plain Read/Write-only plugins run exactly as before.
 //
 // The runtime is streaming end to end: it needs no trace.Meta. Thread,
 // lock and variable state is allocated (and clocks are grown, see the
@@ -37,27 +46,75 @@ type Semantics[C vt.Clock[C]] interface {
 	Write(rt *Runtime[C], t vt.TID, x int32, ct C)
 }
 
+// LockSemantics is an optional extension of Semantics for partial
+// orders that cannot be expressed through read/write hooks alone
+// because they depend on critical-section structure (which events ran
+// under which lock, and how releases order against each other). The
+// runtime detects the extension once at construction; plugins that do
+// not implement it (HB, SHB, MAZ) are dispatched exactly as before.
+//
+// Both hooks run after the runtime's uniform lock handling, so when
+// Acquire is called ct has already joined the lock's clock C_ℓ, and
+// when Release is called C_ℓ has already been overwritten with ct.
+// ct therefore carries the event's own timestamp (its local entry is
+// the event's local time), which is what release-ordering rules such
+// as WCP's rule (b) need to snapshot.
+type LockSemantics[C vt.Clock[C]] interface {
+	Semantics[C]
+	// Acquire handles op = acq(l) by thread t.
+	Acquire(rt *Runtime[C], t vt.TID, l int32, ct C)
+	// Release handles op = rel(l) by thread t.
+	Release(rt *Runtime[C], t vt.TID, l int32, ct C)
+}
+
+// ThreadSemantics is the fork/join counterpart of LockSemantics:
+// plugins that maintain order-specific per-thread state (WCP's
+// weak-order clocks) observe thread creation and joining through it.
+// The hooks run after the runtime's uniform handling — at Fork the
+// child's clock has already joined ct, at Join ct has already joined
+// the child's clock — and u names the other thread (the forked child,
+// or the thread joined on).
+type ThreadSemantics[C vt.Clock[C]] interface {
+	Semantics[C]
+	// Fork handles op = fork(u) by thread t.
+	Fork(rt *Runtime[C], t vt.TID, u vt.TID, ct C)
+	// Join handles op = join(u) by thread t.
+	Join(rt *Runtime[C], t vt.TID, u vt.TID, ct C)
+}
+
 // Runtime computes a partial order over a streamed trace. Per thread t
 // it maintains the clock C_t; per lock ℓ the clock C_ℓ holding the
 // timestamp of ℓ's last release. Reads and writes are delegated to the
 // Semantics plugin.
 type Runtime[C vt.Clock[C]] struct {
-	sem     Semantics[C]
-	factory vt.Factory[C]
-	threads []C
-	locks   []C
-	lockSet []bool // locks[l] allocated
-	det     *analysis.Detector[C]
-	acc     *analysis.Accumulator
-	events  uint64
-	vars    int // variable-id high-water mark (for Meta reporting)
-	name    string
+	sem Semantics[C]
+	// lockSem / threadSem are non-nil when sem implements the optional
+	// extension interfaces; detected once so Step pays one nil check
+	// per sync event instead of a type assertion.
+	lockSem   LockSemantics[C]
+	threadSem ThreadSemantics[C]
+	factory   vt.Factory[C]
+	threads   []C
+	locks     []C
+	lockSet   []bool // locks[l] allocated
+	det       *analysis.Detector[C]
+	acc       *analysis.Accumulator
+	events    uint64
+	vars      int // variable-id high-water mark (for Meta reporting)
+	name      string
 }
 
 // New returns a dynamically growing runtime: it assumes nothing about
 // the trace's identifier spaces and allocates state on first sight.
 func New[C vt.Clock[C]](sem Semantics[C], factory vt.Factory[C]) *Runtime[C] {
-	return &Runtime[C]{sem: sem, factory: factory}
+	r := &Runtime[C]{sem: sem, factory: factory}
+	if ls, ok := sem.(LockSemantics[C]); ok {
+		r.lockSem = ls
+	}
+	if ts, ok := sem.(ThreadSemantics[C]); ok {
+		r.threadSem = ts
+	}
+	return r
 }
 
 // NewWithMeta returns a runtime pre-sized for a known trace: thread
@@ -156,9 +213,15 @@ func (r *Runtime[C]) Step(ev trace.Event) {
 	switch ev.Kind {
 	case trace.Acquire:
 		ct.Join(r.lock(ev.Obj))
+		if r.lockSem != nil {
+			r.lockSem.Acquire(r, t, ev.Obj, ct)
+		}
 	case trace.Release:
 		// Lemma 2: C_ℓ ⊑ C_t holds here, so the copy is monotone.
 		r.lock(ev.Obj).MonotoneCopy(ct)
+		if r.lockSem != nil {
+			r.lockSem.Release(r, t, ev.Obj, ct)
+		}
 	case trace.Read:
 		if int(ev.Obj) >= r.vars {
 			r.vars = int(ev.Obj) + 1
@@ -175,11 +238,17 @@ func (r *Runtime[C]) Step(ev trace.Event) {
 			r.growThreads(int(ev.Obj) + 1)
 		}
 		r.threads[ev.Obj].Join(ct)
+		if r.threadSem != nil {
+			r.threadSem.Fork(r, t, vt.TID(ev.Obj), ct)
+		}
 	case trace.Join:
 		if int(ev.Obj) >= len(r.threads) {
 			r.growThreads(int(ev.Obj) + 1)
 		}
 		ct.Join(r.threads[ev.Obj])
+		if r.threadSem != nil {
+			r.threadSem.Join(r, t, vt.TID(ev.Obj), ct)
+		}
 	}
 	r.events++
 }

@@ -1,0 +1,211 @@
+package engine_test
+
+import (
+	"testing"
+
+	"treeclock/internal/analysis"
+	"treeclock/internal/core"
+	"treeclock/internal/engine"
+	"treeclock/internal/gen"
+	"treeclock/internal/hb"
+	"treeclock/internal/maz"
+	"treeclock/internal/oracle"
+	"treeclock/internal/shb"
+	"treeclock/internal/trace"
+	"treeclock/internal/vc"
+	"treeclock/internal/vt"
+	"treeclock/internal/wcp"
+)
+
+// This file is the registry-wide oracle harness: every internal/gen
+// suite workload runs through the definition-level oracle for every
+// partial order and is compared against the corresponding streaming
+// engine — per-event timestamps and race sets, with both clock data
+// structures. The report-level differential tests at the repository
+// root catch summary drift; this harness catches the drift those
+// can't, e.g. two timestamp errors canceling in the race counts.
+
+// suiteTraces materializes the gen suite small enough for the
+// quadratic/fixpoint oracles. Short mode trims the heavy tail.
+func suiteTraces(t *testing.T) []*trace.Trace {
+	scale := 0.02
+	maxEvents := 1 << 30
+	if testing.Short() {
+		scale = 0.01
+		maxEvents = 1500
+	}
+	var out []*trace.Trace
+	for _, e := range gen.SuiteEntries() {
+		tr := e.Build(scale)
+		if tr.Len() > maxEvents {
+			continue
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: invalid suite trace: %v", tr.Meta.Name, err)
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+var oracleOrders = []oracle.PO{oracle.HB, oracle.SHB, oracle.MAZ, oracle.WCP}
+
+// eventIdx maps (thread, local time) epochs back to event indices.
+func eventIdx(tr *trace.Trace) map[vt.Epoch]int {
+	m := make(map[vt.Epoch]int, tr.Len())
+	lt := tr.LocalTimes()
+	for i, e := range tr.Events {
+		m[vt.Epoch{T: e.T, Clk: lt[i]}] = i
+	}
+	return m
+}
+
+// runOrder drives one engine over the trace event by event, comparing
+// each event's timestamp with the oracle, and returns the accumulated
+// analysis results.
+func runOrder[C vt.Clock[C]](t *testing.T, tr *trace.Trace, po oracle.PO, f vt.Factory[C], res *oracle.Result, label string) *analysis.Accumulator {
+	t.Helper()
+	var (
+		rt        *engine.Runtime[C]
+		acc       *analysis.Accumulator
+		timestamp func(i int, ev trace.Event, dst vt.Vector) vt.Vector
+	)
+	lt := tr.LocalTimes()
+	switch po {
+	case oracle.HB:
+		rt = engine.New[C](hb.NewSemantics[C](), f)
+		acc = rt.EnableRaceDetection().Acc
+	case oracle.SHB:
+		rt = engine.New[C](shb.NewSemantics[C](), f)
+		acc = rt.EnableRaceDetection().Acc
+	case oracle.MAZ:
+		rt = engine.New[C](maz.NewSemantics[C](), f)
+		acc = rt.EnableAnalysis()
+	case oracle.WCP:
+		sem := wcp.NewSemantics[C]()
+		rt = engine.New[C](sem, f)
+		acc = rt.EnableAnalysis()
+		timestamp = func(i int, ev trace.Event, dst vt.Vector) vt.Vector {
+			return sem.Timestamp(ev.T, lt[i], dst)
+		}
+	}
+	if timestamp == nil {
+		timestamp = func(i int, ev trace.Event, dst vt.Vector) vt.Vector {
+			// The runtime grows clocks on demand, so a clock's Vector
+			// may fill fewer than k entries; clear the scratch first.
+			for u := range dst {
+				dst[u] = 0
+			}
+			return rt.Timestamp(ev.T, dst)
+		}
+	}
+	dst := vt.NewVector(tr.Meta.Threads)
+	for i, ev := range tr.Events {
+		rt.Step(ev)
+		got := timestamp(i, ev, dst)
+		if !got.Equal(res.Post[i]) {
+			t.Fatalf("%s/%v/%s: event %d (%v): timestamp %v, oracle %v",
+				tr.Meta.Name, po, label, i, ev, got, res.Post[i])
+		}
+	}
+	return acc
+}
+
+// checkRaceSets compares the engine's detected pairs and racy-variable
+// set against the oracle for one order.
+func checkRaceSets(t *testing.T, tr *trace.Trace, po oracle.PO, res *oracle.Result, acc *analysis.Accumulator) {
+	t.Helper()
+	idx := eventIdx(tr)
+	// Sample soundness. HB and WCP detectors check against the final
+	// (post-edge) timestamps; SHB and MAZ check against the pre-edge
+	// state, which is what their samples must be concurrent with.
+	for _, p := range acc.Samples {
+		i, ok1 := idx[p.Prior]
+		j, ok2 := idx[p.Access]
+		if !ok1 || !ok2 {
+			t.Fatalf("%s/%v: pair %v names unknown events", tr.Meta.Name, po, p)
+		}
+		if !trace.Conflicting(tr.Events[i], tr.Events[j]) {
+			t.Errorf("%s/%v: pair %v is not conflicting", tr.Meta.Name, po, p)
+		}
+		switch po {
+		case oracle.HB, oracle.WCP:
+			if !res.Concurrent(i, j) {
+				t.Errorf("%s/%v: reported pair %v is ordered", tr.Meta.Name, po, p)
+			}
+		case oracle.SHB, oracle.MAZ:
+			if res.Post[i].LessEq(res.Pre[j]) {
+				t.Errorf("%s/%v: reported pair %v is ordered before its own edge", tr.Meta.Name, po, p)
+			}
+		}
+	}
+	// Racy-variable sets. For HB and WCP the oracle's race enumeration
+	// is the ground truth in both directions. For SHB the ground truth
+	// is the pre-edge race set; for MAZ (which orders every conflicting
+	// pair) the reversible-pair candidates.
+	var want map[int32]bool
+	switch po {
+	case oracle.HB, oracle.WCP:
+		want = res.RacyVars(tr)
+	case oracle.SHB, oracle.MAZ:
+		want = preRacyVars(tr, res)
+	}
+	got := acc.RacyVars()
+	for x := range want {
+		if !got[x] {
+			t.Errorf("%s/%v: variable x%d has an oracle race the engine missed", tr.Meta.Name, po, x)
+		}
+	}
+	for x := range got {
+		if !want[x] {
+			t.Errorf("%s/%v: engine flagged race-free variable x%d", tr.Meta.Name, po, x)
+		}
+	}
+}
+
+// preRacyVars enumerates the variables with a conflicting pair whose
+// prior access is not ordered before the later access's pre-edge
+// timestamp — the quantity the SHB and MAZ analyses report.
+func preRacyVars(tr *trace.Trace, res *oracle.Result) map[int32]bool {
+	racy := make(map[int32]bool)
+	byVar := make(map[int32][]int)
+	for i, e := range tr.Events {
+		if e.Kind.IsAccess() {
+			byVar[e.Obj] = append(byVar[e.Obj], i)
+		}
+	}
+	for x, idxs := range byVar {
+		for a := 0; a < len(idxs) && !racy[x]; a++ {
+			for b := a + 1; b < len(idxs); b++ {
+				i, j := idxs[a], idxs[b]
+				if trace.Conflicting(tr.Events[i], tr.Events[j]) && !res.Post[i].LessEq(res.Pre[j]) {
+					racy[x] = true
+					break
+				}
+			}
+		}
+	}
+	return racy
+}
+
+// TestSuiteAgainstOracle is the registry-wide property test: for every
+// suite workload and every registered partial order, both clock
+// variants reproduce the oracle's per-event timestamps exactly, and
+// the detected race sets agree with the oracle's.
+func TestSuiteAgainstOracle(t *testing.T) {
+	for _, tr := range suiteTraces(t) {
+		tr := tr
+		t.Run(tr.Meta.Name, func(t *testing.T) {
+			for _, po := range oracleOrders {
+				res := oracle.Timestamps(tr, po)
+				accTC := runOrder(t, tr, po, core.Factory(nil), res, "tree")
+				accVC := runOrder(t, tr, po, vc.Factory(nil), res, "vc")
+				if accTC.Summary() != accVC.Summary() {
+					t.Errorf("%v: summaries diverge across clocks: tree %+v, vc %+v",
+						po, accTC.Summary(), accVC.Summary())
+				}
+				checkRaceSets(t, tr, po, res, accTC)
+			}
+		})
+	}
+}

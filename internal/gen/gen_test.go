@@ -209,3 +209,88 @@ func TestSuiteScale(t *testing.T) {
 		t.Errorf("scale did not grow the trace: %d vs %d", big.Len(), small.Len())
 	}
 }
+
+func TestLockScenarios(t *testing.T) {
+	t.Run("nested-locks", func(t *testing.T) {
+		tr := NestedLocks(6, 3, 2000, 1)
+		s := checkTrace(t, tr)
+		if s.SyncPct == 0 {
+			t.Error("nested-locks emitted no sync events")
+		}
+		// Some acquire must happen while the thread already holds a
+		// lock (that is the point of the scenario).
+		holding := make(map[int32]int)
+		nested := false
+		for _, e := range tr.Events {
+			switch e.Kind {
+			case trace.Acquire:
+				if holding[int32(e.T)] > 0 {
+					nested = true
+				}
+				holding[int32(e.T)]++
+			case trace.Release:
+				holding[int32(e.T)]--
+			}
+		}
+		if !nested {
+			t.Error("no nested critical section generated")
+		}
+	})
+
+	t.Run("guarded-pairs", func(t *testing.T) {
+		tr := GuardedPairs(6, 8, 2000, 2)
+		checkTrace(t, tr)
+		// Every access of x must happen while holding lock x.
+		held := make(map[int32]map[int32]bool)
+		for i, e := range tr.Events {
+			tid := int32(e.T)
+			switch e.Kind {
+			case trace.Acquire:
+				if held[tid] == nil {
+					held[tid] = make(map[int32]bool)
+				}
+				held[tid][e.Obj] = true
+			case trace.Release:
+				delete(held[tid], e.Obj)
+			case trace.Read, trace.Write:
+				if !held[tid][e.Obj] {
+					t.Fatalf("event %d (%v): access outside its guard", i, e)
+				}
+			}
+		}
+	})
+
+	t.Run("predictive-pairs", func(t *testing.T) {
+		tr := PredictivePairs(6, 800, 3)
+		checkTrace(t, tr)
+	})
+
+	t.Run("determinism", func(t *testing.T) {
+		a, b := NestedLocks(6, 3, 1500, 9), NestedLocks(6, 3, 1500, 9)
+		if len(a.Events) != len(b.Events) {
+			t.Fatal("nested-locks not deterministic")
+		}
+		for i := range a.Events {
+			if a.Events[i] != b.Events[i] {
+				t.Fatal("nested-locks not deterministic")
+			}
+		}
+	})
+
+	t.Run("panics", func(t *testing.T) {
+		for name, f := range map[string]func(){
+			"nested":     func() { NestedLocks(1, 2, 100, 1) },
+			"guarded":    func() { GuardedPairs(1, 2, 100, 1) },
+			"predictive": func() { PredictivePairs(1, 100, 1) },
+		} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%s: single-thread config must panic", name)
+					}
+				}()
+				f()
+			}()
+		}
+	})
+}

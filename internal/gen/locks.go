@@ -1,0 +1,214 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"treeclock/internal/trace"
+	"treeclock/internal/vt"
+)
+
+// Lock-rich scenario generators for the weak-order engines. The
+// scalability scenarios of scenarios.go are pure synchronization; these
+// three mix critical-section structure with data so that the
+// critical-section-sensitive orders (WCP) are exercised: nested
+// sections, fully guarded conflicting accesses, and the canonical
+// predictive-race shape that HB hides behind lock serialization.
+
+// NestedLocks interleaves threads that acquire a chain of up to depth
+// locks (always in ascending lock order, so the trace stays
+// deadlock-free under the scheduler's no-blocking rule), perform a few
+// accesses at each nesting level, and release in reverse order. Every
+// access therefore sits in several critical sections at once.
+func NestedLocks(threads, depth, events int, seed int64) *trace.Trace {
+	if threads < 2 {
+		panic("gen: nested locks need at least 2 threads")
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	locks := depth * 2
+	vars := threads * 2
+	r := rand.New(rand.NewSource(seed))
+	evs := make([]trace.Event, 0, events)
+	lockHolder := make([]vt.TID, locks)
+	for i := range lockHolder {
+		lockHolder[i] = vt.None
+	}
+	type state struct {
+		held  []int32 // acquired chain, ascending
+		want  []int32 // remaining locks of the planned chain
+		work  int     // accesses left before the next lock action
+		phase int     // +1 acquiring, -1 releasing
+	}
+	states := make([]state, threads)
+	access := func(t vt.TID) trace.Event {
+		kind := trace.Write
+		if r.Intn(2) == 0 {
+			kind = trace.Read
+		}
+		// Half the variables are shared, half thread-local.
+		x := int32(r.Intn(vars / 2))
+		if r.Intn(4) > 0 {
+			x = int32(vars/2 + int(t)%(vars/2))
+		}
+		return trace.Event{T: t, Obj: x, Kind: kind}
+	}
+	for len(evs) < events {
+		t := vt.TID(r.Intn(threads))
+		st := &states[t]
+		if st.work > 0 {
+			st.work--
+			evs = append(evs, access(t))
+			continue
+		}
+		switch {
+		case st.phase == 0:
+			// Plan a fresh ascending chain.
+			d := 1 + r.Intn(depth)
+			start := r.Intn(locks - d + 1)
+			st.want = st.want[:0]
+			for i := 0; i < d; i++ {
+				st.want = append(st.want, int32(start+i))
+			}
+			st.phase = 1
+		case st.phase == 1 && len(st.want) > 0:
+			l := st.want[0]
+			if lockHolder[l] != vt.None {
+				// Contended: do useful work instead of blocking.
+				evs = append(evs, access(t))
+				break
+			}
+			st.want = st.want[1:]
+			st.held = append(st.held, l)
+			lockHolder[l] = t
+			st.work = r.Intn(3)
+			evs = append(evs, trace.Event{T: t, Obj: l, Kind: trace.Acquire})
+		case st.phase == 1:
+			st.phase = -1
+		case len(st.held) > 0:
+			l := st.held[len(st.held)-1]
+			st.held = st.held[:len(st.held)-1]
+			lockHolder[l] = vt.None
+			st.work = r.Intn(2)
+			evs = append(evs, trace.Event{T: t, Obj: l, Kind: trace.Release})
+		default:
+			st.phase = 0
+		}
+	}
+	// Close every open chain so the trace stays well formed.
+	for t := range states {
+		for i := len(states[t].held) - 1; i >= 0; i-- {
+			evs = append(evs, trace.Event{T: vt.TID(t), Obj: states[t].held[i], Kind: trace.Release})
+		}
+	}
+	return &trace.Trace{
+		Meta:   trace.Meta{Name: fmt.Sprintf("nested-locks-k%d-d%d", threads, depth), Threads: threads, Locks: locks, Vars: vars},
+		Events: evs,
+	}
+}
+
+// GuardedPairs produces conflicting accesses that are all properly
+// guarded: every access to a shared variable happens inside a critical
+// section on that variable's dedicated lock. HB, SHB and WCP all agree
+// the trace is race-free (for WCP via rule (a): the guarded bodies
+// conflict), which makes the scenario a sharp differential check.
+func GuardedPairs(threads, vars, events int, seed int64) *trace.Trace {
+	if threads < 2 {
+		panic("gen: guarded pairs need at least 2 threads")
+	}
+	if vars < 1 {
+		vars = 1
+	}
+	r := rand.New(rand.NewSource(seed))
+	evs := make([]trace.Event, 0, events)
+	for len(evs)+3 <= events {
+		t := vt.TID(r.Intn(threads))
+		x := int32(r.Intn(vars))
+		evs = append(evs, trace.Event{T: t, Obj: x, Kind: trace.Acquire})
+		n := 1 + r.Intn(3)
+		for i := 0; i < n; i++ {
+			kind := trace.Write
+			if r.Intn(3) > 0 {
+				kind = trace.Read
+			}
+			evs = append(evs, trace.Event{T: t, Obj: x, Kind: kind})
+		}
+		evs = append(evs, trace.Event{T: t, Obj: x, Kind: trace.Release})
+	}
+	return &trace.Trace{
+		Meta:   trace.Meta{Name: fmt.Sprintf("guarded-pairs-k%d", threads), Threads: threads, Locks: vars, Vars: vars},
+		Events: evs,
+	}
+}
+
+// PredictivePairs emits the canonical predictive-race shape on
+// disjoint thread pairs: both threads of a pair write a shared
+// variable outside their critical sections, while the sections
+// themselves (on the pair's data lock) touch only thread-private
+// data. Consecutive rounds are chained through a second, body-free
+// handoff lock, so every access is HB-ordered through some lock and
+// HB reports no race at all — but neither lock's sections conflict,
+// so no rule-(a) edge exists and WCP flags every cross-thread write
+// pair as a predictive race. The scenario is the WCP analog of the
+// scalability scenarios: the number of reported races is itself a
+// differential signal (0 under HB/SHB, >0 under WCP).
+func PredictivePairs(threads, events int, seed int64) *trace.Trace {
+	if threads < 2 {
+		panic("gen: predictive pairs need at least 2 threads")
+	}
+	pairs := threads / 2
+	r := rand.New(rand.NewSource(seed))
+	evs := make([]trace.Event, 0, events)
+	// Per pair p (threads a = 2p, b = 2p+1; data lock l = 2p, handoff
+	// lock h = 2p+1; x shared, y_a / y_b section-private):
+	//   a: [acq(h) rel(h)]  w(x) acq(l) w(ya) rel(l)
+	//   b: acq(l) w(yb) rel(l) w(x)  acq(h) rel(h)
+	// The handoff prefix is skipped in round 0 (h is first released by
+	// b). Rounds of different pairs interleave freely; within a pair
+	// the halves alternate strictly, so both locks are always free
+	// when their taker is scheduled.
+	type pairState struct {
+		step  int
+		round int
+	}
+	state := make([]pairState, pairs)
+	for len(evs)+8 <= events {
+		p := r.Intn(pairs)
+		a := vt.TID(2 * p)
+		b := vt.TID(2*p + 1)
+		l := int32(2 * p)
+		h := int32(2*p + 1)
+		x := int32(3 * p)
+		ya := int32(3*p + 1)
+		yb := int32(3*p + 2)
+		switch state[p].step {
+		case 0:
+			if state[p].round > 0 {
+				evs = append(evs,
+					trace.Event{T: a, Obj: h, Kind: trace.Acquire},
+					trace.Event{T: a, Obj: h, Kind: trace.Release})
+			}
+			evs = append(evs,
+				trace.Event{T: a, Obj: x, Kind: trace.Write},
+				trace.Event{T: a, Obj: l, Kind: trace.Acquire},
+				trace.Event{T: a, Obj: ya, Kind: trace.Write},
+				trace.Event{T: a, Obj: l, Kind: trace.Release})
+			state[p].step = 1
+		default:
+			evs = append(evs,
+				trace.Event{T: b, Obj: l, Kind: trace.Acquire},
+				trace.Event{T: b, Obj: yb, Kind: trace.Write},
+				trace.Event{T: b, Obj: l, Kind: trace.Release},
+				trace.Event{T: b, Obj: x, Kind: trace.Write},
+				trace.Event{T: b, Obj: h, Kind: trace.Acquire},
+				trace.Event{T: b, Obj: h, Kind: trace.Release})
+			state[p].step = 0
+			state[p].round++
+		}
+	}
+	return &trace.Trace{
+		Meta:   trace.Meta{Name: fmt.Sprintf("predictive-pairs-k%d", threads), Threads: 2 * pairs, Locks: 2 * pairs, Vars: 3 * pairs},
+		Events: evs,
+	}
+}

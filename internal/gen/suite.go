@@ -117,6 +117,25 @@ func SuiteEntries() []SuiteEntry {
 			return tr
 		}},
 
+		// Lock-structure-heavy scenarios for the weak-order engines:
+		// nested sections, fully guarded sharing, and the predictive-
+		// race shape HB hides behind lock serialization (see locks.go).
+		{Name: "nested-locks", Family: "predictive", Build: func(s float64) *trace.Trace {
+			tr := NestedLocks(8, 3, scaled(6000, s), 601)
+			tr.Meta.Name = "nested-locks"
+			return tr
+		}},
+		{Name: "guarded-pairs", Family: "predictive", Build: func(s float64) *trace.Trace {
+			tr := GuardedPairs(10, 16, scaled(8000, s), 602)
+			tr.Meta.Name = "guarded-pairs"
+			return tr
+		}},
+		{Name: "predictive-pairs", Family: "predictive", Build: func(s float64) *trace.Trace {
+			tr := PredictivePairs(12, scaled(8000, s), 603)
+			tr.Meta.Name = "predictive-pairs"
+			return tr
+		}},
+
 		// Server style: many threads, skewed activity, larger lock
 		// spaces (cassandra / tradebeans / graphchi families).
 		mixed("cassandra-like", "server", Config{Threads: 96, Locks: 640, Vars: 5000, Events: 220000, Seed: 501, SyncFrac: 0.12, Skew: 5, HotVars: 128, HotFrac: 0.06, LockAffinity: 3, Groups: 12}),

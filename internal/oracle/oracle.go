@@ -23,6 +23,12 @@ const (
 	// MAZ is the Mazurkiewicz order: HB plus an edge between every
 	// pair of conflicting events in trace order.
 	MAZ
+	// WCP is the weakly-causally-precedes order of Kini, Mathur and
+	// Viswanathan (PLDI 2017), joined with thread order. It is a
+	// weakening of HB: lock edges order only critical sections whose
+	// bodies conflict, so lock-serialized but data-independent code
+	// stays unordered and predictive races become visible. See wcp.go.
+	WCP
 )
 
 func (p PO) String() string {
@@ -33,6 +39,8 @@ func (p PO) String() string {
 		return "SHB"
 	case MAZ:
 		return "MAZ"
+	case WCP:
+		return "WCP"
 	default:
 		return "PO?"
 	}
@@ -55,6 +63,9 @@ type Result struct {
 
 // Timestamps computes the chosen partial order for the whole trace.
 func Timestamps(tr *trace.Trace, po PO) *Result {
+	if po == WCP {
+		return wcpTimestamps(tr)
+	}
 	n := tr.Len()
 	k := tr.Meta.Threads
 	res := &Result{PO: po, Post: make([]vt.Vector, n), Pre: make([]vt.Vector, n)}

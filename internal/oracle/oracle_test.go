@@ -155,3 +155,197 @@ func TestPOString(t *testing.T) {
 		t.Error("PO names wrong")
 	}
 }
+
+// TestWCPGuardedConflictOrdered: rule (a) — two critical sections on
+// the same lock whose bodies conflict are ordered, release-to-access.
+func TestWCPGuardedConflictOrdered(t *testing.T) {
+	tr := parse(t, `
+t0 acq l0
+t0 w x0
+t0 rel l0
+t1 acq l0
+t1 r x0
+t1 rel l0
+`)
+	r := Timestamps(tr, WCP)
+	if !r.Ordered(2, 4) {
+		t.Error("rule (a): rel(CS1) must be WCP-before the conflicting read")
+	}
+	if !r.Ordered(1, 4) {
+		t.Error("rule (c): the write composes into the rule-(a) edge")
+	}
+	if races := r.Races(tr); len(races) != 0 {
+		t.Errorf("properly guarded conflicting accesses reported racy: %v", races)
+	}
+}
+
+// TestWCPPredictiveRace: the classic WCP example — critical sections
+// on the same lock with data-independent bodies do NOT order the
+// surrounding accesses, so the x writes race under WCP although HB
+// orders them through the lock.
+func TestWCPPredictiveRace(t *testing.T) {
+	tr := parse(t, `
+t0 w x0
+t0 acq l0
+t0 w x1
+t0 rel l0
+t1 acq l0
+t1 w x2
+t1 rel l0
+t1 w x0
+`)
+	hb := Timestamps(tr, HB)
+	wcp := Timestamps(tr, WCP)
+	if !hb.Ordered(0, 7) {
+		t.Error("HB must order the writes through the lock")
+	}
+	if wcp.Ordered(0, 7) || wcp.Ordered(7, 0) {
+		t.Error("WCP must leave the writes unordered (predictive race)")
+	}
+	if races := wcp.Races(tr); len(races) != 1 || races[0] != (RacePair{0, 7}) {
+		t.Errorf("WCP races = %v, want [{0 7}]", races)
+	}
+	if races := hb.Races(tr); len(races) != 0 {
+		t.Errorf("HB must miss the predictive race, got %v", races)
+	}
+}
+
+// TestWCPNestedSectionsBothOrder: with nested locks the conflicting
+// accesses sit in the inner AND outer critical sections, so rule (a)
+// applies at both nesting levels.
+func TestWCPNestedSectionsBothOrder(t *testing.T) {
+	tr := parse(t, `
+t0 acq l0
+t0 acq l1
+t0 w x0
+t0 rel l1
+t0 rel l0
+t1 acq l0
+t1 acq l1
+t1 r x0
+t1 rel l1
+t1 rel l0
+`)
+	r := Timestamps(tr, WCP)
+	if !r.Ordered(3, 7) {
+		t.Error("rule (a) edge on the inner lock missing")
+	}
+	if !r.Ordered(4, 7) {
+		t.Error("rule (a) edge on the outer lock missing (its body conflicts too)")
+	}
+	if races := r.Races(tr); len(races) != 0 {
+		t.Errorf("nested-guarded conflict reported racy: %v", races)
+	}
+}
+
+// TestWCPRuleBOrdersReleases isolates rule (b): the two l0 critical
+// sections have data-independent bodies (no rule-(a) edge between
+// them), but an event of the first is WCP-before an event of the
+// second through a chain — a rule-(a) edge on l2 into thread t2,
+// composed with HB edges (t2's l3 handoff into t1's section, rule c).
+// Rule (b) then orders the l0 releases, and only the releases.
+func TestWCPRuleBOrdersReleases(t *testing.T) {
+	tr := parse(t, `
+t0 acq l0
+t0 acq l2
+t0 w x0
+t0 rel l2
+t0 rel l0
+t2 acq l2
+t2 r x0
+t2 rel l2
+t2 acq l3
+t2 rel l3
+t1 acq l0
+t1 acq l3
+t1 rel l3
+t1 w x2
+t1 rel l0
+t1 w x1
+`)
+	r := Timestamps(tr, WCP)
+	if !r.Ordered(3, 6) {
+		t.Error("rule (a) edge on l2 missing")
+	}
+	if !r.Ordered(3, 12) {
+		t.Error("rule (c): the l2 edge must compose through the l3 handoff")
+	}
+	if !r.Ordered(4, 14) {
+		t.Error("rule (b): the l0 releases must be ordered")
+	}
+	if r.Ordered(4, 13) {
+		t.Error("rule (b) must order the releases only, not the section body")
+	}
+	if !r.Ordered(4, 15) {
+		t.Error("rule (c): the release ordering must compose with thread order")
+	}
+}
+
+// TestWCPSameThreadSectionsAddNothing: critical sections of a single
+// thread never generate WCP edges; the trace's only cross-thread
+// conflict stays racy.
+func TestWCPSameThreadSectionsAddNothing(t *testing.T) {
+	tr := parse(t, `
+t0 acq l0
+t0 w x0
+t0 rel l0
+t0 acq l0
+t0 r x0
+t0 rel l0
+t1 w x0
+`)
+	r := Timestamps(tr, WCP)
+	if got := len(r.Races(tr)); got != 2 {
+		// w(x0)@1–w(x0)@6 and r(x0)@4–w(x0)@6: t1 never synchronizes.
+		t.Errorf("races = %d, want 2", got)
+	}
+	for i := range tr.Events[:6] {
+		if r.Post[i].Get(1) != 0 {
+			t.Errorf("event %d knows t1 without any edge", i)
+		}
+	}
+}
+
+// TestWCPSubsetOfHB: on random traces every WCP ordering is an HB
+// ordering and every HB race is a WCP race (WCP weakens HB), and the
+// local entry stays the event's local time.
+func TestWCPSubsetOfHB(t *testing.T) {
+	tr := parse(t, `
+t0 w x0
+t0 acq l0
+t0 w x1
+t0 rel l0
+t1 acq l0
+t1 r x1
+t1 rel l0
+t1 r x0
+t2 w x0
+t0 fork t3
+t3 w x3
+t3 acq l0
+t3 w x1
+t3 rel l0
+t0 join t3
+t0 r x3
+`)
+	hb := Timestamps(tr, HB)
+	wcp := Timestamps(tr, WCP)
+	lt := tr.LocalTimes()
+	for i := range tr.Events {
+		if !wcp.Post[i].LessEq(hb.Post[i]) {
+			t.Errorf("event %d: WCP %v exceeds HB %v", i, wcp.Post[i], hb.Post[i])
+		}
+		if wcp.Post[i][tr.Events[i].T] != lt[i] {
+			t.Errorf("event %d: local entry %v, want lTime %d", i, wcp.Post[i], lt[i])
+		}
+	}
+	hbRaces := map[RacePair]bool{}
+	for _, p := range wcp.Races(tr) {
+		hbRaces[p] = false
+	}
+	for _, p := range hb.Races(tr) {
+		if _, ok := hbRaces[p]; !ok {
+			t.Errorf("HB race %v missing from WCP races", p)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+// WCP reference computation. Like the rest of the package this is a
+// deliberately naive transcription of the definition — a fixpoint over
+// the closure rules, with none of the queue/summary machinery the
+// streaming engine uses — so that internal/wcp can be tested against an
+// independently derived ground truth.
+//
+// The weakly-causally-precedes relation ≺WCP (Kini, Mathur,
+// Viswanathan: "Dynamic Race Prediction in Linear Time", PLDI 2017) is
+// the smallest relation over a trace such that
+//
+//	(a) rel(CS1) ≺WCP e2 whenever CS1 and CS2 are critical sections
+//	    over the same lock by different threads, CS1 completes before
+//	    CS2 begins, e2 ∈ CS2, and CS1 contains an event conflicting
+//	    with e2;
+//	(b) rel(CS1) ≺WCP rel(CS2) whenever CS1 and CS2 are critical
+//	    sections over the same lock by different threads and there are
+//	    e1 ∈ CS1, e2 ∈ CS2 with e1 ≺WCP e2;
+//	(c) ≺WCP is closed under composition with ≤HB on either side
+//	    (≤HB ∘ ≺WCP ⊆ ≺WCP and ≺WCP ∘ ≤HB ⊆ ≺WCP).
+//
+// ≺WCP ⊆ ≤HB (every rule only ever derives HB-ordered pairs), which
+// with (c) makes ≺WCP transitive, and the union P = ≺WCP ∪ ≤TO is a
+// strict partial order: the order this oracle timestamps. A conflicting
+// pair unordered by P is a predictive (WCP) race; because WCP weakens
+// HB, every HB race is a WCP race but not vice versa.
+package oracle
+
+import (
+	"treeclock/internal/trace"
+	"treeclock/internal/vt"
+)
+
+// wcpCS is one critical section: the events of thread t between the
+// acquire and the matching release (inclusive). rel is -1 while the
+// section is still open at the end of the trace — an open section can
+// receive rule-(a) edges but contributes none (it has no release).
+type wcpCS struct {
+	lock  int32
+	t     vt.TID
+	acq   int // event index of the acquire
+	rel   int // event index of the release, -1 if never released
+	acqLT vt.Time
+}
+
+// contains reports whether event index i (known to be performed by
+// cs.t) falls inside the critical section.
+func (cs *wcpCS) contains(i int) bool {
+	return i >= cs.acq && (cs.rel < 0 || i <= cs.rel)
+}
+
+// wcpConflicts reports whether the section contains an access of x
+// conflicting with an access of kind k by another thread: a read
+// conflicts with writes only, a write with reads and writes.
+func wcpConflicts(tr *trace.Trace, cs *wcpCS, x int32, k trace.Kind) bool {
+	end := cs.rel
+	if end < 0 {
+		end = tr.Len() - 1
+	}
+	for i := cs.acq; i <= end; i++ {
+		e := tr.Events[i]
+		if e.T != cs.t || !e.Kind.IsAccess() || e.Obj != x {
+			continue
+		}
+		if e.Kind == trace.Write || k == trace.Write {
+			return true
+		}
+	}
+	return false
+}
+
+// wcpTimestamps computes P = ≺WCP ∪ ≤TO by fixpoint. W[i] holds event
+// i's pure WCP knowledge — W[i][u] = max{lt(j) : thread(j) = u, j ≺WCP
+// i} — and knowledge is propagated along the HB edges (rule c) with the
+// base edges of rules (a) and (b) injected as the HB-downward closure
+// of the contributing release (an edge r1 ≺WCP e2 brings everything
+// ≤HB r1 with it, again by rule c). Passes repeat until no vector
+// changes; on well-formed traces one pass suffices (every rule reads
+// only trace-earlier state), but the oracle does not rely on that.
+func wcpTimestamps(tr *trace.Trace) *Result {
+	n := tr.Len()
+	k := tr.Meta.Threads
+	res := &Result{PO: WCP, Post: make([]vt.Vector, n), Pre: make([]vt.Vector, n)}
+	hb := Timestamps(tr, HB)
+	lt := tr.LocalTimes()
+
+	// Structural predecessors, fixed across passes.
+	prev := make([]int, n)     // previous event of the same thread, -1
+	forkOf := make([]int, n)   // fork event that created this event's thread, -1
+	joinPred := make([]int, n) // for a join event: the joined thread's last event, -1
+	releasesOf := make([][]int, tr.Meta.Locks)
+	lastOfThread := make([]int, k)
+	for i := range lastOfThread {
+		lastOfThread[i] = -1
+	}
+	var sections []wcpCS
+	open := make([]int, tr.Meta.Locks) // index into sections, -1 when free
+	for i := range open {
+		open[i] = -1
+	}
+	// holds[i] lists the sections event i runs under (accesses only).
+	holds := make([][]int, n)
+	for i, e := range tr.Events {
+		prev[i] = lastOfThread[e.T]
+		forkOf[i] = -1
+		joinPred[i] = -1
+		if prev[i] == -1 {
+			for j := 0; j < i; j++ {
+				f := tr.Events[j]
+				if f.Kind == trace.Fork && vt.TID(f.Obj) == e.T {
+					forkOf[i] = j
+				}
+			}
+		}
+		switch e.Kind {
+		case trace.Acquire:
+			sections = append(sections, wcpCS{lock: e.Obj, t: e.T, acq: i, rel: -1, acqLT: lt[i]})
+			open[e.Obj] = len(sections) - 1
+		case trace.Release:
+			if s := open[e.Obj]; s >= 0 {
+				sections[s].rel = i
+				open[e.Obj] = -1
+			}
+			releasesOf[e.Obj] = append(releasesOf[e.Obj], i)
+		case trace.Join:
+			joinPred[i] = lastOfThread[vt.TID(e.Obj)]
+		case trace.Read, trace.Write:
+			for s := range sections {
+				if sections[s].t == e.T && sections[s].contains(i) {
+					holds[i] = append(holds[i], s)
+				}
+			}
+		}
+		lastOfThread[e.T] = i
+	}
+
+	w := make([]vt.Vector, n)
+	for i := range w {
+		w[i] = vt.NewVector(k)
+	}
+	// inject joins src's HB-downward closure (rule c on the left) into
+	// w[i], reporting whether anything changed.
+	inject := func(i int, rel int) bool {
+		return w[i].Join(hb.Post[rel]) > 0
+	}
+	transport := func(i int, j int) bool {
+		if j < 0 {
+			return false
+		}
+		return w[i].Join(w[j]) > 0
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for i, e := range tr.Events {
+			// Rule (c): WCP knowledge flows along every HB edge.
+			if transport(i, prev[i]) {
+				changed = true
+			}
+			if transport(i, forkOf[i]) {
+				changed = true
+			}
+			switch e.Kind {
+			case trace.Acquire:
+				for _, r := range releasesOf[e.Obj] {
+					if r < i && transport(i, r) {
+						changed = true
+					}
+				}
+			case trace.Join:
+				if transport(i, joinPred[i]) {
+					changed = true
+				}
+			case trace.Read, trace.Write:
+				// Rule (a): earlier same-lock critical sections of
+				// other threads with a conflicting body order their
+				// release before this access.
+				for _, s := range holds[i] {
+					cs1 := findConflictingSections(tr, sections, &sections[s], e, i)
+					for _, c := range cs1 {
+						if inject(i, c) {
+							changed = true
+						}
+					}
+				}
+			case trace.Release:
+				// Rule (b): this release is ordered after the release
+				// of every earlier same-lock section of another thread
+				// whose body is WCP-before some event of this section.
+				s := sectionOfRelease(sections, i)
+				if s < 0 {
+					break
+				}
+				cs2 := &sections[s]
+				for c := range sections {
+					cs1 := &sections[c]
+					if cs1.lock != cs2.lock || cs1.t == cs2.t || cs1.rel < 0 || cs1.rel > cs2.acq {
+						continue
+					}
+					// e1 ≺WCP e2 for some e1 ∈ CS1, e2 ∈ CS2 iff
+					// acq(CS1) ≺WCP e2 (compose e1's thread-order
+					// prefix on the left, rule c); scan CS2's events.
+					triggered := false
+					for j := cs2.acq; j <= cs2.rel && !triggered; j++ {
+						if tr.Events[j].T == cs2.t && w[j].Get(cs1.t) >= cs1.acqLT {
+							triggered = true
+						}
+					}
+					if triggered && inject(i, cs1.rel) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Post = W ∪ own thread-order prefix; Pre additionally excludes the
+	// event's own rule-(a) edges (the race checks of the streaming
+	// engine run after those edges are applied, so Races uses Post —
+	// Pre is the transport-only view, kept for symmetry with SHB/MAZ).
+	for i, e := range tr.Events {
+		pre := vt.NewVector(k)
+		if e.Kind.IsAccess() {
+			// An access's only non-transport edges are its own rule-(a)
+			// joins; its transport sources are the thread-order
+			// predecessor and (for a first event) the fork edge.
+			if prev[i] >= 0 {
+				pre.Join(w[prev[i]])
+			}
+			if forkOf[i] >= 0 {
+				pre.Join(w[forkOf[i]])
+			}
+		} else {
+			pre.CopyFrom(w[i])
+		}
+		pre[e.T] = lt[i]
+		res.Pre[i] = pre
+		post := w[i].Clone()
+		post[e.T] = lt[i]
+		res.Post[i] = post
+	}
+	return res
+}
+
+// findConflictingSections returns the releases of the earlier
+// same-lock sections (other threads, completed before event i) whose
+// body conflicts with access e.
+func findConflictingSections(tr *trace.Trace, sections []wcpCS, cs2 *wcpCS, e trace.Event, i int) []int {
+	var out []int
+	for c := range sections {
+		cs1 := &sections[c]
+		if cs1.lock != cs2.lock || cs1.t == e.T || cs1.rel < 0 || cs1.rel > i {
+			continue
+		}
+		if wcpConflicts(tr, cs1, e.Obj, e.Kind) {
+			out = append(out, cs1.rel)
+		}
+	}
+	return out
+}
+
+// sectionOfRelease finds the section closed by the release at index i.
+func sectionOfRelease(sections []wcpCS, i int) int {
+	for s := range sections {
+		if sections[s].rel == i {
+			return s
+		}
+	}
+	return -1
+}

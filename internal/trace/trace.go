@@ -263,3 +263,57 @@ func ComputeStats(tr *Trace) Stats {
 	}
 	return s
 }
+
+// LockStat summarizes one lock's usage in a trace.
+type LockStat struct {
+	Lock     int32
+	Acquires int
+	Releases int
+	// Holder is the thread left holding the lock at the end of the
+	// trace, or vt.None. An unreleased-but-balanced lock cannot occur
+	// in a well-formed trace, so Holder != vt.None implies Unbalanced
+	// there; on malformed traces the two are reported independently.
+	Holder vt.TID
+}
+
+// Unbalanced reports whether the acquire and release counts differ —
+// either a critical section left open at the end of the trace or, on
+// malformed input, stray releases.
+func (ls LockStat) Unbalanced() bool { return ls.Acquires != ls.Releases }
+
+// ComputeLockStats scans the trace once and reports per-lock
+// acquire/release counts for every lock that actually occurs, in lock
+// id order. Unlike Validate it never fails: it is the inspection tool
+// for traces whose lock discipline is in question.
+func ComputeLockStats(tr *Trace) []LockStat {
+	n := tr.Meta.Locks
+	for _, e := range tr.Events {
+		if e.Kind.IsSync() && int(e.Obj) >= n {
+			n = int(e.Obj) + 1
+		}
+	}
+	acq := make([]int, n)
+	rel := make([]int, n)
+	holder := make([]vt.TID, n)
+	for i := range holder {
+		holder[i] = vt.None
+	}
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case Acquire:
+			acq[e.Obj]++
+			holder[e.Obj] = e.T
+		case Release:
+			rel[e.Obj]++
+			holder[e.Obj] = vt.None
+		}
+	}
+	var out []LockStat
+	for l := 0; l < n; l++ {
+		if acq[l] == 0 && rel[l] == 0 {
+			continue
+		}
+		out = append(out, LockStat{Lock: int32(l), Acquires: acq[l], Releases: rel[l], Holder: holder[l]})
+	}
+	return out
+}

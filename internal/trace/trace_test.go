@@ -265,3 +265,61 @@ func TestEventString(t *testing.T) {
 		}
 	}
 }
+
+func TestComputeLockStats(t *testing.T) {
+	tr, err := ParseTextString(`
+t0 acq l0
+t0 w x0
+t0 rel l0
+t1 acq l0
+t1 rel l0
+t1 acq l2
+t0 w x1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := ComputeLockStats(tr)
+	if len(stats) != 2 {
+		t.Fatalf("stats = %+v, want entries for 2 locks", stats)
+	}
+	l0 := stats[0]
+	if l0.Lock != 0 || l0.Acquires != 2 || l0.Releases != 2 || l0.Unbalanced() || l0.Holder != vt.None {
+		t.Errorf("l0 stats = %+v, want balanced 2/2, free", l0)
+	}
+	l1 := stats[1]
+	if l1.Acquires != 1 || l1.Releases != 0 || !l1.Unbalanced() || l1.Holder != 1 {
+		t.Errorf("open-section stats = %+v, want 1 acq / 0 rel held by t1", l1)
+	}
+}
+
+func TestComputeLockStatsMalformed(t *testing.T) {
+	// Stray release (never acquired): counted, flagged, not held.
+	tr := &Trace{
+		Meta: Meta{Threads: 1, Locks: 1},
+		Events: []Event{
+			{T: 0, Obj: 0, Kind: Release},
+			{T: 0, Obj: 0, Kind: Release},
+		},
+	}
+	stats := ComputeLockStats(tr)
+	if len(stats) != 1 || stats[0].Releases != 2 || !stats[0].Unbalanced() || stats[0].Holder != vt.None {
+		t.Errorf("stats = %+v, want one unbalanced 0/2 entry", stats)
+	}
+}
+
+func TestComputeLockStatsBeyondMeta(t *testing.T) {
+	// Locks beyond the declared Meta range (e.g. a truncated header)
+	// are still reported: the tool must work on suspect traces.
+	tr := &Trace{
+		Meta: Meta{Threads: 1, Locks: 1},
+		Events: []Event{
+			{T: 0, Obj: 7, Kind: Acquire},
+			{T: 0, Obj: 7, Kind: Release},
+		},
+	}
+	stats := ComputeLockStats(tr)
+	if len(stats) != 1 || stats[0].Lock != 7 || stats[0].Unbalanced() {
+		t.Errorf("stats = %+v, want one balanced entry for l7", stats)
+	}
+}

@@ -1,0 +1,514 @@
+// Package wcp computes the weakly-causally-precedes partial order of
+// Kini, Mathur and Viswanathan ("Dynamic Race Prediction in Linear
+// Time", PLDI 2017) in a single streaming pass, as a plugin for the
+// shared engine runtime. WCP weakens happens-before: a lock edge
+// orders two critical sections only when their bodies conflict
+// (rule a), releases of same-lock sections are ordered once their
+// bodies become WCP-ordered (rule b), and the relation is closed under
+// composition with HB on both sides (rule c). Conflicting accesses
+// left unordered by WCP ∪ thread-order are predictive races — races
+// HB misses because the observed lock serialization hid them. The
+// reference semantics lives in internal/oracle (oracle.WCP); the
+// differential tests pin this engine against it event by event.
+//
+// # State
+//
+// Unlike HB/SHB/MAZ, WCP needs two kinds of per-thread knowledge. The
+// HB backbone (thread/lock clocks, acquire/release/fork/join edges) is
+// the runtime's and stays generic over the clock data structure — the
+// tree-clock variant accelerates exactly those operations. On top of
+// it this plugin maintains, via the LockSemantics/ThreadSemantics
+// hooks:
+//
+//   - per thread t, the weak clock W_t: a plain vector holding the
+//     pure WCP knowledge {e : e ≺WCP next event of t}. Unlike a thread
+//     clock, W_t's own entry is NOT t's local time (thread order is
+//     deliberately outside WCP; the race check treats the own thread
+//     separately), and other threads routinely hold entries for t that
+//     are ahead of W_t's own entry. That breaks the provenance
+//     invariant tree-clock joins rely on ("only t's own clock knows
+//     t's future"), which is why weak clocks are flat vectors for both
+//     registry variants — the observation that motivates the CSSTs
+//     line of work on data structures for weak orders. Both variants
+//     share this code, so wcp-tree and wcp-vc differ only in the HB
+//     backbone and produce byte-identical reports by construction.
+//   - per lock ℓ, the weak clock of the last release (rule-c transport
+//     across the release→acquire HB edge), a FIFO history of closed
+//     critical sections — releasing thread, acquire local time, HB
+//     snapshot of the release — with one read cursor per thread
+//     (rule b), and per-variable summaries of the HB snapshots of
+//     releases whose section read/wrote the variable, kept per
+//     contributing thread so a thread never consumes its own sections
+//     (rule a applies to sections of different threads only).
+//
+// All of it grows on first sight of an identifier, like every other
+// engine: the plugin needs no trace metadata. Memory is proportional
+// to the live identifier spaces plus the per-lock section histories;
+// histories are retained until every thread's cursor passes an entry
+// (the same asymptotics as the paper's per-thread queues).
+//
+// # Event handling
+//
+//   - Acquire: join ℓ's weak clock into W_t (transport), open a
+//     section.
+//   - Release: scan ℓ's history from t's cursor: while the head
+//     entry's acquire is WCP-before this release (epoch check against
+//     W_t), absorb its release snapshot into W_t (rule b; FIFO order
+//     is sound because an entry can only trigger if every earlier
+//     foreign entry triggers — releases are HB-ordered along a lock).
+//     Then close the section: append its HB snapshot to the history
+//     and merge it into the per-variable summaries of everything the
+//     section accessed, and publish W_t as ℓ's weak clock.
+//   - Read: join the write summaries of every held lock for x into
+//     W_t (rule a), then run the race check, then record x into the
+//     open sections' read sets.
+//   - Write: as Read, but join read and write summaries, and check
+//     against both the last write and the pending reads.
+//   - Fork/Join: propagate W along the corresponding HB edges
+//     (rule c).
+//
+// Race checks are FastTrack-style epoch comparisons — last-write
+// epoch, last-read epoch promoted to a read vector only when reads are
+// concurrent — but ordering is decided by "same thread, or within
+// W_t": thread order is checked positionally because WCP does not
+// contain it. Detected pairs are reported into the runtime's analysis
+// accumulator (Runtime.EnableAnalysis), like MAZ's reversible pairs.
+package wcp
+
+import (
+	"treeclock/internal/analysis"
+	"treeclock/internal/engine"
+	"treeclock/internal/trace"
+	"treeclock/internal/vt"
+)
+
+// csEntry is one closed critical section in a lock's FIFO history.
+type csEntry struct {
+	t     vt.TID    // releasing thread
+	acqLT vt.Time   // local time of the section's acquire
+	rel   vt.Vector // HB timestamp of the release (incl. its own epoch)
+}
+
+// contrib accumulates the HB release snapshots of one thread's closed
+// sections that accessed a given variable under a given lock. Keeping
+// contributions per thread lets an accessor skip its own (rule a is
+// between different threads); the list stays tiny in practice — it has
+// one entry per thread that ever guarded the variable with the lock.
+type contrib struct {
+	t vt.TID
+	v vt.Vector
+}
+
+// varSummary is the rule-(a) state for one (lock, variable) pair.
+type varSummary struct {
+	reads  []contrib
+	writes []contrib
+}
+
+// add merges an HB release snapshot into the contribution of thread t.
+func add(cs []contrib, t vt.TID, h vt.Vector) []contrib {
+	for i := range cs {
+		if cs[i].t == t {
+			cs[i].v = joinVec(cs[i].v, h)
+			return cs
+		}
+	}
+	return append(cs, contrib{t: t, v: h.Clone()})
+}
+
+// lockState is the per-lock WCP bookkeeping.
+type lockState struct {
+	w      vt.Vector // weak clock of the last release (transport)
+	wSet   bool
+	hist   []csEntry // closed sections, in release (= trace) order
+	cursor []int     // per-thread scan position into hist (rule b)
+	sums   map[int32]*varSummary
+}
+
+// openCS is one currently held lock of a thread.
+type openCS struct {
+	lock    int32
+	acqLT   vt.Time
+	read    map[int32]struct{}
+	written map[int32]struct{}
+}
+
+// threadState is the per-thread WCP bookkeeping.
+type threadState struct {
+	w    vt.Vector // pure WCP knowledge; own entry NOT the local time
+	held []openCS  // open critical sections, in acquire order
+}
+
+// accessState is the per-variable race-check history (FastTrack-style
+// epochs, with the WCP ordering predicate).
+type accessState struct {
+	w      vt.Epoch  // last write
+	r      vt.Epoch  // last read, while reads are totally ordered
+	shared vt.Vector // per-thread last reads, once reads were concurrent
+}
+
+// Semantics is the WCP plugin for the shared engine runtime. It
+// implements the Read/Write hooks plus the LockSemantics and
+// ThreadSemantics extensions.
+type Semantics[C vt.Clock[C]] struct {
+	threads []threadState
+	locks   []lockState
+	vars    []accessState
+	k       int // thread-count high-water mark
+}
+
+// NewSemantics returns fresh WCP semantics (one per engine run).
+func NewSemantics[C vt.Clock[C]]() *Semantics[C] { return &Semantics[C]{} }
+
+// Interface conformance (the runtime detects the extensions).
+var (
+	_ engine.LockSemantics[*noClock]   = (*Semantics[*noClock])(nil)
+	_ engine.ThreadSemantics[*noClock] = (*Semantics[*noClock])(nil)
+)
+
+// joinVec grows dst to cover src and joins src into it.
+func joinVec(dst, src vt.Vector) vt.Vector {
+	if len(src) > len(dst) {
+		dst = vt.GrowSlice(dst, len(src))
+	}
+	dst.Join(src)
+	return dst
+}
+
+// thread returns thread t's state, growing the thread space.
+func (s *Semantics[C]) thread(t vt.TID) *threadState {
+	s.threads = vt.GrowSlice(s.threads, int(t)+1)
+	if int(t) >= s.k {
+		s.k = int(t) + 1
+	}
+	return &s.threads[t]
+}
+
+// lockOf returns lock l's state, growing the lock space.
+func (s *Semantics[C]) lockOf(l int32) *lockState {
+	s.locks = vt.GrowSlice(s.locks, int(l)+1)
+	return &s.locks[l]
+}
+
+// varOf returns variable x's race-check history, growing the space.
+func (s *Semantics[C]) varOf(x int32) *accessState {
+	s.vars = vt.GrowSlice(s.vars, int(x)+1)
+	return &s.vars[x]
+}
+
+// ordered reports whether the event identified by epoch e is ordered
+// before thread t's current event under WCP ∪ thread-order: same
+// thread (trace order within a thread), or within t's weak clock.
+func ordered(e vt.Epoch, t vt.TID, w vt.Vector) bool {
+	return e.T == t || e.Clk <= w.Get(e.T)
+}
+
+// joinSummaries applies rule (a) for an access of x by t: the release
+// snapshot of every earlier conflicting same-lock section of another
+// thread joins the weak clock. Writes conflict with everything;
+// reads only with writes.
+func (s *Semantics[C]) joinSummaries(ts *threadState, t vt.TID, x int32, isWrite bool) {
+	for i := range ts.held {
+		ls := s.lockOf(ts.held[i].lock)
+		sum := ls.sums[x]
+		if sum == nil {
+			continue
+		}
+		for j := range sum.writes {
+			if sum.writes[j].t != t {
+				ts.w = joinVec(ts.w, sum.writes[j].v)
+			}
+		}
+		if isWrite {
+			for j := range sum.reads {
+				if sum.reads[j].t != t {
+					ts.w = joinVec(ts.w, sum.reads[j].v)
+				}
+			}
+		}
+	}
+}
+
+// record notes the access in every open section of the thread.
+func record(ts *threadState, x int32, isWrite bool) {
+	for i := range ts.held {
+		cs := &ts.held[i]
+		if isWrite {
+			if cs.written == nil {
+				cs.written = make(map[int32]struct{})
+			}
+			cs.written[x] = struct{}{}
+		} else {
+			if cs.read == nil {
+				cs.read = make(map[int32]struct{})
+			}
+			cs.read[x] = struct{}{}
+		}
+	}
+}
+
+// Read implements engine.Semantics.
+func (s *Semantics[C]) Read(rt *engine.Runtime[C], t vt.TID, x int32, ct C) {
+	ts := s.thread(t)
+	s.joinSummaries(ts, t, x, false)
+	vs := s.varOf(x)
+	now := vt.Epoch{T: t, Clk: ct.Get(t)}
+	if acc := rt.Analysis(); acc != nil {
+		if !vs.w.Zero() && !ordered(vs.w, t, ts.w) {
+			acc.Report(analysis.WriteRead, x, vs.w, now)
+		}
+	}
+	// Read metadata: a single epoch while reads are totally ordered,
+	// promoted to a per-thread vector on the first concurrent pair —
+	// the same adaptive scheme as the HB/SHB detector, under the WCP
+	// ordering predicate.
+	if vs.shared != nil {
+		if int(t) >= len(vs.shared) {
+			vs.shared = vt.GrowSlice(vs.shared, s.k)
+		}
+		vs.shared[t] = now.Clk
+	} else if vs.r.Zero() || ordered(vs.r, t, ts.w) {
+		vs.r = now
+	} else {
+		n := s.k
+		if int(vs.r.T) >= n {
+			n = int(vs.r.T) + 1
+		}
+		vs.shared = vt.NewVector(n)
+		vs.shared[vs.r.T] = vs.r.Clk
+		vs.shared[t] = now.Clk
+		vs.r = vt.Epoch{}
+	}
+	record(ts, x, false)
+}
+
+// Write implements engine.Semantics.
+func (s *Semantics[C]) Write(rt *engine.Runtime[C], t vt.TID, x int32, ct C) {
+	ts := s.thread(t)
+	s.joinSummaries(ts, t, x, true)
+	vs := s.varOf(x)
+	now := vt.Epoch{T: t, Clk: ct.Get(t)}
+	if acc := rt.Analysis(); acc != nil {
+		if !vs.w.Zero() && !ordered(vs.w, t, ts.w) {
+			acc.Report(analysis.WriteWrite, x, vs.w, now)
+		}
+		if vs.shared != nil {
+			for u, rc := range vs.shared {
+				if rc > 0 && !ordered(vt.Epoch{T: vt.TID(u), Clk: rc}, t, ts.w) {
+					acc.Report(analysis.ReadWrite, x, vt.Epoch{T: vt.TID(u), Clk: rc}, now)
+				}
+			}
+		} else if !vs.r.Zero() && !ordered(vs.r, t, ts.w) {
+			acc.Report(analysis.ReadWrite, x, vs.r, now)
+		}
+	}
+	// A read that later races an access would also race this write (or
+	// the write itself races), so the read metadata resets — the same
+	// variable-level completeness argument as the HB detector, which
+	// only needs the order to be transitively closed over thread order.
+	vs.shared = nil
+	vs.r = vt.Epoch{}
+	vs.w = now
+	record(ts, x, true)
+}
+
+// Acquire implements engine.LockSemantics: rule-(c) transport across
+// the release→acquire HB edge, then open the section. A reacquire of a
+// lock the thread already holds (malformed input) keeps the original
+// section.
+func (s *Semantics[C]) Acquire(rt *engine.Runtime[C], t vt.TID, l int32, ct C) {
+	ts := s.thread(t)
+	ls := s.lockOf(l)
+	if ls.wSet {
+		ts.w = joinVec(ts.w, ls.w)
+	}
+	for i := range ts.held {
+		if ts.held[i].lock == l {
+			return
+		}
+	}
+	ts.held = append(ts.held, openCS{lock: l, acqLT: ct.Get(t)})
+}
+
+// Release implements engine.LockSemantics: rule (b) against the lock's
+// section history, then close the section (history entry + rule-(a)
+// summaries), then publish the weak clock. A release of a lock the
+// thread does not hold (malformed input) closes nothing but still
+// publishes, mirroring the runtime's uniform lock-clock overwrite.
+func (s *Semantics[C]) Release(rt *engine.Runtime[C], t vt.TID, l int32, ct C) {
+	ts := s.thread(t)
+	ls := s.lockOf(l)
+
+	held := -1
+	for i := range ts.held {
+		if ts.held[i].lock == l {
+			held = i
+		}
+	}
+
+	if held >= 0 {
+		// Rule (b): absorb every earlier foreign section whose acquire
+		// is already WCP-before this release. The FIFO scan may stop at
+		// the first miss: a later foreign entry's acquire is HB-after
+		// every earlier entry's release (same lock), so by rule (c) it
+		// can only be WCP-before this release if the earlier ones are.
+		if int(t) >= len(ls.cursor) {
+			ls.cursor = vt.GrowSlice(ls.cursor, s.k)
+		}
+		for ls.cursor[t] < len(ls.hist) {
+			e := &ls.hist[ls.cursor[t]]
+			if e.t == t {
+				ls.cursor[t]++
+				continue
+			}
+			if ts.w.Get(e.t) >= e.acqLT {
+				ts.w = joinVec(ts.w, e.rel)
+				ls.cursor[t]++
+				continue
+			}
+			break
+		}
+
+		cs := ts.held[held]
+		ts.held = append(ts.held[:held], ts.held[held+1:]...)
+		// The HB snapshot of this release: everything ≤HB here rides
+		// along any rule-(a)/(b) edge out of this section (rule c).
+		// The snapshot is retained by the history entry, so it is
+		// allocated rather than reused.
+		h := ct.Vector(vt.NewVector(rt.Threads()))
+		ls.hist = append(ls.hist, csEntry{t: t, acqLT: cs.acqLT, rel: h})
+		if len(cs.read)+len(cs.written) > 0 && ls.sums == nil {
+			ls.sums = make(map[int32]*varSummary)
+		}
+		for x := range cs.read {
+			sum := ls.sums[x]
+			if sum == nil {
+				sum = &varSummary{}
+				ls.sums[x] = sum
+			}
+			sum.reads = add(sum.reads, t, h)
+		}
+		for x := range cs.written {
+			sum := ls.sums[x]
+			if sum == nil {
+				sum = &varSummary{}
+				ls.sums[x] = sum
+			}
+			sum.writes = add(sum.writes, t, h)
+		}
+	}
+
+	// Transport: the weak knowledge at this release is what a later
+	// acquirer inherits across the HB edge (rule c). The release's own
+	// epoch is deliberately NOT included — rel→acq is an HB edge, not a
+	// WCP one.
+	if len(ls.w) < len(ts.w) {
+		ls.w = vt.GrowSlice(ls.w, len(ts.w))
+	}
+	for i := range ls.w {
+		if i < len(ts.w) {
+			ls.w[i] = ts.w[i]
+		} else {
+			ls.w[i] = 0
+		}
+	}
+	ls.wSet = true
+}
+
+// Fork implements engine.ThreadSemantics: the child's weak clock
+// inherits the parent's (rule c across the fork edge).
+func (s *Semantics[C]) Fork(rt *engine.Runtime[C], t vt.TID, u vt.TID, ct C) {
+	w := s.thread(t).w
+	if len(w) > 0 {
+		cu := s.thread(u)
+		cu.w = joinVec(cu.w, w)
+	}
+}
+
+// Join implements engine.ThreadSemantics: the parent absorbs the
+// joined thread's weak clock (rule c across the join edge).
+func (s *Semantics[C]) Join(rt *engine.Runtime[C], t vt.TID, u vt.TID, ct C) {
+	w := s.thread(u).w
+	if len(w) > 0 {
+		ts := s.thread(t)
+		ts.w = joinVec(ts.w, w)
+	}
+}
+
+// WeakClock exposes thread t's pure WCP knowledge (for tests and
+// timestamp comparison against the oracle). The returned vector is
+// live; callers must not modify it.
+func (s *Semantics[C]) WeakClock(t vt.TID) vt.Vector {
+	if int(t) >= len(s.threads) {
+		return nil
+	}
+	return s.threads[t].w
+}
+
+// Timestamp writes thread t's WCP ∪ thread-order timestamp — the weak
+// clock with the own entry raised to the local time lt — into dst.
+func (s *Semantics[C]) Timestamp(t vt.TID, lt vt.Time, dst vt.Vector) vt.Vector {
+	for i := range dst {
+		dst[i] = 0
+	}
+	if int(t) < len(s.threads) {
+		copy(dst, s.threads[t].w)
+	}
+	if int(t) < len(dst) {
+		dst[t] = lt
+	}
+	return dst
+}
+
+// Engine computes WCP timestamps while streaming events. It is the
+// shared runtime bound to the WCP semantics; every runtime method is
+// promoted. Enable reporting with EnableAnalysis (WCP performs its own
+// epoch checks, like MAZ).
+type Engine[C vt.Clock[C]] struct {
+	engine.Runtime[C]
+	sem *Semantics[C]
+}
+
+// Sem returns the bound semantics (weak clocks, for inspection).
+func (e *Engine[C]) Sem() *Semantics[C] { return e.sem }
+
+// Timestamp snapshots thread t's current WCP ∪ thread-order vector
+// time into dst, shadowing the promoted runtime method (whose thread
+// clocks are the HB scaffolding): like every other engine, a WCP
+// engine's timestamps are timestamps of the order it computes. The
+// thread's local time is read off its HB clock (own entries agree
+// across all orders).
+func (e *Engine[C]) Timestamp(t vt.TID, dst vt.Vector) vt.Vector {
+	return e.sem.Timestamp(t, e.ThreadClock(t).Get(t), dst)
+}
+
+// New builds a WCP engine pre-sized for traces with the given
+// metadata.
+func New[C vt.Clock[C]](meta trace.Meta, factory vt.Factory[C]) *Engine[C] {
+	sem := NewSemantics[C]()
+	e := &Engine[C]{sem: sem}
+	e.Runtime = *engine.NewWithMeta[C](sem, factory, meta)
+	return e
+}
+
+// NewStreaming builds a WCP engine that discovers the trace's
+// identifier spaces on the fly (no prior metadata).
+func NewStreaming[C vt.Clock[C]](factory vt.Factory[C]) *Engine[C] {
+	sem := NewSemantics[C]()
+	e := &Engine[C]{sem: sem}
+	e.Runtime = *engine.New[C](sem, factory)
+	return e
+}
+
+// noClock is a minimal vt.Clock used only for the compile-time
+// interface-conformance assertions above.
+type noClock struct{}
+
+func (*noClock) Init(vt.TID)                     {}
+func (*noClock) Get(vt.TID) vt.Time              { return 0 }
+func (*noClock) Inc(vt.TID, vt.Time)             {}
+func (*noClock) Grow(int)                        {}
+func (*noClock) Join(*noClock)                   {}
+func (*noClock) MonotoneCopy(*noClock)           {}
+func (*noClock) CopyCheckMonotone(*noClock) bool { return true }
+func (*noClock) Vector(dst vt.Vector) vt.Vector  { return dst }

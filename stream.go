@@ -21,6 +21,7 @@ import (
 	"treeclock/internal/trace"
 	"treeclock/internal/vc"
 	"treeclock/internal/vt"
+	"treeclock/internal/wcp"
 )
 
 // Semantics is the plugin interface a partial order implements against
@@ -38,7 +39,7 @@ type EngineRuntime[C vt.Clock[C]] = engine.Runtime[C]
 type EngineInfo struct {
 	// Name is the registry key, "<order>-<clock>": e.g. "hb-tree".
 	Name string
-	// Order is the partial order: "hb", "shb" or "maz".
+	// Order is the partial order: "hb", "shb", "maz" or "wcp".
 	Order string
 	// Clock is the data structure: "tree" or "vc".
 	Clock string
@@ -54,6 +55,8 @@ var engineRegistry = map[string]EngineInfo{
 	"shb-vc":   {"shb-vc", "shb", "vc", "schedulable-happens-before with vector clocks"},
 	"maz-tree": {"maz-tree", "maz", "tree", "Mazurkiewicz order with tree clocks (Algorithm 5)"},
 	"maz-vc":   {"maz-vc", "maz", "vc", "Mazurkiewicz order with vector clocks"},
+	"wcp-tree": {"wcp-tree", "wcp", "tree", "weakly-causally-precedes with tree clocks (predictive races)"},
+	"wcp-vc":   {"wcp-vc", "wcp", "vc", "weakly-causally-precedes with vector clocks"},
 }
 
 // Engines returns the registered engine names, sorted.
@@ -158,7 +161,9 @@ type StreamResult struct {
 	Summary RaceSummary
 	// Samples retains up to 64 example pairs.
 	Samples []Race
-	// Timestamps holds each thread's final vector time.
+	// Timestamps holds each thread's final vector time under the
+	// selected order (for "wcp-*" that is WCP ∪ thread order, not the
+	// HB scaffolding the runtime keeps internally).
 	Timestamps []Vector
 }
 
@@ -181,6 +186,10 @@ type streamEngine interface {
 type runtimeAdapter[C vt.Clock[C]] struct {
 	rt  *engine.Runtime[C]
 	acc *analysis.Accumulator
+	// timestamp overrides the runtime's thread-clock snapshot for
+	// orders whose timestamps live outside the runtime's clocks (WCP's
+	// weak clocks); nil means the runtime's clocks ARE the order.
+	timestamp func(t vt.TID, dst vt.Vector) vt.Vector
 }
 
 func (a *runtimeAdapter[C]) ProcessSource(src trace.EventSource) error {
@@ -193,7 +202,11 @@ func (a *runtimeAdapter[C]) Finish() (analysis.Summary, []analysis.Pair, []vt.Ve
 	k := a.rt.Threads()
 	ts := make([]vt.Vector, k)
 	for t := 0; t < k; t++ {
-		ts[t] = a.rt.Timestamp(vt.TID(t), vt.NewVector(k))
+		if a.timestamp != nil {
+			ts[t] = a.timestamp(vt.TID(t), vt.NewVector(k))
+		} else {
+			ts[t] = a.rt.Timestamp(vt.TID(t), vt.NewVector(k))
+		}
 	}
 	if a.acc == nil {
 		return analysis.Summary{}, nil, ts
@@ -204,7 +217,10 @@ func (a *runtimeAdapter[C]) Finish() (analysis.Summary, []analysis.Pair, []vt.Ve
 // newStreamEngine builds the dynamically growing runtime for one
 // registry entry over clock type C.
 func newStreamEngine[C vt.Clock[C]](order string, f vt.Factory[C], withAnalysis bool) streamEngine {
-	var rt *engine.Runtime[C]
+	var (
+		rt        *engine.Runtime[C]
+		timestamp func(t vt.TID, dst vt.Vector) vt.Vector
+	)
 	switch order {
 	case "hb":
 		rt = engine.New[C](hb.NewSemantics[C](), f)
@@ -212,26 +228,37 @@ func newStreamEngine[C vt.Clock[C]](order string, f vt.Factory[C], withAnalysis 
 		rt = engine.New[C](shb.NewSemantics[C](), f)
 	case "maz":
 		rt = engine.New[C](maz.NewSemantics[C](), f)
+	case "wcp":
+		sem := wcp.NewSemantics[C]()
+		rt = engine.New[C](sem, f)
+		// WCP timestamps are the weak clocks (plus thread order), not
+		// the runtime's HB scaffolding.
+		timestamp = func(t vt.TID, dst vt.Vector) vt.Vector {
+			return sem.Timestamp(t, rt.ThreadClock(t).Get(t), dst)
+		}
 	default:
 		panic("treeclock: unknown partial order " + order)
 	}
 	var acc *analysis.Accumulator
 	if withAnalysis {
-		if order == "maz" {
+		switch order {
+		case "maz", "wcp":
+			// These orders run their own pair checks and only need an
+			// accumulator to report into.
 			acc = rt.EnableAnalysis()
-		} else {
+		default:
 			acc = rt.EnableRaceDetection().Acc
 		}
 	}
-	return &runtimeAdapter[C]{rt: rt, acc: acc}
+	return &runtimeAdapter[C]{rt: rt, acc: acc, timestamp: timestamp}
 }
 
 // RunStream analyzes a trace read from r with the named engine in a
 // single streaming pass: no prior Meta, no materialization, memory
 // proportional to the live identifier spaces. The engine name is a
 // registry key (see Engines): "hb-tree", "hb-vc", "shb-tree", "shb-vc",
-// "maz-tree" or "maz-vc". Race / reversible-pair analysis is on by
-// default; configure with StreamOption values.
+// "maz-tree", "maz-vc", "wcp-tree" or "wcp-vc". Race / reversible-pair
+// analysis is on by default; configure with StreamOption values.
 func RunStream(engineName string, r io.Reader, opts ...StreamOption) (*StreamResult, error) {
 	info, ok := engineRegistry[engineName]
 	if !ok {

@@ -27,6 +27,9 @@ func generatorSuite() []*treeclock.Trace {
 		treeclock.GenerateBarrierPhases(5, 6, 10, 7),
 		treeclock.GenerateReadersWriters(8, 2000, 8, true),
 		treeclock.GenerateForkJoinTree(5, 40, 9),
+		treeclock.GenerateNestedLocks(6, 3, 2000, 10),
+		treeclock.GenerateGuardedPairs(6, 8, 2000, 11),
+		treeclock.GeneratePredictivePairs(6, 1500, 12),
 	}
 }
 
@@ -67,6 +70,14 @@ func materialized(t *testing.T, tr *treeclock.Trace, engineName string) (treeclo
 		e = en
 	case "maz-vc":
 		en := treeclock.NewMAZVector(tr.Meta)
+		acc = en.EnableAnalysis()
+		e = en
+	case "wcp-tree":
+		en := treeclock.NewWCPTree(tr.Meta)
+		acc = en.EnableAnalysis()
+		e = en
+	case "wcp-vc":
+		en := treeclock.NewWCPVector(tr.Meta)
 		acc = en.EnableAnalysis()
 		e = en
 	default:
@@ -225,7 +236,7 @@ func TestRunStreamValidate(t *testing.T) {
 // TestEngineRegistry sanity-checks the registry listing.
 func TestEngineRegistry(t *testing.T) {
 	names := treeclock.Engines()
-	want := []string{"hb-tree", "hb-vc", "maz-tree", "maz-vc", "shb-tree", "shb-vc"}
+	want := []string{"hb-tree", "hb-vc", "maz-tree", "maz-vc", "shb-tree", "shb-vc", "wcp-tree", "wcp-vc"}
 	if len(names) != len(want) {
 		t.Fatalf("Engines() = %v, want %v", names, want)
 	}
@@ -237,6 +248,109 @@ func TestEngineRegistry(t *testing.T) {
 	for _, info := range treeclock.EngineInfos() {
 		if info.Doc == "" || info.Order == "" || info.Clock == "" {
 			t.Errorf("incomplete registry entry: %+v", info)
+		}
+	}
+}
+
+// TestClockVariantsByteIdentical is the metamorphic clock-equivalence
+// check of the registry: for every generator scenario and every
+// partial order, the tree-clock and vector-clock variants must render
+// byte-identical race reports and identical final timestamps — the
+// data structure must never leak into the analysis result.
+func TestClockVariantsByteIdentical(t *testing.T) {
+	orders := map[string][2]string{}
+	for _, info := range treeclock.EngineInfos() {
+		pair := orders[info.Order]
+		if info.Clock == "tree" {
+			pair[0] = info.Name
+		} else {
+			pair[1] = info.Name
+		}
+		orders[info.Order] = pair
+	}
+	for _, tr := range generatorSuite() {
+		var bin bytes.Buffer
+		if err := treeclock.WriteTraceBinary(&bin, tr); err != nil {
+			t.Fatal(err)
+		}
+		for order, pair := range orders {
+			t.Run(tr.Meta.Name+"/"+order, func(t *testing.T) {
+				if pair[0] == "" || pair[1] == "" {
+					t.Fatalf("order %q missing a clock variant: %v", order, pair)
+				}
+				resTree, err := treeclock.RunStream(pair[0], bytes.NewReader(bin.Bytes()), treeclock.StreamBinary())
+				if err != nil {
+					t.Fatal(err)
+				}
+				resVC, err := treeclock.RunStream(pair[1], bytes.NewReader(bin.Bytes()), treeclock.StreamBinary())
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotTree := raceReport(resTree.Summary, resTree.Samples)
+				gotVC := raceReport(resVC.Summary, resVC.Samples)
+				if gotTree != gotVC {
+					t.Errorf("race reports diverge:\n%s:\n%s\n%s:\n%s", pair[0], gotTree, pair[1], gotVC)
+				}
+				if len(resTree.Timestamps) != len(resVC.Timestamps) {
+					t.Fatalf("timestamp counts diverge: %d vs %d", len(resTree.Timestamps), len(resVC.Timestamps))
+				}
+				for th := range resTree.Timestamps {
+					if !resTree.Timestamps[th].Equal(resVC.Timestamps[th]) {
+						t.Errorf("thread %d: %v vs %v", th, resTree.Timestamps[th], resVC.Timestamps[th])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestWCPStreamFindsPredictiveRace pins the registry-level behavior
+// difference on the predictive-race generator: HB reports nothing,
+// WCP reports the hidden races, on both clock variants.
+func TestWCPStreamFindsPredictiveRace(t *testing.T) {
+	tr := treeclock.GeneratePredictivePairs(4, 400, 77)
+	var text bytes.Buffer
+	if err := treeclock.WriteTraceText(&text, tr); err != nil {
+		t.Fatal(err)
+	}
+	for _, engineName := range []string{"hb-tree", "hb-vc"} {
+		res, err := treeclock.RunStream(engineName, bytes.NewReader(text.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Summary.Total != 0 {
+			t.Errorf("%s: HB must miss the predictive races, got %d", engineName, res.Summary.Total)
+		}
+	}
+	hbRes, err := treeclock.RunStream("hb-tree", bytes.NewReader(text.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, engineName := range []string{"wcp-tree", "wcp-vc"} {
+		res, err := treeclock.RunStream(engineName, bytes.NewReader(text.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Summary.Total == 0 {
+			t.Errorf("%s: WCP must flag the predictive races", engineName)
+		}
+		// The reported timestamps must be the weak order, not the HB
+		// scaffolding: on this trace WCP orders strictly less than HB,
+		// so some thread must know strictly less about some other.
+		weaker := false
+		for th, wv := range res.Timestamps {
+			hv := hbRes.Timestamps[th]
+			for u := range hv {
+				if wv.Get(treeclock.ThreadID(u)) > hv.Get(treeclock.ThreadID(u)) {
+					t.Fatalf("%s: thread %d WCP timestamp %v exceeds HB %v", engineName, th, wv, hv)
+				}
+				if wv.Get(treeclock.ThreadID(u)) < hv.Get(treeclock.ThreadID(u)) {
+					weaker = true
+				}
+			}
+		}
+		if !weaker {
+			t.Errorf("%s: Timestamps equal HB's — the weak-order override is not wired in", engineName)
 		}
 	}
 }

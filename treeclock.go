@@ -12,6 +12,7 @@ import (
 	"treeclock/internal/trace"
 	"treeclock/internal/vc"
 	"treeclock/internal/vt"
+	"treeclock/internal/wcp"
 )
 
 // Core types, re-exported from the internal packages so downstream
@@ -158,6 +159,12 @@ type (
 	MAZTreeEngine = maz.Engine[*core.TreeClock]
 	// MAZVectorEngine is the vector-clock MAZ variant.
 	MAZVectorEngine = maz.Engine[*vc.VectorClock]
+	// WCPTreeEngine computes the weakly-causally-precedes order
+	// (predictive race detection) with tree clocks backing the HB
+	// scaffolding.
+	WCPTreeEngine = wcp.Engine[*core.TreeClock]
+	// WCPVectorEngine is the vector-clock WCP variant.
+	WCPVectorEngine = wcp.Engine[*vc.VectorClock]
 )
 
 // NewHBTree returns a happens-before engine backed by tree clocks.
@@ -201,6 +208,19 @@ func NewMAZVector(meta Meta) *MAZVectorEngine {
 	return maz.New(meta, vc.Factory(nil))
 }
 
+// NewWCPTree returns a weakly-causally-precedes engine backed by tree
+// clocks. Enable reporting with EnableAnalysis; detected pairs are
+// predictive races (conflicting accesses unordered by WCP ∪ thread
+// order), a superset of the HB races.
+func NewWCPTree(meta Meta) *WCPTreeEngine {
+	return wcp.New(meta, core.Factory(nil))
+}
+
+// NewWCPVector returns the vector-clock WCP engine.
+func NewWCPVector(meta Meta) *WCPVectorEngine {
+	return wcp.New(meta, vc.Factory(nil))
+}
+
 // Analysis types.
 type (
 	// Race is one detected concurrent conflicting pair.
@@ -242,4 +262,14 @@ var (
 	GenerateBarrierPhases    = gen.BarrierPhases
 	GenerateReadersWriters   = gen.ReadersWriters
 	GenerateForkJoinTree     = gen.ForkJoinTree
+)
+
+// Lock-structure-heavy generators for the weak-order engines: nested
+// critical sections, fully guarded conflicting accesses (race-free
+// under every order), and the canonical predictive-race shape that HB
+// orders through the lock but WCP flags.
+var (
+	GenerateNestedLocks     = gen.NestedLocks
+	GenerateGuardedPairs    = gen.GuardedPairs
+	GeneratePredictivePairs = gen.PredictivePairs
 )
