@@ -8,14 +8,19 @@
 //	tcbench -experiment fig10 -fig10-events 1000000 -fig10-threads 10,60,110
 //
 // Experiments: table1, table2, table3, fig6, fig7, fig8, fig9, fig10,
-// ablation, stream, ingest, all. Results print to stdout; see
+// ablation, stream, ingest, mem, all. Results print to stdout; see
 // EXPERIMENTS.md for the recorded paper-vs-measured comparison. The
 // stream experiment compares the one-pass streaming path (RunStream:
 // parse + analyze with no prior metadata) against the materialized path
 // for every registry engine; with -stream-file it instead streams a
 // trace file directly. The ingest experiment compares scalar, batched
 // and pipelined ingestion per engine × format (tcbench -experiment
-// ingest -json BENCH_ingest.json for the machine-readable report).
+// ingest -json BENCH_ingest.json for the machine-readable report). The
+// mem experiment streams the endless hot-lock / rotating-locks /
+// churning-vars workloads through every engine and records retained
+// state — history entries, peak per-lock history length, retained
+// bytes per event, and the WCP compaction before/after comparison
+// (tcbench -experiment mem -mem-json BENCH_mem.json).
 package main
 
 import (
@@ -35,9 +40,11 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "experiment to run: table1|table2|table3|fig6|fig7|fig8|fig9|fig10|ablation|stream|ingest|all")
+		experiment  = flag.String("experiment", "all", "experiment to run: table1|table2|table3|fig6|fig7|fig8|fig9|fig10|ablation|stream|ingest|mem|all")
 		streamEv    = flag.Int("stream-events", 400000, "events in the generated stream- and ingest-experiment traces")
 		jsonPath    = flag.String("json", "", "write the ingest experiment's machine-readable report to this file (e.g. BENCH_ingest.json)")
+		memEv       = flag.Int("mem-events", 400000, "events streamed per mem-experiment workload")
+		memJSONPath = flag.String("mem-json", "", "write the mem experiment's machine-readable report to this file (e.g. BENCH_mem.json)")
 		streamFile  = flag.String("stream-file", "", "stream this trace file instead of a generated workload (text format, or bin with -stream-bin)")
 		streamBin   = flag.Bool("stream-bin", false, "treat -stream-file as binary format")
 		scale       = flag.Float64("scale", 1.0, "suite event-count multiplier (1.0 ≈ hundreds of thousands of events per large trace)")
@@ -75,6 +82,7 @@ func main() {
 		{"ablation", func() { h.Ablation(os.Stdout) }},
 		{"stream", func() { streamExperiment(*streamEv, *streamFile, *streamBin) }},
 		{"ingest", func() { ingestExperiment(*streamEv, *repeats, *jsonPath) }},
+		{"mem", func() { memExperiment(*memEv, *memJSONPath) }},
 	}
 
 	want := strings.ToLower(*experiment)

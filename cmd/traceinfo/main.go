@@ -3,12 +3,18 @@
 // the synchronization/access event shares. It also audits lock usage:
 // unbalanced locks (acquire/release counts differing — sections left
 // open, or stray releases on malformed input) are always flagged, and
-// -locks prints the full per-lock acquire/release table.
+// -locks prints the full per-lock acquire/release table. With -wcp it
+// additionally runs the WCP engine over the trace and reports the
+// retained critical-section state per lock — live and peak rule-(b)
+// history length, entries reclaimed by compaction, rule-(a) summary
+// vectors and approximate retained bytes — the numbers that tell
+// whether a trace's lock structure lets the history drain.
 //
 // Usage:
 //
 //	traceinfo trace.txt
 //	traceinfo -locks trace.txt
+//	traceinfo -wcp trace.txt
 //	tracegen -pattern star -threads 16 | traceinfo
 package main
 
@@ -19,6 +25,8 @@ import (
 	"os"
 
 	"treeclock/internal/trace"
+	"treeclock/internal/vc"
+	"treeclock/internal/wcp"
 )
 
 func main() {
@@ -26,6 +34,7 @@ func main() {
 		format    = flag.String("format", "text", "trace format: text or bin")
 		validate  = flag.Bool("validate", true, "check trace well-formedness")
 		showLocks = flag.Bool("locks", false, "print per-lock acquire/release counts")
+		showWCP   = flag.Bool("wcp", false, "run the WCP engine and print per-lock retained-history statistics")
 	)
 	flag.Parse()
 
@@ -93,5 +102,28 @@ func main() {
 		for _, ls := range lockStats {
 			fmt.Printf("    l%-6d %6d acq %6d rel\n", ls.Lock, ls.Acquires, ls.Releases)
 		}
+	}
+	if *showWCP {
+		reportWCP(tr)
+	}
+}
+
+// reportWCP runs the WCP engine (vector-clock backbone; the weak-order
+// state is shared across variants) over the materialized trace and
+// prints its retained critical-section state, per lock.
+func reportWCP(tr *trace.Trace) {
+	e := wcp.New[*vc.VectorClock](tr.Meta, vc.Factory(nil))
+	e.Process(tr.Events)
+	ms := e.Sem().MemStats()
+	fmt.Printf("  wcp retained:   %d history entries live (peak %d on one lock), %d compacted, %d summary vectors, ~%d bytes\n",
+		ms.HistEntries, ms.PeakLockHist, ms.DroppedEntries, ms.SummaryVectors, ms.RetainedBytes)
+	stats := e.Sem().LockHistStats()
+	if len(stats) == 0 {
+		return
+	}
+	fmt.Printf("  wcp per lock:   (live/peak/compacted history, summary vectors, ~bytes)\n")
+	for _, st := range stats {
+		fmt.Printf("    l%-6d %6d live %6d peak %9d compacted %6d summaries %9d B\n",
+			st.Lock, st.Live, st.Peak, st.Dropped, st.Summaries, st.RetainedBytes)
 	}
 }

@@ -60,18 +60,42 @@
 // RunStream is the one-pass API built on that runtime: it feeds a
 // trace from a plain io.Reader (text or binary format, see
 // NewTraceScanner and NewBinaryTraceScanner) straight through an
-// engine with no prior Meta and no materialization, so memory is
-// proportional to the live identifier spaces rather than the trace
-// length. Engines are chosen by registry name — "hb-tree", "hb-vc",
-// "shb-tree", "shb-vc", "maz-tree", "maz-vc", "wcp-tree", "wcp-vc"
-// (see Engines and EngineInfos) — and the result carries the race
-// summary, sample pairs, discovered metadata and final timestamps.
+// engine with no prior Meta and no materialization; RunStreamSource
+// does the same from any EventSource — including the endless workload
+// generators (GenerateHotLockStream, GenerateRotatingLocksStream,
+// GenerateChurningVarsStream, capped with LimitEvents), so soak
+// scenarios of unbounded length need no trace bytes at all. Engines
+// are chosen by registry name — "hb-tree", "hb-vc", "shb-tree",
+// "shb-vc", "maz-tree", "maz-vc", "wcp-tree", "wcp-vc" (see Engines
+// and EngineInfos) — and the result carries the race summary, sample
+// pairs, discovered metadata and final timestamps.
 // The streaming and materialized paths are differentially tested to
 // produce identical race reports and timestamps, the tree-clock and
 // vector-clock variants of every order are pinned byte-identical, and
 // each order's engine is compared event-by-event against a
 // definition-level oracle (internal/oracle) over the whole generator
 // suite.
+//
+// # Memory model
+//
+// On an unbounded stream, memory is proportional to the live
+// identifier spaces (threads, locks, touched variables), never the
+// trace length. For HB, SHB and MAZ that falls out of the clock state
+// alone. WCP additionally keeps per-lock critical-section histories
+// whose entries each pin a Θ(threads) snapshot; these are compacted —
+// an entry is dropped as soon as a thread other than its releaser has
+// absorbed it through WCP's rule (b), which is exactly when every
+// possible later absorption becomes a no-op (internal/wcp documents
+// the argument), and the freed snapshots are recycled. The retained
+// history is then the unabsorbed tail: O(threads) entries on
+// workloads whose critical sections conflict, growing only when the
+// WCP definition itself still needs the entries. Engines with such
+// inherently event-dependent state report it through the
+// engine.MemReporter extension, surfaced as StreamResult.Mem — live
+// and peak history lengths, compacted-entry counts and retained bytes
+// — asserted by a 5M-event soak test and tracked by cmd/tcbench
+// -experiment mem (BENCH_mem.json); cmd/traceinfo -wcp breaks the
+// numbers down per lock.
 //
 // # Batched ingestion
 //

@@ -22,8 +22,13 @@
 // The runtime is streaming end to end: it needs no trace.Meta. Thread,
 // lock and variable state is allocated (and clocks are grown, see the
 // Grow contract in internal/core) on first sight of an identifier, so a
-// trace can be fed event by event from a reader of unbounded length
-// with memory proportional to the live identifier spaces only.
+// trace can be fed event by event from a reader of unbounded length.
+// The runtime's own memory is proportional to the live identifier
+// spaces only; a Semantics plugin that must retain event-dependent
+// state (WCP's critical-section histories) is responsible for bounding
+// it — internal/wcp compacts its per-lock histories as rule-(b)
+// cursors pass them — and reports what it retains through the
+// MemReporter extension so the bound is measurable and testable.
 package engine
 
 import (
@@ -67,6 +72,46 @@ type LockSemantics[C vt.Clock[C]] interface {
 	Release(rt *Runtime[C], t vt.TID, l int32, ct C)
 }
 
+// MemStats is a snapshot of the per-run state a Semantics plugin
+// retains beyond the live identifier spaces — the state the streaming
+// memory contract is about. Plain plugins (HB, SHB, MAZ) keep only
+// O(threads + locks + variables) clocks and report nothing; plugins
+// with event-dependent state (WCP's critical-section histories)
+// implement MemReporter so soak tests and the tcbench mem experiment
+// can assert and track the retained-state bound.
+type MemStats struct {
+	// HistEntries is the number of live critical-section history
+	// entries across all locks.
+	HistEntries int
+	// PeakLockHist is the high-water mark of a single lock's history
+	// length over the run — the quantity history compaction bounds.
+	PeakLockHist int
+	// DroppedEntries counts history entries reclaimed by compaction.
+	DroppedEntries uint64
+	// RetainedBytes approximates the bytes pinned by retained
+	// snapshots, cursors and summaries (8 bytes per vector entry plus
+	// small per-object constants; map overhead is not counted).
+	RetainedBytes uint64
+	// SummaryVectors is the number of rule-(a)-style summary vectors
+	// retained (bounded by live (lock, variable, thread) triples).
+	SummaryVectors int
+	// FreeVectors is the number of recycled snapshot vectors parked in
+	// the plugin's free list awaiting reuse.
+	FreeVectors int
+}
+
+// MemReporter is an optional extension of Semantics: plugins that
+// retain per-run state beyond the live identifier spaces report it for
+// accounting. The runtime detects the extension once at construction,
+// like LockSemantics, and surfaces it through Runtime.MemStats (and
+// from there through RunStream's StreamResult).
+type MemReporter interface {
+	// MemStats reports the plugin's currently retained state. It may
+	// walk the retained structures (O(retained state), not O(1)), so
+	// callers should treat it as a reporting call, not a hot-path one.
+	MemStats() MemStats
+}
+
 // ThreadSemantics is the fork/join counterpart of LockSemantics:
 // plugins that maintain order-specific per-thread state (WCP's
 // weak-order clocks) observe thread creation and joining through it.
@@ -93,6 +138,7 @@ type Runtime[C vt.Clock[C]] struct {
 	// per sync event instead of a type assertion.
 	lockSem   LockSemantics[C]
 	threadSem ThreadSemantics[C]
+	memRep    MemReporter
 	factory   vt.Factory[C]
 	threads   []C
 	locks     []C
@@ -114,7 +160,21 @@ func New[C vt.Clock[C]](sem Semantics[C], factory vt.Factory[C]) *Runtime[C] {
 	if ts, ok := sem.(ThreadSemantics[C]); ok {
 		r.threadSem = ts
 	}
+	if mr, ok := sem.(MemReporter); ok {
+		r.memRep = mr
+	}
 	return r
+}
+
+// MemStats reports the semantics plugin's retained-state accounting,
+// when the plugin implements the MemReporter extension; ok is false
+// for plugins whose state is bounded by the live identifier spaces
+// alone (HB, SHB, MAZ) and have nothing to report.
+func (r *Runtime[C]) MemStats() (ms MemStats, ok bool) {
+	if r.memRep == nil {
+		return MemStats{}, false
+	}
+	return r.memRep.MemStats(), true
 }
 
 // NewWithMeta returns a runtime pre-sized for a known trace: thread

@@ -188,6 +188,51 @@ func preRacyVars(tr *trace.Trace, res *oracle.Result) map[int32]bool {
 	return racy
 }
 
+// TestLockClockGrowthAgainstOracle pins the lock-clock capacity
+// behavior of the streaming runtime: Runtime.lock() allocates a lock's
+// clock at the thread capacity current at first sight, so a clock
+// created when one thread existed is later joined into (and
+// monotone-copied from) clocks of a grown thread space. The binary
+// clock operations must grow the smaller operand (the vt.Clock
+// capacity contract); this trace — lock 0's clock is created at
+// capacity 1, then thread 5 jumps the space to 6 and reuses the lock —
+// would surface any engine that fails to, by diverging from the
+// oracle's timestamps.
+func TestLockClockGrowthAgainstOracle(t *testing.T) {
+	tr := &trace.Trace{
+		Meta: trace.Meta{Name: "lock-before-growth", Threads: 6, Locks: 2, Vars: 3},
+		Events: []trace.Event{
+			{T: 0, Obj: 0, Kind: trace.Acquire},
+			{T: 0, Obj: 0, Kind: trace.Write},
+			{T: 0, Obj: 0, Kind: trace.Release}, // lock 0's clock: capacity 1
+			{T: 5, Obj: 1, Kind: trace.Write},   // thread space grows to 6
+			{T: 5, Obj: 0, Kind: trace.Acquire}, // small lock clock joins a big thread clock
+			{T: 5, Obj: 0, Kind: trace.Write},
+			{T: 5, Obj: 0, Kind: trace.Release}, // big thread clock copied over the small lock clock
+			{T: 2, Obj: 0, Kind: trace.Acquire},
+			{T: 2, Obj: 0, Kind: trace.Read},
+			{T: 2, Obj: 2, Kind: trace.Write},
+			{T: 2, Obj: 0, Kind: trace.Release},
+			{T: 0, Obj: 1, Kind: trace.Acquire}, // lock 1: created after the growth
+			{T: 0, Obj: 1, Kind: trace.Read},
+			{T: 0, Obj: 1, Kind: trace.Release},
+		},
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("invalid trace: %v", err)
+	}
+	for _, po := range oracleOrders {
+		res := oracle.Timestamps(tr, po)
+		accTC := runOrder(t, tr, po, core.Factory(nil), res, "tree")
+		accVC := runOrder(t, tr, po, vc.Factory(nil), res, "vc")
+		if accTC.Summary() != accVC.Summary() {
+			t.Errorf("%v: summaries diverge across clocks: tree %+v, vc %+v",
+				po, accTC.Summary(), accVC.Summary())
+		}
+		checkRaceSets(t, tr, po, res, accTC)
+	}
+}
+
 // TestSuiteAgainstOracle is the registry-wide property test: for every
 // suite workload and every registered partial order, both clock
 // variants reproduce the oracle's per-event timestamps exactly, and

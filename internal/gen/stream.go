@@ -1,0 +1,231 @@
+package gen
+
+import (
+	"math/rand"
+
+	"treeclock/internal/trace"
+	"treeclock/internal/vt"
+)
+
+// Endless streaming workload generators. The materialized generators
+// in this package build a []trace.Event up front, which caps soak
+// scenarios at whatever fits in memory; these generators instead
+// implement trace.EventSource (and BatchSource), producing events on
+// demand forever, so unbounded streams can be driven straight through
+// engine.Runtime.ProcessSource or treeclock.RunStreamSource. Every
+// emitted prefix is a well-formed trace (lock discipline holds at all
+// times), and generation is deterministic for a given configuration
+// and seed. Cap a stream with Take for tests and benchmarks.
+//
+// Three shapes target the engines' retained state:
+//
+//   - HotLock: every thread contends on one lock and writes one shared
+//     variable inside each critical section — the adversarial workload
+//     for WCP's per-lock history (one entry per section forever,
+//     without compaction) whose conflicting bodies also make every
+//     entry absorbable, so the compacted history stays O(threads).
+//   - RotatingLocks: the hot lock rotates through a lock space, so
+//     many locks accumulate (and must compact) history.
+//   - ChurningVars: the variable guarded by the hot lock churns
+//     through a variable space, growing the rule-(a) summary state
+//     toward its live-space bound.
+
+// Stream is an endless trace.EventSource driven by a per-turn planner:
+// each plan call emits one scheduling turn's worth of events into an
+// internal buffer that Next and NextBatch drain. Err is always nil and
+// Next never reports false — wrap a Stream in Take to bound it.
+type Stream struct {
+	pending []trace.Event
+	pos     int
+	plan    func(emit func(trace.Event))
+}
+
+// Next returns the next event; ok is always true.
+func (g *Stream) Next() (trace.Event, bool) {
+	for g.pos >= len(g.pending) {
+		g.pending = g.pending[:0]
+		g.pos = 0
+		g.plan(func(e trace.Event) { g.pending = append(g.pending, e) })
+	}
+	ev := g.pending[g.pos]
+	g.pos++
+	return ev, true
+}
+
+// NextBatch fills buf completely; ok is always true.
+func (g *Stream) NextBatch(buf []trace.Event) (int, bool) {
+	if len(buf) == 0 {
+		return 0, false
+	}
+	for i := range buf {
+		buf[i], _ = g.Next()
+	}
+	return len(buf), true
+}
+
+// Err always reports nil: generation cannot fail.
+func (g *Stream) Err() error { return nil }
+
+// Take bounds an event source at n events, after which it reports
+// clean exhaustion (Err nil). It passes batch delivery through when
+// the underlying source supports it.
+func Take(src trace.EventSource, n int) *Limited { return &Limited{src: src, left: n} }
+
+// Limited is the bounded view Take returns.
+type Limited struct {
+	src  trace.EventSource
+	left int
+}
+
+// Next returns the next event while the budget and the source last.
+func (l *Limited) Next() (trace.Event, bool) {
+	if l.left <= 0 {
+		return trace.Event{}, false
+	}
+	ev, ok := l.src.Next()
+	if ok {
+		l.left--
+	}
+	return ev, ok
+}
+
+// NextBatch fills buf with up to min(len(buf), remaining) events.
+func (l *Limited) NextBatch(buf []trace.Event) (int, bool) {
+	if l.left <= 0 || len(buf) == 0 {
+		return 0, false
+	}
+	if l.left < len(buf) {
+		buf = buf[:l.left]
+	}
+	n, _ := trace.ReadBatch(l.src, buf)
+	l.left -= n
+	return n, n > 0
+}
+
+// Err reports the underlying source's error.
+func (l *Limited) Err() error { return l.src.Err() }
+
+var (
+	_ trace.BatchSource = (*Stream)(nil)
+	_ trace.BatchSource = (*Limited)(nil)
+)
+
+// sectionStream is the shared machinery of the three generators: a
+// seeded scheduler hands out turns mostly round-robin (with occasional
+// seeded repeats, so same-thread runs occur but stay short); on each
+// turn the thread runs one critical section on the current lock —
+// acquire, a read/write mix on the current shared variable, release —
+// followed by a few accesses to a thread-private variable. Exactly one
+// section is open at a time, so every prefix is well formed.
+type sectionStream struct {
+	r        *rand.Rand
+	threads  int
+	cur      int // thread whose turn it is
+	repeat   int // extra consecutive turns left for cur
+	sections int // sections emitted so far
+
+	// rotation hooks: lock/variable for the next section.
+	lock func(section int) int32
+	hot  func(section int) int32
+
+	// privBase is the first thread-private variable id; thread t owns
+	// privBase+t.
+	privBase int32
+}
+
+func (s *sectionStream) turn(emit func(trace.Event)) {
+	if s.repeat > 0 {
+		s.repeat--
+	} else {
+		s.cur = (s.cur + 1) % s.threads
+		if s.r.Intn(4) == 0 {
+			s.repeat = 1 + s.r.Intn(2) // a short same-thread burst
+		}
+	}
+	t := vt.TID(s.cur)
+	l := s.lock(s.sections)
+	x := s.hot(s.sections)
+	s.sections++
+
+	emit(trace.Event{T: t, Obj: l, Kind: trace.Acquire})
+	if s.r.Intn(2) == 0 {
+		emit(trace.Event{T: t, Obj: x, Kind: trace.Read})
+	}
+	emit(trace.Event{T: t, Obj: x, Kind: trace.Write})
+	emit(trace.Event{T: t, Obj: l, Kind: trace.Release})
+	for i := s.r.Intn(3); i > 0; i-- {
+		kind := trace.Write
+		if s.r.Intn(2) == 0 {
+			kind = trace.Read
+		}
+		emit(trace.Event{T: t, Obj: s.privBase + int32(s.cur), Kind: kind})
+	}
+}
+
+// HotLock returns an endless stream in which every thread contends on
+// lock 0 and writes shared variable 0 inside each critical section
+// (plus thread-private noise). Threads must be at least 2.
+func HotLock(threads int, seed int64) *Stream {
+	if threads < 2 {
+		panic("gen: hot lock needs at least 2 threads")
+	}
+	s := &sectionStream{
+		r:       rand.New(rand.NewSource(seed)),
+		threads: threads,
+		cur:     threads - 1,
+		lock:    func(int) int32 { return 0 },
+		hot:     func(int) int32 { return 0 },
+		// Variable 0 is the shared one; privates follow.
+		privBase: 1,
+	}
+	return &Stream{plan: s.turn}
+}
+
+// RotatingLocks is HotLock with the contended lock rotating through
+// locks 0..locks-1, switching every rotateEvery sections; each lock
+// guards its own shared variable (same id as the lock).
+func RotatingLocks(threads, locks, rotateEvery int, seed int64) *Stream {
+	if threads < 2 {
+		panic("gen: rotating locks need at least 2 threads")
+	}
+	if locks < 1 {
+		locks = 1
+	}
+	if rotateEvery < 1 {
+		rotateEvery = 1
+	}
+	s := &sectionStream{
+		r:        rand.New(rand.NewSource(seed)),
+		threads:  threads,
+		cur:      threads - 1,
+		lock:     func(sec int) int32 { return int32(sec / rotateEvery % locks) },
+		hot:      func(sec int) int32 { return int32(sec / rotateEvery % locks) },
+		privBase: int32(locks),
+	}
+	return &Stream{plan: s.turn}
+}
+
+// ChurningVars is HotLock with the guarded shared variable churning
+// through vars 0..vars-1, switching every churnEvery sections, so the
+// per-(lock, variable) rule-(a) summary state is driven toward its
+// live-space bound while the lock history keeps compacting.
+func ChurningVars(threads, vars, churnEvery int, seed int64) *Stream {
+	if threads < 2 {
+		panic("gen: churning vars need at least 2 threads")
+	}
+	if vars < 1 {
+		vars = 1
+	}
+	if churnEvery < 1 {
+		churnEvery = 1
+	}
+	s := &sectionStream{
+		r:        rand.New(rand.NewSource(seed)),
+		threads:  threads,
+		cur:      threads - 1,
+		lock:     func(int) int32 { return 0 },
+		hot:      func(sec int) int32 { return int32(sec / churnEvery % vars) },
+		privBase: int32(vars),
+	}
+	return &Stream{plan: s.turn}
+}

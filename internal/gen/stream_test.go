@@ -1,0 +1,172 @@
+package gen
+
+import (
+	"testing"
+
+	"treeclock/internal/trace"
+	"treeclock/internal/vt"
+)
+
+// streamCases builds each endless generator fresh.
+func streamCases() []struct {
+	name string
+	mk   func() *Stream
+} {
+	return []struct {
+		name string
+		mk   func() *Stream
+	}{
+		{"hot-lock", func() *Stream { return HotLock(6, 1) }},
+		{"rotating-locks", func() *Stream { return RotatingLocks(6, 8, 40, 2) }},
+		{"churning-vars", func() *Stream { return ChurningVars(6, 16, 25, 3) }},
+	}
+}
+
+// materialize drains n events into a trace whose Meta covers every
+// identifier that occurred.
+func materialize(t *testing.T, src trace.EventSource, n int) *trace.Trace {
+	t.Helper()
+	tr := &trace.Trace{}
+	lim := Take(src, n)
+	for {
+		ev, ok := lim.Next()
+		if !ok {
+			break
+		}
+		tr.Events = append(tr.Events, ev)
+		switch {
+		case ev.Kind.IsAccess():
+			if int(ev.Obj) >= tr.Meta.Vars {
+				tr.Meta.Vars = int(ev.Obj) + 1
+			}
+		case ev.Kind.IsSync():
+			if int(ev.Obj) >= tr.Meta.Locks {
+				tr.Meta.Locks = int(ev.Obj) + 1
+			}
+		}
+		if int(ev.T) >= tr.Meta.Threads {
+			tr.Meta.Threads = int(ev.T) + 1
+		}
+	}
+	if err := lim.Err(); err != nil {
+		t.Fatalf("stream error: %v", err)
+	}
+	return tr
+}
+
+// TestStreamPrefixesWellFormed: every emitted prefix must be a valid
+// trace. Validating a set of nested prefixes of one long run covers
+// the mid-section cut points.
+func TestStreamPrefixesWellFormed(t *testing.T) {
+	for _, c := range streamCases() {
+		tr := materialize(t, c.mk(), 20000)
+		if len(tr.Events) != 20000 {
+			t.Fatalf("%s: materialized %d events, want 20000", c.name, len(tr.Events))
+		}
+		for _, n := range []int{1, 7, 503, 9999, 20000} {
+			prefix := &trace.Trace{Meta: tr.Meta, Events: tr.Events[:n]}
+			// A cut inside a critical section leaves the lock held,
+			// which Validate permits (it only rejects discipline
+			// violations, not open sections).
+			if err := prefix.Validate(); err != nil {
+				t.Errorf("%s: prefix of %d events invalid: %v", c.name, n, err)
+			}
+		}
+	}
+}
+
+// TestStreamDeterministic: the same configuration and seed must yield
+// the identical event sequence.
+func TestStreamDeterministic(t *testing.T) {
+	for _, c := range streamCases() {
+		a := materialize(t, c.mk(), 5000)
+		b := materialize(t, c.mk(), 5000)
+		for i := range a.Events {
+			if a.Events[i] != b.Events[i] {
+				t.Fatalf("%s: event %d differs across runs: %v vs %v",
+					c.name, i, a.Events[i], b.Events[i])
+			}
+		}
+	}
+}
+
+// TestStreamBatchMatchesScalar: NextBatch must deliver exactly the
+// Next sequence.
+func TestStreamBatchMatchesScalar(t *testing.T) {
+	for _, c := range streamCases() {
+		scalar := materialize(t, c.mk(), 4000)
+		lim := Take(c.mk(), 4000)
+		var got []trace.Event
+		buf := make([]trace.Event, 190) // deliberately not a divisor of 4000
+		for {
+			n, ok := lim.NextBatch(buf)
+			got = append(got, buf[:n]...)
+			if !ok {
+				break
+			}
+		}
+		if len(got) != len(scalar.Events) {
+			t.Fatalf("%s: batch drained %d events, scalar %d", c.name, len(got), len(scalar.Events))
+		}
+		for i := range got {
+			if got[i] != scalar.Events[i] {
+				t.Fatalf("%s: event %d differs: batch %v, scalar %v", c.name, i, got[i], scalar.Events[i])
+			}
+		}
+	}
+}
+
+// TestTakeExhaustion pins the Limited contract: clean exhaustion after
+// exactly n events, nil error, empty-buffer batch calls are inert.
+func TestTakeExhaustion(t *testing.T) {
+	lim := Take(HotLock(4, 9), 10)
+	for i := 0; i < 10; i++ {
+		if _, ok := lim.Next(); !ok {
+			t.Fatalf("source exhausted after %d events, want 10", i)
+		}
+	}
+	if _, ok := lim.Next(); ok {
+		t.Error("Next succeeded past the cap")
+	}
+	if n, ok := lim.NextBatch(make([]trace.Event, 8)); n != 0 || ok {
+		t.Errorf("NextBatch past the cap = (%d, %v), want (0, false)", n, ok)
+	}
+	if err := lim.Err(); err != nil {
+		t.Errorf("Err after clean exhaustion = %v, want nil", err)
+	}
+}
+
+// TestStreamShapes sanity-checks that each generator actually
+// exercises the identifier space it advertises.
+func TestStreamShapes(t *testing.T) {
+	hot := materialize(t, HotLock(6, 4), 10000)
+	if hot.Meta.Locks != 1 {
+		t.Errorf("hot-lock used %d locks, want 1", hot.Meta.Locks)
+	}
+	rot := materialize(t, RotatingLocks(6, 8, 40, 5), 20000)
+	if rot.Meta.Locks != 8 {
+		t.Errorf("rotating-locks used %d locks, want 8", rot.Meta.Locks)
+	}
+	churn := materialize(t, ChurningVars(6, 16, 25, 6), 30000)
+	shared := 0
+	seen := make(map[int32]bool)
+	for _, ev := range churn.Events {
+		if ev.Kind.IsAccess() && ev.Obj < 16 && !seen[ev.Obj] {
+			seen[ev.Obj] = true
+			shared++
+		}
+	}
+	if shared != 16 {
+		t.Errorf("churning-vars touched %d of 16 shared variables", shared)
+	}
+	// Every thread participates.
+	for _, tr := range []*trace.Trace{hot, rot, churn} {
+		active := make(map[vt.TID]bool)
+		for _, ev := range tr.Events {
+			active[ev.T] = true
+		}
+		if len(active) != 6 {
+			t.Errorf("%d of 6 threads active", len(active))
+		}
+	}
+}

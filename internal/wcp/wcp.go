@@ -42,10 +42,43 @@
 //     (rule a applies to sections of different threads only).
 //
 // All of it grows on first sight of an identifier, like every other
-// engine: the plugin needs no trace metadata. Memory is proportional
-// to the live identifier spaces plus the per-lock section histories;
-// histories are retained until every thread's cursor passes an entry
-// (the same asymptotics as the paper's per-thread queues).
+// engine: the plugin needs no trace metadata.
+//
+// # Memory
+//
+// Everything above is bounded by the live identifier spaces — O(threads
+// × (threads + locks)) for the weak clocks and cursors, O(locks × vars
+// × threads) vectors for the rule-(a) summaries (joined in place, one
+// per contributing thread) — except the per-lock section histories,
+// whose entries each pin a Θ(threads) HB snapshot and which grow with
+// the trace. They are therefore compacted: an entry is dropped from the
+// FIFO as soon as some thread other than its releaser has absorbed it
+// (advanced its rule-(b) cursor past it), and the freed snapshot
+// vectors are recycled through a free list. Dropping then is sound on
+// well-formed traces: the absorbing release merges the entry's snapshot
+// into its weak clock *before* publishing it as ℓ's weak clock, lock
+// publications grow monotonically along ℓ's release chain (each
+// publisher first joined the previous publication at its acquire), and
+// any thread that could still scan the entry must release ℓ later and
+// hence acquire ℓ after the absorbing release — inheriting the snapshot
+// there, which makes its own absorption a no-op. Note the gate must be
+// a *foreign* cursor: the releaser's own cursor skips its entries
+// without absorbing them, and its published weak clock never contains
+// its own release snapshots, so "every acquiring thread's cursor has
+// passed the entry" (or any scheme counting the owner) would lose
+// orderings for threads that first touch ℓ — or first appear — later
+// and reach the entry's trigger condition through a nested-lock
+// rule-(a) summary (see TestWCPCompactionLateThreadSoundness).
+//
+// Under compaction a lock's retained history is the unabsorbed tail
+// only: O(threads) entries on workloads whose critical sections
+// conflict (the hot-lock shape — every entry is absorbed by the next
+// foreign release), unbounded only when entries can never trigger rule
+// (b) for anyone, in which case the WCP definition itself needs them
+// indefinitely (the same asymptotics as the paper's per-thread queues,
+// which also drain only as their conditions fire). The retained state
+// is observable: the plugin implements engine.MemReporter, and
+// LockHistStats breaks the accounting down per lock.
 //
 // # Event handling
 //
@@ -120,9 +153,13 @@ func add(cs []contrib, t vt.TID, h vt.Vector) []contrib {
 type lockState struct {
 	w      vt.Vector // weak clock of the last release (transport)
 	wSet   bool
-	hist   []csEntry // closed sections, in release (= trace) order
+	hist   []csEntry // closed sections not yet compacted, in release (= trace) order
 	cursor []int     // per-thread scan position into hist (rule b)
 	sums   map[int32]*varSummary
+	// Retained-state accounting: peak is the high-water mark of
+	// len(hist); dropped counts entries reclaimed by compaction.
+	peak    int
+	dropped uint64
 }
 
 // openCS is one currently held lock of a thread.
@@ -155,15 +192,40 @@ type Semantics[C vt.Clock[C]] struct {
 	locks   []lockState
 	vars    []accessState
 	k       int // thread-count high-water mark
+
+	// History compaction (see "Memory" in the package doc): compact
+	// gates the rule-(b) prefix drop, free recycles dropped snapshot
+	// vectors, and the counters feed MemStats.
+	compact      bool
+	free         []vt.Vector
+	liveHist     int    // history entries currently retained, all locks
+	peakLockHist int    // max length any single lock's history reached
+	dropped      uint64 // entries reclaimed by compaction, all locks
 }
 
+// maxFreeVectors caps the snapshot free list: a burst compaction after
+// a long unabsorbed stretch must not turn reclaimed history into a
+// permanently hoarded pool. Beyond the cap, dropped vectors go to the
+// garbage collector.
+const maxFreeVectors = 256
+
 // NewSemantics returns fresh WCP semantics (one per engine run).
-func NewSemantics[C vt.Clock[C]]() *Semantics[C] { return &Semantics[C]{} }
+// History compaction is enabled; SetCompaction(false) turns it off for
+// memory measurements.
+func NewSemantics[C vt.Clock[C]]() *Semantics[C] { return &Semantics[C]{compact: true} }
+
+// SetCompaction enables or disables rule-(b) history compaction
+// (enabled by default). Disabling exists for the memory benchmarks and
+// soak tests that measure the pre-compaction growth; on well-formed
+// traces the analysis results are identical either way — compaction
+// only drops entries whose absorption would be a no-op.
+func (s *Semantics[C]) SetCompaction(on bool) { s.compact = on }
 
 // Interface conformance (the runtime detects the extensions).
 var (
 	_ engine.LockSemantics[*noClock]   = (*Semantics[*noClock])(nil)
 	_ engine.ThreadSemantics[*noClock] = (*Semantics[*noClock])(nil)
+	_ engine.MemReporter               = (*Semantics[*noClock])(nil)
 )
 
 // joinVec grows dst to cover src and joins src into it.
@@ -373,10 +435,18 @@ func (s *Semantics[C]) Release(rt *engine.Runtime[C], t vt.TID, l int32, ct C) {
 		ts.held = append(ts.held[:held], ts.held[held+1:]...)
 		// The HB snapshot of this release: everything ≤HB here rides
 		// along any rule-(a)/(b) edge out of this section (rule c).
-		// The snapshot is retained by the history entry, so it is
-		// allocated rather than reused.
-		h := ct.Vector(vt.NewVector(rt.Threads()))
+		// The snapshot is retained by the history entry, so it needs
+		// its own storage — recycled from compacted entries when
+		// available.
+		h := ct.Vector(s.newSnapshot(rt.Threads()))
 		ls.hist = append(ls.hist, csEntry{t: t, acqLT: cs.acqLT, rel: h})
+		s.liveHist++
+		if len(ls.hist) > ls.peak {
+			ls.peak = len(ls.hist)
+			if ls.peak > s.peakLockHist {
+				s.peakLockHist = ls.peak
+			}
+		}
 		if len(cs.read)+len(cs.written) > 0 && ls.sums == nil {
 			ls.sums = make(map[int32]*varSummary)
 		}
@@ -396,6 +466,12 @@ func (s *Semantics[C]) Release(rt *engine.Runtime[C], t vt.TID, l int32, ct C) {
 			}
 			sum.writes = add(sum.writes, t, h)
 		}
+		// Reclaim the history prefix this scan (and earlier ones) has
+		// made dead. The entry appended above is never dropped here: no
+		// foreign cursor can be past it yet.
+		if s.compact {
+			s.compactLock(ls)
+		}
 	}
 
 	// Transport: the weak knowledge at this release is what a later
@@ -413,6 +489,167 @@ func (s *Semantics[C]) Release(rt *engine.Runtime[C], t vt.TID, l int32, ct C) {
 		}
 	}
 	ls.wSet = true
+}
+
+// compactLock drops the longest history prefix in which every entry
+// has been absorbed by a thread other than its releaser, recycling the
+// freed snapshot vectors.
+//
+// Soundness (well-formed traces; see also the package doc): once a
+// foreign thread's cursor is past an entry, that thread joined the
+// entry's snapshot into its weak clock during the rule-(b) scan of one
+// of its releases of ℓ and published the enlarged clock as ℓ's weak
+// clock in the same Release step. Publications along ℓ's release chain
+// are monotone — the lock is held exclusively, so every publisher
+// first joined the previous publication at its acquire. Any thread
+// that might still scan the entry does so at a later release of ℓ,
+// whose matching acquire follows the absorbing release in ℓ's chain
+// and therefore already inherited the snapshot: skipping the entry
+// changes nothing. The gate is deliberately a *foreign* cursor — the
+// releaser's own cursor skips its entries without absorbing them, and
+// its published weak clock never includes its own release snapshots,
+// so an owner-counting gate would drop entries still needed by threads
+// that first reach ℓ (or first appear) later.
+//
+// Per entry the check is O(1) given the top two cursor positions: an
+// entry at index i has a foreign cursor beyond it iff i < max2 (two
+// distinct threads are past it — at least one is foreign) or
+// i < max1 with the entry not owned by the unique maximum's thread.
+func (s *Semantics[C]) compactLock(ls *lockState) {
+	max1, max2 := 0, 0 // top two cursor positions, max1 ≥ max2
+	var tmax vt.TID = vt.None
+	for t, c := range ls.cursor {
+		if c > max1 {
+			max2 = max1
+			max1, tmax = c, vt.TID(t)
+		} else if c > max2 {
+			max2 = c
+		}
+	}
+	drop := 0
+	for drop < len(ls.hist) && (drop < max2 || (drop < max1 && ls.hist[drop].t != tmax)) {
+		drop++
+	}
+	if drop == 0 {
+		return
+	}
+	for i := 0; i < drop; i++ {
+		if len(s.free) < maxFreeVectors {
+			s.free = append(s.free, ls.hist[i].rel)
+		}
+		ls.hist[i].rel = nil
+	}
+	n := copy(ls.hist, ls.hist[drop:])
+	for i := n; i < len(ls.hist); i++ {
+		ls.hist[i] = csEntry{} // unpin the moved entries' snapshots
+	}
+	ls.hist = ls.hist[:n]
+	for t := range ls.cursor {
+		if ls.cursor[t] > drop {
+			ls.cursor[t] -= drop
+		} else {
+			ls.cursor[t] = 0
+		}
+	}
+	ls.dropped += uint64(drop)
+	s.dropped += uint64(drop)
+	s.liveHist -= drop
+}
+
+// newSnapshot returns a zeroed vector of length k for a release
+// snapshot, reusing a compacted entry's vector when one with enough
+// capacity is available.
+func (s *Semantics[C]) newSnapshot(k int) vt.Vector {
+	n := len(s.free)
+	if n == 0 {
+		return vt.NewVector(k)
+	}
+	v := s.free[n-1]
+	s.free[n-1] = nil
+	s.free = s.free[:n-1]
+	if cap(v) < k {
+		return vt.NewVector(k)
+	}
+	v = v[:k]
+	for i := range v {
+		v[i] = 0
+	}
+	return v
+}
+
+// Per-object constants for the approximate retained-bytes accounting:
+// slice header + fixed fields of a csEntry, and of a contrib.
+const (
+	csEntryBytes = 40
+	contribBytes = 32
+)
+
+// lockStat computes one lock's retained-history statistics.
+func (s *Semantics[C]) lockStat(l int32) LockHistStat {
+	ls := &s.locks[l]
+	st := LockHistStat{Lock: l, Live: len(ls.hist), Peak: ls.peak, Dropped: ls.dropped}
+	for i := range ls.hist {
+		st.RetainedBytes += uint64(len(ls.hist[i].rel))*8 + csEntryBytes
+	}
+	st.RetainedBytes += uint64(len(ls.cursor))*8 + uint64(len(ls.w))*8
+	for _, sum := range ls.sums {
+		for i := range sum.reads {
+			st.Summaries++
+			st.RetainedBytes += uint64(len(sum.reads[i].v))*8 + contribBytes
+		}
+		for i := range sum.writes {
+			st.Summaries++
+			st.RetainedBytes += uint64(len(sum.writes[i].v))*8 + contribBytes
+		}
+	}
+	return st
+}
+
+// LockHistStat summarizes one lock's retained rule-(b) history and
+// rule-(a) summaries (see cmd/traceinfo -wcp).
+type LockHistStat struct {
+	Lock      int32
+	Live      int    // history entries currently retained
+	Peak      int    // high-water mark of the history length
+	Dropped   uint64 // entries reclaimed by compaction
+	Summaries int    // rule-(a) contribution vectors retained
+	// RetainedBytes approximates the bytes pinned by the above (8 per
+	// vector entry plus small per-object constants).
+	RetainedBytes uint64
+}
+
+// LockHistStats reports per-lock retained-history statistics for every
+// lock that retained or reclaimed any state, in lock id order.
+func (s *Semantics[C]) LockHistStats() []LockHistStat {
+	var out []LockHistStat
+	for l := range s.locks {
+		st := s.lockStat(int32(l))
+		if st.Live == 0 && st.Dropped == 0 && st.Summaries == 0 {
+			continue
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// MemStats implements engine.MemReporter: the retained critical-
+// section state, aggregated over all locks.
+func (s *Semantics[C]) MemStats() engine.MemStats {
+	ms := engine.MemStats{
+		HistEntries:    s.liveHist,
+		PeakLockHist:   s.peakLockHist,
+		DroppedEntries: s.dropped,
+		FreeVectors:    len(s.free),
+	}
+	for l := range s.locks {
+		st := s.lockStat(int32(l))
+		ms.SummaryVectors += st.Summaries
+		ms.RetainedBytes += st.RetainedBytes
+	}
+	for i := range s.free {
+		ms.RetainedBytes += uint64(cap(s.free[i])) * 8
+	}
+	return ms
 }
 
 // Fork implements engine.ThreadSemantics: the child's weak clock
@@ -446,17 +683,30 @@ func (s *Semantics[C]) WeakClock(t vt.TID) vt.Vector {
 }
 
 // Timestamp writes thread t's WCP ∪ thread-order timestamp — the weak
-// clock with the own entry raised to the local time lt — into dst.
+// clock with the own entry raised to the local time lt — into dst and
+// returns it. Like the runtime's Timestamp (whose dst feeds
+// Clock.Vector), dst is a scratch destination, not a truncation bound:
+// when it is shorter than the weak clock (or cannot hold t's own
+// entry) it is grown, so callers must use the returned vector.
 func (s *Semantics[C]) Timestamp(t vt.TID, lt vt.Time, dst vt.Vector) vt.Vector {
+	need := int(t) + 1
+	var w vt.Vector
+	if int(t) < len(s.threads) {
+		w = s.threads[t].w
+		if len(w) > need {
+			need = len(w)
+		}
+	}
+	if len(dst) < need {
+		dst = vt.GrowSlice(dst, need)
+	}
+	// Zero everything (a recycled dst, or the capacity tail GrowSlice
+	// exposed, may hold stale entries), then lay down the weak clock.
 	for i := range dst {
 		dst[i] = 0
 	}
-	if int(t) < len(s.threads) {
-		copy(dst, s.threads[t].w)
-	}
-	if int(t) < len(dst) {
-		dst[t] = lt
-	}
+	copy(dst, w)
+	dst[t] = lt
 	return dst
 }
 

@@ -3,6 +3,7 @@ package wcp
 import (
 	"testing"
 
+	"treeclock/internal/analysis"
 	"treeclock/internal/core"
 	"treeclock/internal/engine"
 	"treeclock/internal/gen"
@@ -309,6 +310,175 @@ t1 w x1
 	// fifth event — is WCP-before its final write.
 	if got := e.Sem().WeakClock(2).Get(0); got < 5 {
 		t.Errorf("weak clock entry for t0 = %d, want ≥ 5 (rule b)", got)
+	}
+}
+
+// TestWCPTimestampShortDst is the regression test for the Timestamp
+// truncation bug: a destination shorter than the weak clock (or too
+// short for the thread's own entry) must be grown, not silently
+// truncated.
+func TestWCPTimestampShortDst(t *testing.T) {
+	tr := parse(t, `
+t0 w x0
+t0 acq l0
+t0 w x1
+t0 rel l0
+t1 acq l0
+t1 w x2
+t1 rel l0
+t2 acq l0
+t2 w x1
+t2 rel l0
+`)
+	e := New[*vc.VectorClock](tr.Meta, vc.Factory(nil))
+	e.Process(tr.Events)
+	k := tr.Meta.Threads
+	for th := 0; th < k; th++ {
+		want := e.Timestamp(vt.TID(th), vt.NewVector(k))
+		for _, short := range []int{0, 1, th} {
+			got := e.Timestamp(vt.TID(th), vt.NewVector(short))
+			if len(got) < int(vt.TID(th))+1 {
+				t.Fatalf("thread %d: dst of len %d returned len %d, own entry lost", th, short, len(got))
+			}
+			for u := 0; u < k; u++ {
+				if got.Get(vt.TID(u)) != want.Get(vt.TID(u)) {
+					t.Fatalf("thread %d: dst of len %d: got %v, want %v", th, short, got, want)
+				}
+			}
+		}
+		// A dirty oversized destination must be fully overwritten.
+		dirty := vt.NewVector(k + 3)
+		for i := range dirty {
+			dirty[i] = 999
+		}
+		got := e.Timestamp(vt.TID(th), dirty)
+		for u := range got {
+			if u < k {
+				if got[u] != want[u] {
+					t.Fatalf("thread %d: dirty dst entry %d = %d, want %d", th, u, got[u], want[u])
+				}
+			} else if got[u] != 0 {
+				t.Fatalf("thread %d: dirty dst tail entry %d = %d, want 0", th, u, got[u])
+			}
+		}
+	}
+}
+
+// TestWCPCompactionLateThreadSoundness pins the compaction-gating
+// subtlety spelled out in the package doc: thread t1 first touches l0
+// only after t0 has closed (and re-closed) sections on it, yet reaches
+// the rule-(b) trigger condition for t0's first l0 section through a
+// nested-lock rule-(a) summary whose snapshot predates that section's
+// release. A compaction scheme that counts the owner's own cursor
+// ("every acquiring thread has passed the entry" — t0 passes its own
+// entries for free) would have dropped the entry before t1 ever
+// scanned it and lost the ordering; the foreign-absorption gate keeps
+// it. The engine must match the oracle event by event.
+func TestWCPCompactionLateThreadSoundness(t *testing.T) {
+	tr := parse(t, `
+t0 acq l0
+t0 acq l1
+t0 w x0
+t0 rel l1
+t0 rel l0
+t0 acq l0
+t0 rel l0
+t1 acq l1
+t1 w x0
+t1 rel l1
+t1 acq l0
+t1 rel l0
+`)
+	res := oracle.Timestamps(tr, oracle.WCP)
+	e := New[*vc.VectorClock](tr.Meta, vc.Factory(nil))
+	stepCompare(t, tr, e, res, "late-thread")
+	// The rule-(b) consequence: t1's final weak clock knows t0's first
+	// l0 release (t0@5) via the absorbed snapshot, not just the
+	// summary's t0@4.
+	if got := e.Sem().WeakClock(1).Get(0); got != 5 {
+		t.Errorf("weak clock entry for t0 = %d, want 5 (absorbed first l0 section)", got)
+	}
+	// And the absorption makes the entry droppable: compaction must
+	// have reclaimed it at that same release.
+	if ms := e.Sem().MemStats(); ms.DroppedEntries == 0 {
+		t.Errorf("no history entries compacted: %+v", ms)
+	}
+}
+
+// TestWCPCompactionMatchesRetained streams the differential corpus
+// with compaction on and off: summaries, samples and final weak-order
+// timestamps must be identical — compaction only drops entries whose
+// absorption would be a no-op.
+func TestWCPCompactionMatchesRetained(t *testing.T) {
+	for _, tr := range randomTraces() {
+		run := func(compact bool) (*Engine[*vc.VectorClock], *analysis.Accumulator) {
+			e := New[*vc.VectorClock](tr.Meta, vc.Factory(nil))
+			e.Sem().SetCompaction(compact)
+			acc := e.EnableAnalysis()
+			e.Process(tr.Events)
+			return e, acc
+		}
+		eC, aC := run(true)
+		eR, aR := run(false)
+		if aC.Summary() != aR.Summary() {
+			t.Errorf("%s: compacted %+v, retained %+v", tr.Meta.Name, aC.Summary(), aR.Summary())
+		}
+		for i := range aC.Samples {
+			if i < len(aR.Samples) && aC.Samples[i] != aR.Samples[i] {
+				t.Errorf("%s: sample %d diverges: %v vs %v", tr.Meta.Name, i, aC.Samples[i], aR.Samples[i])
+			}
+		}
+		k := tr.Meta.Threads
+		for th := 0; th < k; th++ {
+			got := eC.Timestamp(vt.TID(th), vt.NewVector(k))
+			want := eR.Timestamp(vt.TID(th), vt.NewVector(k))
+			if !got.Equal(want) {
+				t.Fatalf("%s: thread %d: compacted %v, retained %v", tr.Meta.Name, th, got, want)
+			}
+		}
+		msC, msR := eC.Sem().MemStats(), eR.Sem().MemStats()
+		if msR.DroppedEntries != 0 {
+			t.Errorf("%s: retained run compacted %d entries", tr.Meta.Name, msR.DroppedEntries)
+		}
+		if msC.HistEntries+int(msC.DroppedEntries) != msR.HistEntries {
+			t.Errorf("%s: live+dropped (%d+%d) != retained total %d",
+				tr.Meta.Name, msC.HistEntries, msC.DroppedEntries, msR.HistEntries)
+		}
+	}
+}
+
+// TestWCPMemStatsAccounting sanity-checks the MemReporter numbers on a
+// draining workload.
+func TestWCPMemStatsAccounting(t *testing.T) {
+	e := NewStreaming[*vc.VectorClock](vc.Factory(nil))
+	if err := e.ProcessSource(gen.Take(gen.HotLock(6, 7), 60000)); err != nil {
+		t.Fatalf("soak stream: %v", err)
+	}
+	ms := e.Sem().MemStats()
+	if ms.DroppedEntries == 0 {
+		t.Fatalf("hot-lock run compacted nothing: %+v", ms)
+	}
+	if ms.HistEntries > ms.PeakLockHist {
+		t.Errorf("live entries %d exceed the recorded peak %d", ms.HistEntries, ms.PeakLockHist)
+	}
+	if ms.RetainedBytes == 0 {
+		t.Errorf("retained bytes reported as zero despite live state: %+v", ms)
+	}
+	if ms.FreeVectors == 0 {
+		t.Errorf("free list empty after compaction: %+v", ms)
+	}
+	var live int
+	var dropped uint64
+	for _, st := range e.Sem().LockHistStats() {
+		live += st.Live
+		dropped += st.Dropped
+		if st.Peak < st.Live {
+			t.Errorf("lock %d: peak %d below live %d", st.Lock, st.Peak, st.Live)
+		}
+	}
+	if live != ms.HistEntries || dropped != ms.DroppedEntries {
+		t.Errorf("per-lock totals (%d live, %d dropped) disagree with MemStats (%d, %d)",
+			live, dropped, ms.HistEntries, ms.DroppedEntries)
 	}
 }
 

@@ -165,7 +165,18 @@ type StreamResult struct {
 	// selected order (for "wcp-*" that is WCP ∪ thread order, not the
 	// HB scaffolding the runtime keeps internally).
 	Timestamps []Vector
+	// Mem reports the engine's retained-state accounting when the
+	// selected order implements the engine.MemReporter extension
+	// (currently "wcp-*": critical-section history entries, peak
+	// per-lock history length, compacted entries, retained snapshot
+	// bytes). Nil for orders whose state is bounded by the live
+	// identifier spaces alone.
+	Mem *MemStats
 }
+
+// MemStats is the retained-state accounting a memory-reporting engine
+// exposes (see StreamResult.Mem and the engine.MemReporter extension).
+type MemStats = engine.MemStats
 
 // scalarSource hides a source's batch methods behind a plain
 // EventSource, forcing the engine runtime onto its per-event loop.
@@ -180,6 +191,7 @@ type streamEngine interface {
 	ProcessSource(trace.EventSource) error
 	Events() uint64
 	Meta() trace.Meta
+	Mem() (engine.MemStats, bool)
 	Finish() (analysis.Summary, []analysis.Pair, []vt.Vector)
 }
 
@@ -195,8 +207,9 @@ type runtimeAdapter[C vt.Clock[C]] struct {
 func (a *runtimeAdapter[C]) ProcessSource(src trace.EventSource) error {
 	return a.rt.ProcessSource(src)
 }
-func (a *runtimeAdapter[C]) Events() uint64   { return a.rt.Events() }
-func (a *runtimeAdapter[C]) Meta() trace.Meta { return a.rt.Meta() }
+func (a *runtimeAdapter[C]) Events() uint64               { return a.rt.Events() }
+func (a *runtimeAdapter[C]) Meta() trace.Meta             { return a.rt.Meta() }
+func (a *runtimeAdapter[C]) Mem() (engine.MemStats, bool) { return a.rt.MemStats() }
 
 func (a *runtimeAdapter[C]) Finish() (analysis.Summary, []analysis.Pair, []vt.Vector) {
 	k := a.rt.Threads()
@@ -255,21 +268,16 @@ func newStreamEngine[C vt.Clock[C]](order string, f vt.Factory[C], withAnalysis 
 
 // RunStream analyzes a trace read from r with the named engine in a
 // single streaming pass: no prior Meta, no materialization, memory
-// proportional to the live identifier spaces. The engine name is a
-// registry key (see Engines): "hb-tree", "hb-vc", "shb-tree", "shb-vc",
-// "maz-tree", "maz-vc", "wcp-tree" or "wcp-vc". Race / reversible-pair
-// analysis is on by default; configure with StreamOption values.
+// proportional to the live identifier spaces (engines with inherently
+// event-dependent state bound and report it — see StreamResult.Mem).
+// The engine name is a registry key (see Engines): "hb-tree", "hb-vc",
+// "shb-tree", "shb-vc", "maz-tree", "maz-vc", "wcp-tree" or "wcp-vc".
+// Race / reversible-pair analysis is on by default; configure with
+// StreamOption values.
 func RunStream(engineName string, r io.Reader, opts ...StreamOption) (*StreamResult, error) {
-	info, ok := engineRegistry[engineName]
-	if !ok {
-		return nil, fmt.Errorf("treeclock: unknown engine %q (have %v)", engineName, Engines())
-	}
 	cfg := streamConfig{format: FormatText, analysis: true}
 	for _, opt := range opts {
 		opt(&cfg)
-	}
-	if cfg.scalar && cfg.pipeline > 0 {
-		return nil, fmt.Errorf("treeclock: StreamScalar and WithPipeline are mutually exclusive")
 	}
 	var src trace.EventSource
 	switch cfg.format {
@@ -279,6 +287,33 @@ func RunStream(engineName string, r io.Reader, opts ...StreamOption) (*StreamRes
 		src = trace.NewBinaryScanner(r)
 	default:
 		return nil, fmt.Errorf("treeclock: unknown trace format %d", cfg.format)
+	}
+	return runStream(engineName, src, cfg)
+}
+
+// RunStreamSource is RunStream over an already-constructed event
+// source — a trace scanner, an in-memory TraceReplayer, or one of the
+// endless workload generators (GenerateHotLockStream and friends,
+// capped with LimitEvents). Format options are ignored (the source is
+// already decoded); validation, scalar mode and pipelining apply as in
+// RunStream.
+func RunStreamSource(engineName string, src EventSource, opts ...StreamOption) (*StreamResult, error) {
+	cfg := streamConfig{format: FormatText, analysis: true}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return runStream(engineName, src, cfg)
+}
+
+// runStream wraps src according to cfg and drains it through the named
+// engine.
+func runStream(engineName string, src trace.EventSource, cfg streamConfig) (*StreamResult, error) {
+	info, ok := engineRegistry[engineName]
+	if !ok {
+		return nil, fmt.Errorf("treeclock: unknown engine %q (have %v)", engineName, Engines())
+	}
+	if cfg.scalar && cfg.pipeline > 0 {
+		return nil, fmt.Errorf("treeclock: StreamScalar and WithPipeline are mutually exclusive")
 	}
 	if cfg.validate {
 		src = trace.NewValidator(src)
@@ -302,12 +337,16 @@ func RunStream(engineName string, r io.Reader, opts ...StreamOption) (*StreamRes
 		return nil, err
 	}
 	sum, samples, ts := e.Finish()
-	return &StreamResult{
+	res := &StreamResult{
 		Engine:     engineName,
 		Meta:       e.Meta(),
 		Events:     e.Events(),
 		Summary:    sum,
 		Samples:    samples,
 		Timestamps: ts,
-	}, nil
+	}
+	if ms, ok := e.Mem(); ok {
+		res.Mem = &ms
+	}
+	return res, nil
 }

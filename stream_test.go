@@ -168,6 +168,97 @@ func checkStream(t *testing.T, engineName string, ref *treeclock.Trace, data []b
 	}
 }
 
+// TestLockClockBeforeThreadGrowth pins, across the whole registry,
+// that a lock clock allocated at an early (small) thread capacity
+// still yields correct results after the thread space grows: the
+// streaming run (which allocates lock 0's clock when only thread 0
+// exists) must match the pre-sized materialized run (which allocates
+// it at full capacity) event for event. The binary format keeps thread
+// ids verbatim, so the jump from thread 0 to thread 5 survives
+// serialization.
+func TestLockClockBeforeThreadGrowth(t *testing.T) {
+	tr := &treeclock.Trace{
+		Meta: treeclock.Meta{Name: "lock-before-growth", Threads: 6, Locks: 1, Vars: 2},
+		Events: []treeclock.Event{
+			{T: 0, Obj: 0, Kind: treeclock.Acquire},
+			{T: 0, Obj: 0, Kind: treeclock.Write},
+			{T: 0, Obj: 0, Kind: treeclock.Release},
+			{T: 5, Obj: 1, Kind: treeclock.Write},
+			{T: 5, Obj: 0, Kind: treeclock.Acquire},
+			{T: 5, Obj: 0, Kind: treeclock.Write},
+			{T: 5, Obj: 0, Kind: treeclock.Release},
+			{T: 2, Obj: 0, Kind: treeclock.Acquire},
+			{T: 2, Obj: 0, Kind: treeclock.Read},
+			{T: 2, Obj: 0, Kind: treeclock.Release},
+		},
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("invalid trace: %v", err)
+	}
+	var bin bytes.Buffer
+	if err := treeclock.WriteTraceBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	for _, engineName := range treeclock.Engines() {
+		t.Run(engineName, func(t *testing.T) {
+			checkStream(t, engineName, tr, bin.Bytes(), treeclock.StreamBinary())
+		})
+	}
+}
+
+// TestRunStreamSource covers the event-source entry point and the
+// retained-state reporting: a bounded endless generator streams
+// through the registry, WCP engines report Mem (with compaction
+// keeping the history bounded), and the other orders report nil.
+func TestRunStreamSource(t *testing.T) {
+	const n = 50000
+	for _, engineName := range treeclock.Engines() {
+		src := treeclock.LimitEvents(treeclock.GenerateHotLockStream(4, 17), n)
+		res, err := treeclock.RunStreamSource(engineName, src)
+		if err != nil {
+			t.Fatalf("%s: %v", engineName, err)
+		}
+		if res.Events != n {
+			t.Errorf("%s: processed %d events, want %d", engineName, res.Events, n)
+		}
+		if strings.HasPrefix(engineName, "wcp-") {
+			if res.Mem == nil {
+				t.Fatalf("%s: no retained-state report", engineName)
+			}
+			if res.Mem.DroppedEntries == 0 {
+				t.Errorf("%s: compaction never ran on the hot-lock stream: %+v", engineName, res.Mem)
+			}
+			if res.Mem.PeakLockHist > 16 {
+				t.Errorf("%s: peak history %d on a 4-thread hot lock", engineName, res.Mem.PeakLockHist)
+			}
+		} else if res.Mem != nil {
+			t.Errorf("%s: unexpected retained-state report %+v", engineName, res.Mem)
+		}
+	}
+	// The source path must agree with the reader path byte for byte.
+	tr := treeclock.GenerateMixed(treeclock.GenConfig{
+		Name: "src-vs-reader", Threads: 6, Locks: 4, Vars: 16,
+		Events: 3000, Seed: 23, SyncFrac: 0.4,
+	})
+	var bin bytes.Buffer
+	if err := treeclock.WriteTraceBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	for _, engineName := range treeclock.Engines() {
+		fromReader, err := treeclock.RunStream(engineName, bytes.NewReader(bin.Bytes()), treeclock.StreamBinary())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromSource, err := treeclock.RunStreamSource(engineName, treeclock.NewTraceReplayer(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := raceReport(fromSource.Summary, fromSource.Samples), raceReport(fromReader.Summary, fromReader.Samples); got != want {
+			t.Errorf("%s: source path diverges from reader path:\nsource:\n%s\nreader:\n%s", engineName, got, want)
+		}
+	}
+}
+
 // TestRunStreamNoAnalysis covers the pure partial-order configuration.
 func TestRunStreamNoAnalysis(t *testing.T) {
 	tr := treeclock.GenerateStar(6, 1000, 11)

@@ -273,3 +273,25 @@ var (
 	GenerateGuardedPairs    = gen.GuardedPairs
 	GeneratePredictivePairs = gen.PredictivePairs
 )
+
+// EventStream is an endless, deterministic workload generator
+// implementing EventSource/BatchEventSource: events are produced on
+// demand, so soak scenarios of unbounded length stream straight
+// through RunStreamSource with no materialization. Every emitted
+// prefix is a well-formed trace.
+type EventStream = gen.Stream
+
+// Endless streaming workload generators (cap with LimitEvents):
+// all threads contending on one hot lock with conflicting section
+// bodies (the adversarial shape for WCP's per-lock history), the hot
+// lock rotating across a lock space, and the guarded variable churning
+// across a variable space.
+var (
+	GenerateHotLockStream       = gen.HotLock
+	GenerateRotatingLocksStream = gen.RotatingLocks
+	GenerateChurningVarsStream  = gen.ChurningVars
+)
+
+// LimitEvents bounds an event source at n events, after which it
+// reports clean exhaustion; batch delivery passes through.
+func LimitEvents(src EventSource, n int) BatchEventSource { return gen.Take(src, n) }
