@@ -12,7 +12,6 @@ package main
 
 import (
 	"bytes"
-	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
@@ -61,8 +60,11 @@ var ingestModes = []struct {
 	name string
 	opts []treeclock.StreamOption
 }{
+	// The batch row pins WithPipeline(0): RunStream now auto-pipelines
+	// text input on multi-core hosts, and this experiment is exactly
+	// the place the synchronous and pipelined paths are compared.
 	{"scalar", []treeclock.StreamOption{treeclock.StreamScalar()}},
-	{"batch", nil},
+	{"batch", []treeclock.StreamOption{treeclock.WithPipeline(0)}},
 	{"pipeline", []treeclock.StreamOption{treeclock.WithPipeline(4)}},
 }
 
@@ -135,15 +137,7 @@ func ingestExperiment(events, repeats int, jsonPath string) {
 		}
 	}
 	if jsonPath != "" {
-		payload, err := json.MarshalIndent(&report, "", "  ")
-		if err == nil {
-			err = os.WriteFile(jsonPath, append(payload, '\n'), 0o644)
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tcbench: writing %s: %v\n", jsonPath, err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %s (%d results)\n", jsonPath, len(report.Results))
+		writeJSONReport(jsonPath, &report, len(report.Results))
 	}
 }
 

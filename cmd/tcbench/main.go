@@ -25,6 +25,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,11 +41,13 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "experiment to run: table1|table2|table3|fig6|fig7|fig8|fig9|fig10|ablation|stream|ingest|mem|all")
+		experiment  = flag.String("experiment", "all", "experiment to run: table1|table2|table3|fig6|fig7|fig8|fig9|fig10|ablation|stream|ingest|mem|parallel|all")
 		streamEv    = flag.Int("stream-events", 400000, "events in the generated stream- and ingest-experiment traces")
 		jsonPath    = flag.String("json", "", "write the ingest experiment's machine-readable report to this file (e.g. BENCH_ingest.json)")
 		memEv       = flag.Int("mem-events", 400000, "events streamed per mem-experiment workload")
 		memJSONPath = flag.String("mem-json", "", "write the mem experiment's machine-readable report to this file (e.g. BENCH_mem.json)")
+		parEv       = flag.Int("parallel-events", 400000, "events in the parallel-experiment workload")
+		parWorkers  = flag.String("parallel-workers", "1,2,4", "comma-separated worker counts for the parallel sweep")
 		streamFile  = flag.String("stream-file", "", "stream this trace file instead of a generated workload (text format, or bin with -stream-bin)")
 		streamBin   = flag.Bool("stream-bin", false, "treat -stream-file as binary format")
 		scale       = flag.Float64("scale", 1.0, "suite event-count multiplier (1.0 ≈ hundreds of thousands of events per large trace)")
@@ -54,10 +57,23 @@ func main() {
 	)
 	flag.Parse()
 
-	threads, err := parseInts(*fig10Thr)
+	threads, err := parseIntList(*fig10Thr, 2, "thread count")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tcbench: bad -fig10-threads: %v\n", err)
 		os.Exit(2)
+	}
+	workersList, err := parseIntList(*parWorkers, 1, "worker count")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcbench: bad -parallel-workers: %v\n", err)
+		os.Exit(2)
+	}
+	want := strings.ToLower(*experiment)
+	// -json names one report file; under "all" it belongs to the ingest
+	// experiment (the historical owner), so the parallel sweep only
+	// writes when selected directly.
+	parJSON := ""
+	if want == "parallel" {
+		parJSON = *jsonPath
 	}
 	h := bench.NewHarness(bench.Options{
 		Scale:        *scale,
@@ -83,9 +99,9 @@ func main() {
 		{"stream", func() { streamExperiment(*streamEv, *streamFile, *streamBin) }},
 		{"ingest", func() { ingestExperiment(*streamEv, *repeats, *jsonPath) }},
 		{"mem", func() { memExperiment(*memEv, *memJSONPath) }},
+		{"parallel", func() { parallelExperiment(*parEv, *repeats, workersList, parJSON) }},
 	}
 
-	want := strings.ToLower(*experiment)
 	ran := false
 	for _, e := range all {
 		if want == "all" || want == e.name {
@@ -183,7 +199,23 @@ func evPerMS(events int, d time.Duration) float64 {
 	return float64(events) / (float64(d.Microseconds())/1000 + 1e-9)
 }
 
-func parseInts(s string) ([]int, error) {
+// writeJSONReport writes one experiment's machine-readable report:
+// indented JSON plus a trailing newline, logged with the result count.
+func writeJSONReport(path string, report any, results int) {
+	payload, err := json.MarshalIndent(report, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(payload, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcbench: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d results)\n", path, results)
+}
+
+// parseIntList parses a comma-separated list of counts, each at least
+// min (what names the quantity in errors).
+func parseIntList(s string, min int, what string) ([]int, error) {
 	var out []int
 	for _, f := range strings.Split(s, ",") {
 		f = strings.TrimSpace(f)
@@ -194,8 +226,8 @@ func parseInts(s string) ([]int, error) {
 		if err != nil {
 			return nil, err
 		}
-		if n < 2 {
-			return nil, fmt.Errorf("thread count %d too small", n)
+		if n < min {
+			return nil, fmt.Errorf("%s %d too small", what, n)
 		}
 		out = append(out, n)
 	}

@@ -15,7 +15,6 @@ package main
 // -mem-json the rows are written machine-readable (BENCH_mem.json).
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
@@ -115,15 +114,7 @@ func memExperiment(events int, jsonPath string) {
 		fmt.Println()
 	}
 	if jsonPath != "" {
-		payload, err := json.MarshalIndent(&report, "", "  ")
-		if err == nil {
-			err = os.WriteFile(jsonPath, append(payload, '\n'), 0o644)
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tcbench: writing %s: %v\n", jsonPath, err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %s (%d results)\n", jsonPath, len(report.Results))
+		writeJSONReport(jsonPath, &report, len(report.Results))
 	}
 }
 

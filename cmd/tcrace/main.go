@@ -9,13 +9,21 @@
 //	tcrace -engine shb-vc < t.txt         # SHB with the vector-clock baseline
 //	tcrace -engine maz-tree -format bin t.tr
 //	tcrace -engine wcp-tree t.txt         # predictive races (WCP weak order)
+//	tcrace -workers 4 big.txt             # shard the analysis across 4 cores
 //	tcrace -pipeline 4 big.txt            # decode in a separate goroutine
+//	tcrace -progress 5000000 huge.txt     # rate reports to stderr
 //	tcrace -algo shb -clock vc < t.txt    # legacy flag spelling
 //
 // Ingestion is batched by default; -scalar forces the per-event loop
 // and -pipeline N overlaps decoding with analysis through a ring of N
-// recycled batch buffers (useful on multi-core machines when the input
-// is text).
+// recycled batch buffers (0 picks automatically: pipelined for text
+// input when GOMAXPROCS > 1; negative forces the synchronous path).
+// -workers N > 1 runs the sharded analysis runtime: variables
+// partition across N full engine replicas and the race checks run only
+// on each variable's owner, with results byte-identical to the
+// sequential pass. -workers 0 shards across GOMAXPROCS replicas
+// (which on a single-CPU host means the sharded path with one
+// replica); -workers 1 is the sequential pass.
 //
 // Prints the race summary and up to 64 sample pairs, plus timing and —
 // with -work — the data-structure work counters. Engine names come
@@ -42,8 +50,10 @@ func main() {
 		samples    = flag.Int("samples", 10, "sample races to print")
 		list       = flag.Bool("list", false, "list registered engines and exit")
 		noValidate = flag.Bool("no-validate", false, "skip incremental well-formedness checking (lock/fork/join discipline)")
-		pipeline   = flag.Int("pipeline", 0, "decode in a separate goroutine through a ring of N recycled batch buffers (0 = off)")
+		pipeline   = flag.Int("pipeline", 0, "decode in a separate goroutine through a ring of N recycled batch buffers (0 = automatic, negative = off)")
 		scalar     = flag.Bool("scalar", false, "force the per-event streaming loop instead of batched ingestion")
+		workers    = flag.Int("workers", 1, "shard the analysis across N worker replicas (0 = GOMAXPROCS, 1 = sequential)")
+		progress   = flag.Uint64("progress", 0, "print a progress line to stderr every N events (0 = off)")
 	)
 	flag.Parse()
 
@@ -83,11 +93,20 @@ func main() {
 	if !*noValidate {
 		opts = append(opts, treeclock.StreamValidate())
 	}
-	if *pipeline > 0 {
-		opts = append(opts, treeclock.WithPipeline(*pipeline))
+	if *pipeline != 0 {
+		depth := *pipeline
+		if depth < 0 {
+			depth = 0 // explicit synchronous decode
+		}
+		opts = append(opts, treeclock.WithPipeline(depth))
 	}
 	if *scalar {
 		opts = append(opts, treeclock.StreamScalar())
+	}
+	if *progress > 0 {
+		opts = append(opts, treeclock.WithProgress(*progress, func(p treeclock.Progress) {
+			fmt.Fprintf(os.Stderr, "progress: %d events (%.2fM ev/s)\n", p.Events, p.Rate/1e6)
+		}))
 	}
 	switch *format {
 	case "text":
@@ -102,8 +121,22 @@ func main() {
 		opts = append(opts, treeclock.StreamWorkStats(&st))
 	}
 
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "tcrace: -workers must be >= 0 (got %d)\n", *workers)
+		os.Exit(2)
+	}
+
 	start := time.Now()
-	res, err := treeclock.RunStream(name, in, opts...)
+	var res *treeclock.StreamResult
+	var err error
+	if *workers == 1 {
+		res, err = treeclock.RunStream(name, in, opts...)
+	} else {
+		if *workers > 1 {
+			opts = append(opts, treeclock.WithWorkers(*workers))
+		}
+		res, err = treeclock.RunStreamParallel(name, in, opts...)
+	}
 	elapsed := time.Since(start)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tcrace: %v\n", err)
@@ -112,6 +145,9 @@ func main() {
 
 	fmt.Printf("trace: %d events, %d threads, %d vars, %d locks (streamed, no prior metadata)\n",
 		res.Events, res.Meta.Threads, res.Meta.Vars, res.Meta.Locks)
+	if *workers != 1 {
+		fmt.Printf("analysis sharded across worker replicas (variable-partitioned; results identical to sequential)\n")
+	}
 	fmt.Printf("%s: %d concurrent conflicting pairs detected in %v\n",
 		res.Engine, res.Summary.Total, elapsed.Round(time.Microsecond))
 	if *work {

@@ -41,6 +41,47 @@
 //     (see the Grow contract in internal/core), so no engine needs the
 //     trace's thread/lock/variable counts up front.
 //
+// # Sharded parallel analysis
+//
+// RunStreamParallel distributes the analysis across worker replicas
+// (internal/parallel). The decomposition follows from what is and is
+// not independent in a partial-order analysis:
+//
+//   - Per-variable analysis state is independent across variables — an
+//     epoch check for x never reads the state of y — so variables
+//     partition across workers by stable hash, and each variable's
+//     race checks, access history and read vectors live on exactly one
+//     worker.
+//   - Clock evolution is not independent: sync events thread ordering
+//     through every clock, and the stronger orders entangle even
+//     accesses with it (SHB joins each read with the variable's last
+//     write, MAZ with its read set, WCP with its release summaries).
+//     Rather than serialize those effects through cross-worker
+//     communication — a synchronization point per sync event — every
+//     worker runs a complete engine replica over the complete stream.
+//     A coordinator sequences decoded batches into per-worker SPSC
+//     ring queues in trace order (batches are shared read-only and
+//     refcount-recycled, reusing the pipelined decoder's buffer
+//     discipline), so each replica performs the identical,
+//     deterministic clock evolution of the sequential engine, with no
+//     locks and no cross-worker traffic on the hot path.
+//
+// Reports stay deterministic — byte-identical to sequential RunStream,
+// pinned across the whole registry and generator suite by
+// TestParallelMatchesSequential — because each pair is detected by
+// exactly one worker (its variable's owner) using timestamps equal to
+// the sequential run's, samples carry global trace positions and merge
+// back in trace order (analysis.MergeAccumulators), and counts sum
+// over disjoint shards. Timestamps and metadata come from any replica
+// (all identical); StreamResult.Mem sums the replicas' retained state,
+// which is the honest accounting of what sharding costs: clock
+// scaffolding is replicated so that per-variable analysis — the
+// dominant per-event cost on access-heavy workloads — can be
+// distributed. Speedup is therefore largest for the detector-backed
+// orders (HB, SHB) and bounded by the analysis share of the per-event
+// cost in general; the multicore CI lane records the sweep
+// (cmd/tcbench -experiment parallel, BENCH_parallel.json).
+//
 // Adding a new partial order is a three-step recipe: (1) write a
 // Semantics plugin in a new internal package — Read/Write hooks plus
 // whatever per-variable state the order needs, growing it on first
@@ -64,7 +105,10 @@
 // does the same from any EventSource — including the endless workload
 // generators (GenerateHotLockStream, GenerateRotatingLocksStream,
 // GenerateChurningVarsStream, capped with LimitEvents), so soak
-// scenarios of unbounded length need no trace bytes at all. Engines
+// scenarios of unbounded length need no trace bytes at all;
+// RunStreamParallel and RunStreamParallelSource shard the analysis
+// across worker replicas with byte-identical results (see "Sharded
+// parallel analysis" below). Engines
 // are chosen by registry name — "hb-tree", "hb-vc", "shb-tree",
 // "shb-vc", "maz-tree", "maz-vc", "wcp-tree", "wcp-vc" (see Engines
 // and EngineInfos) — and the result carries the race summary, sample
@@ -109,12 +153,19 @@
 // once per batch. Two RunStream knobs control the mode: StreamScalar
 // forces the per-event loop (for comparison), and WithPipeline(depth)
 // moves decoding into its own goroutine behind a ring of recycled
-// batch buffers so parsing overlaps analysis on multi-core machines.
-// Batches are consumed strictly in order, so every mode produces
-// byte-identical race reports — a property pinned by differential
-// fuzz tests across all six registry engines. cmd/tcbench -experiment
-// ingest measures the modes against each other and, with -json, emits
-// a machine-readable BENCH_ingest.json report.
+// batch buffers so parsing overlaps analysis — the default for text
+// input when GOMAXPROCS > 1 (binary decode is too cheap to win the
+// hand-off, and sharded runs overlap decode in the coordinator
+// already; WithPipeline(0) or StreamScalar force the synchronous
+// path). Batches are consumed strictly in order, so every mode
+// produces byte-identical race reports — a property pinned by
+// differential fuzz tests across every registry engine. cmd/tcbench
+// -experiment ingest measures the modes against each other and, with
+// -json, emits a machine-readable BENCH_ingest.json report. For
+// heavy-traffic ingestion, WithProgress(every, fn) reports the running
+// event count and events/second rate from the consuming goroutine at
+// batch granularity, on both RunStream and RunStreamParallel (tcrace
+// -progress).
 //
 // # Layout
 //

@@ -11,6 +11,7 @@ package analysis
 
 import (
 	"fmt"
+	"sort"
 
 	"treeclock/internal/vt"
 )
@@ -60,11 +61,23 @@ func (p Pair) String() string {
 const maxSamples = 64
 
 // Accumulator aggregates detected pairs.
+//
+// For sharded (parallel) runs an accumulator can be restricted to a
+// variable shard with SetShard and made position-aware with
+// TrackPositions + SetPos: each worker then accumulates exactly the
+// pairs of its own variables, tagged with the global trace position of
+// the detecting event, and MergeAccumulators reassembles the workers'
+// results into the sequential run's.
 type Accumulator struct {
 	Total   uint64
 	ByKind  [numPairKinds]uint64
 	racyVar map[int32]bool
 	Samples []Pair
+
+	owns      func(int32) bool // nil: own every variable
+	pos       uint64           // trace position of the event being processed
+	samplePos []uint64         // Samples[i] was detected at samplePos[i]
+	trackPos  bool
 }
 
 // NewAccumulator returns an empty accumulator.
@@ -72,13 +85,34 @@ func NewAccumulator() *Accumulator {
 	return &Accumulator{racyVar: make(map[int32]bool)}
 }
 
+// SetShard restricts the accumulator to the variables owns accepts:
+// reports for foreign variables are dropped. The predicates of a
+// worker group must partition the variable space, or merged counts
+// would double- or under-count.
+func (a *Accumulator) SetShard(owns func(int32) bool) { a.owns = owns }
+
+// TrackPositions makes Report tag each retained sample with the trace
+// position last set via SetPos, so MergeAccumulators can restore
+// global trace order across shards.
+func (a *Accumulator) TrackPositions() { a.trackPos = true }
+
+// SetPos records the global trace position of the event about to be
+// processed (see engine.Runtime.ProcessBatchAt).
+func (a *Accumulator) SetPos(pos uint64) { a.pos = pos }
+
 // Report records one detected pair.
 func (a *Accumulator) Report(kind PairKind, x int32, prior, access vt.Epoch) {
+	if a.owns != nil && !a.owns(x) {
+		return
+	}
 	a.Total++
 	a.ByKind[kind]++
 	a.racyVar[x] = true
 	if len(a.Samples) < maxSamples {
 		a.Samples = append(a.Samples, Pair{Kind: kind, Var: x, Prior: prior, Access: access})
+		if a.trackPos {
+			a.samplePos = append(a.samplePos, a.pos)
+		}
 	}
 }
 
@@ -103,6 +137,58 @@ func (a *Accumulator) Summary() Summary {
 	}
 }
 
+// MergeAccumulators reassembles per-shard accumulators into the result
+// a sequential run over the undivided variable space produces. The
+// inputs must come from workers whose shard predicates partition the
+// variables (each pair reported by exactly one accumulator) and must
+// have position tracking enabled: counts are summed, the racy-variable
+// count adds up because the shards are disjoint, and samples are
+// re-sorted by (trace position, intra-accumulator order) — ties share
+// a detecting event, hence a variable, hence an accumulator, so the
+// intra-accumulator index reproduces the sequential report order —
+// then truncated to the sequential sample cap. Each accumulator
+// retains its shard's first maxSamples pairs, and the merged first
+// maxSamples draw at most that many from any one shard, so the
+// truncation loses nothing the sequential run would have kept.
+func MergeAccumulators(accs []*Accumulator) (Summary, []Pair) {
+	var sum Summary
+	type posSample struct {
+		pair Pair
+		pos  uint64
+		seq  int
+	}
+	var all []posSample
+	for _, a := range accs {
+		s := a.Summary()
+		sum.Total += s.Total
+		sum.WriteWrite += s.WriteWrite
+		sum.WriteRead += s.WriteRead
+		sum.ReadWrite += s.ReadWrite
+		sum.Vars += s.Vars
+		for i, p := range a.Samples {
+			pos := uint64(0)
+			if i < len(a.samplePos) {
+				pos = a.samplePos[i]
+			}
+			all = append(all, posSample{pair: p, pos: pos, seq: i})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].pos != all[j].pos {
+			return all[i].pos < all[j].pos
+		}
+		return all[i].seq < all[j].seq
+	})
+	if len(all) > maxSamples {
+		all = all[:maxSamples]
+	}
+	var samples []Pair
+	for _, s := range all {
+		samples = append(samples, s.pair)
+	}
+	return sum, samples
+}
+
 // varState is the per-variable access history.
 type varState struct {
 	w      vt.Epoch  // last write
@@ -120,6 +206,7 @@ type Detector[C vt.Clock[C]] struct {
 	k    int // thread-count high-water mark (sizing hint for read vectors)
 	vars []varState
 	Acc  *Accumulator
+	owns func(int32) bool // nil: detect on every variable
 }
 
 // NewDetector returns a detector sized for nVars variables over k
@@ -127,6 +214,15 @@ type Detector[C vt.Clock[C]] struct {
 func NewDetector[C vt.Clock[C]](k, nVars int) *Detector[C] {
 	return &Detector[C]{k: k, vars: make([]varState, nVars), Acc: NewAccumulator()}
 }
+
+// SetShard restricts the detector to the variables owns accepts:
+// accesses to foreign variables are ignored entirely — no checks, no
+// access-history state — so a sharded worker's detector memory and
+// work cover only its own shard. Because the detector's state is
+// per-variable and its checks read only that state plus the (shared,
+// shard-independent) thread clock, the owning worker's checks see
+// exactly what an unsharded detector would.
+func (d *Detector[C]) SetShard(owns func(int32) bool) { d.owns = owns }
 
 // state returns the access history of variable x, growing the variable
 // space as needed (amortized doubling).
@@ -146,6 +242,9 @@ func (d *Detector[C]) seen(t vt.TID) {
 // call must happen before the engine joins LW_x into ct, so the check
 // sees the pre-edge state (the race (lw(r), r) of §5.1).
 func (d *Detector[C]) Read(x int32, t vt.TID, ct C) {
+	if d.owns != nil && !d.owns(x) {
+		return
+	}
 	vs := d.state(x)
 	d.seen(t)
 	now := vt.Epoch{T: t, Clk: ct.Get(t)}
@@ -175,6 +274,9 @@ func (d *Detector[C]) Read(x int32, t vt.TID, ct C) {
 // Write processes a write of x by thread t whose clock is ct. For SHB
 // the call must happen before the engine overwrites LW_x.
 func (d *Detector[C]) Write(x int32, t vt.TID, ct C) {
+	if d.owns != nil && !d.owns(x) {
+		return
+	}
 	vs := d.state(x)
 	d.seen(t)
 	now := vt.Epoch{T: t, Clk: ct.Get(t)}

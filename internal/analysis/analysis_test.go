@@ -148,3 +148,109 @@ func TestPairKindString(t *testing.T) {
 		t.Errorf("Pair.String() = %q", p.String())
 	}
 }
+
+// shardedPair reports a pair on a sharded accumulator at a position.
+func reportAt(a *Accumulator, pos uint64, kind PairKind, x int32, prior, access vt.Epoch) {
+	a.SetPos(pos)
+	a.Report(kind, x, prior, access)
+}
+
+// TestAccumulatorShardGate pins that a sharded accumulator drops
+// foreign variables entirely.
+func TestAccumulatorShardGate(t *testing.T) {
+	a := NewAccumulator()
+	a.SetShard(func(x int32) bool { return x%2 == 0 })
+	a.Report(WriteWrite, 0, vt.Epoch{T: 0, Clk: 1}, vt.Epoch{T: 1, Clk: 1})
+	a.Report(WriteWrite, 1, vt.Epoch{T: 0, Clk: 2}, vt.Epoch{T: 1, Clk: 2})
+	sum := a.Summary()
+	if sum.Total != 1 || sum.Vars != 1 || len(a.Samples) != 1 || a.Samples[0].Var != 0 {
+		t.Fatalf("shard gate leaked: %+v samples %v", sum, a.Samples)
+	}
+}
+
+// TestMergeAccumulators builds two shards whose reports interleave in
+// trace order and checks the merge restores the sequential result:
+// summed counts, samples sorted by position with intra-event order
+// preserved, truncation at the cap.
+func TestMergeAccumulators(t *testing.T) {
+	even, odd := NewAccumulator(), NewAccumulator()
+	even.SetShard(func(x int32) bool { return x%2 == 0 })
+	odd.SetShard(func(x int32) bool { return x%2 == 1 })
+	even.TrackPositions()
+	odd.TrackPositions()
+	// Trace order: pos 3 (x1), pos 5 (x0), pos 5 second report same
+	// event, pos 9 (x3). Reports arrive via both accumulators as every
+	// worker would deliver them: each sees only its own variables.
+	for _, a := range []*Accumulator{even, odd} {
+		reportAt(a, 3, WriteRead, 1, vt.Epoch{T: 0, Clk: 1}, vt.Epoch{T: 1, Clk: 2})
+		reportAt(a, 5, WriteWrite, 0, vt.Epoch{T: 1, Clk: 3}, vt.Epoch{T: 2, Clk: 1})
+		reportAt(a, 5, ReadWrite, 0, vt.Epoch{T: 0, Clk: 4}, vt.Epoch{T: 2, Clk: 1})
+		reportAt(a, 9, ReadWrite, 3, vt.Epoch{T: 2, Clk: 2}, vt.Epoch{T: 0, Clk: 5})
+	}
+	sum, samples := MergeAccumulators([]*Accumulator{even, odd})
+	if sum.Total != 4 || sum.WriteWrite != 1 || sum.WriteRead != 1 || sum.ReadWrite != 2 || sum.Vars != 3 {
+		t.Fatalf("merged summary = %+v", sum)
+	}
+	wantVars := []int32{1, 0, 0, 3}
+	if len(samples) != len(wantVars) {
+		t.Fatalf("merged %d samples, want %d", len(samples), len(wantVars))
+	}
+	for i, x := range wantVars {
+		if samples[i].Var != x {
+			t.Fatalf("sample %d is on x%d, want x%d (order %v)", i, samples[i].Var, x, samples)
+		}
+	}
+	// Intra-event order: the two pos-5 reports must keep report order.
+	if samples[1].Kind != WriteWrite || samples[2].Kind != ReadWrite {
+		t.Fatalf("intra-event order lost: %v", samples)
+	}
+}
+
+// TestMergeAccumulatorsTruncates pins the sample cap across shards.
+func TestMergeAccumulatorsTruncates(t *testing.T) {
+	shards := []*Accumulator{NewAccumulator(), NewAccumulator()}
+	for w, a := range shards {
+		w := int32(w)
+		a.SetShard(func(x int32) bool { return x%2 == w })
+		a.TrackPositions()
+	}
+	// 200 races alternate shards in position order; the merge must
+	// keep exactly the first maxSamples in that global order.
+	for pos := uint64(0); pos < 200; pos++ {
+		x := int32(pos % 2)
+		for _, a := range shards {
+			reportAt(a, pos, WriteWrite, x, vt.Epoch{T: 0, Clk: vt.Time(pos + 1)}, vt.Epoch{T: 1, Clk: 1})
+		}
+	}
+	sum, samples := MergeAccumulators(shards)
+	if sum.Total != 200 {
+		t.Fatalf("merged total = %d, want 200", sum.Total)
+	}
+	if len(samples) != maxSamples {
+		t.Fatalf("kept %d samples, want %d", len(samples), maxSamples)
+	}
+	for i, p := range samples {
+		if p.Prior.Clk != vt.Time(i+1) {
+			t.Fatalf("sample %d out of order: %v", i, p)
+		}
+	}
+}
+
+// TestDetectorShardSkipsForeignState pins both halves of SetShard: no
+// reports for foreign variables and no state either (a later owned-
+// variable check cannot be perturbed, and memory stays sharded).
+func TestDetectorShardSkipsForeignState(t *testing.T) {
+	d := NewDetector[*vc.VectorClock](2, 0)
+	d.SetShard(func(x int32) bool { return x == 0 })
+	d.Write(1, 0, clockFor(1, 0)) // foreign: must leave no trace
+	d.Write(1, 1, clockFor(0, 1)) // foreign racing write: no report
+	d.Write(0, 0, clockFor(2, 0)) // owned
+	d.Write(0, 1, clockFor(0, 2)) // owned racing write: one report
+	sum := d.Acc.Summary()
+	if sum.Total != 1 || sum.Vars != 1 {
+		t.Fatalf("sharded detector summary = %+v", sum)
+	}
+	if len(d.vars) > 1 {
+		t.Fatalf("foreign variable state allocated: %d var slots", len(d.vars))
+	}
+}

@@ -370,6 +370,48 @@ func (r *Runtime[C]) ProcessBatches(src trace.BatchSource, buf []trace.Event) er
 	}
 }
 
+// ProcessBatchAt steps a batch whose first event sits at global trace
+// position base, stamping each event's position into the attached
+// accumulator first. It is the sharded-worker entry point
+// (internal/parallel): position stamps let per-shard race samples be
+// merged back into trace order (analysis.MergeAccumulators), and the
+// per-batch granularity matches the fan-out transport. Results are
+// identical to Step in a loop.
+func (r *Runtime[C]) ProcessBatchAt(base uint64, events []trace.Event) {
+	if r.acc == nil {
+		for i := range events {
+			r.Step(events[i])
+		}
+		return
+	}
+	for i := range events {
+		r.acc.SetPos(base + uint64(i))
+		r.Step(events[i])
+	}
+}
+
+// MergeMemStats combines the retained-state reports of sharded worker
+// replicas into one accounting for the whole parallel run. Replicas
+// each retain their own copy of the plugin state (clock evolution is
+// replicated, only per-variable analysis is sharded), so the additive
+// fields — live entries, drops, bytes, summaries, free-list slots —
+// sum to the run's true footprint, while PeakLockHist is a per-lock
+// high-water mark and takes the maximum.
+func MergeMemStats(stats []MemStats) MemStats {
+	var out MemStats
+	for _, ms := range stats {
+		out.HistEntries += ms.HistEntries
+		out.DroppedEntries += ms.DroppedEntries
+		out.RetainedBytes += ms.RetainedBytes
+		out.SummaryVectors += ms.SummaryVectors
+		out.FreeVectors += ms.FreeVectors
+		if ms.PeakLockHist > out.PeakLockHist {
+			out.PeakLockHist = ms.PeakLockHist
+		}
+	}
+	return out
+}
+
 // processProducer consumes a batch-owning source (the pipelined
 // decoder) without copying: each acquired buffer is stepped through and
 // recycled.

@@ -1,0 +1,197 @@
+// Package parallel is the sharded analysis runtime: it fans a decoded
+// event stream out to N workers, each running a full engine replica,
+// so per-variable analysis work spreads across cores while the
+// analysis result stays byte-identical to a sequential run.
+//
+// # Design
+//
+// Variables partition across workers by stable hash (ShardOf) because
+// per-variable analysis state is independent across variables. Clock
+// evolution is not: sync events (acquire/release/fork/join) and, for
+// the stronger orders, even accesses (SHB's last-write joins, MAZ's
+// read bookkeeping, WCP's release summaries) thread ordering
+// information through the whole identifier space. Rather than
+// serialize those through cross-worker communication — which would put
+// a synchronization point on every sync event — every worker processes
+// the complete event stream through its own engine replica. The
+// coordinator sequences batches into each worker's queue in trace
+// order, so every replica performs the identical, deterministic clock
+// evolution the sequential engine performs, and the per-variable race
+// checks a worker runs for its own shard see exactly the timestamps
+// the sequential run would have used. What is sharded is the
+// per-variable analysis state and checks (the FastTrack-style detector
+// state for HB/SHB, the report gate for MAZ/WCP); what is replicated
+// is the clock scaffolding. The speedup therefore comes from the
+// analysis share of the per-event cost, which dominates on
+// access-heavy workloads.
+//
+// # Transport
+//
+// Each worker consumes its own bounded SPSC ring (one producer: the
+// coordinator; one consumer: the worker), so batch hand-off is two
+// atomic loads and a store in the common case. Batches are shared,
+// not copied: the coordinator wraps each decoded buffer in a
+// refcounted sharedBatch, every worker reads the same underlying
+// slice (replicas only read events, never mutate them), and the last
+// worker to finish recycles the buffer — back to the coordinator's
+// free pool, or to the upstream decoder when the source is a
+// trace.BatchProducer (the pipelined decoder's zero-copy recycling
+// discipline). The rings bound the in-flight batches, so memory stays
+// O(workers × queue × batch) and a slow worker back-pressures the
+// decoder instead of ballooning the queues.
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"treeclock/internal/trace"
+)
+
+// Replica is one worker's analysis engine: a full engine runtime that
+// processes every event of the trace (keeping its clock evolution
+// identical to a sequential run) while the per-variable analysis is
+// gated to the worker's shard by whoever constructed it.
+// ProcessBatchAt is called with consecutive batches in trace order;
+// base is the global trace position of events[0], so reported races
+// can be merged back into trace order.
+type Replica interface {
+	ProcessBatchAt(base uint64, events []trace.Event)
+}
+
+// Options tunes the fan-out transport.
+type Options struct {
+	// Queue is the per-worker ring capacity in batches (default 8).
+	Queue int
+	// BatchSize is the decode batch capacity when the source does not
+	// produce its own batches (default trace.DefaultBatchSize).
+	BatchSize int
+}
+
+// sharedBatch is one decoded batch in flight to all workers. events is
+// read-only while shared; refs counts the workers still processing it,
+// and the last release recycles the underlying buffer.
+type sharedBatch struct {
+	events  []trace.Event
+	base    uint64 // global trace position of events[0]
+	refs    atomic.Int32
+	recycle func([]trace.Event)
+}
+
+// release is called by each worker when done with the batch; the last
+// one returns the buffer for reuse.
+func (b *sharedBatch) release() {
+	if b.refs.Add(-1) == 0 {
+		b.recycle(b.events)
+	}
+}
+
+// Run drains src through the replicas: every batch is delivered to
+// every worker, in trace order, and Run returns once all workers have
+// processed the final batch. The returned count is the number of
+// events delivered; the error is the source's (decode or validation
+// failure). On error the workers still finish the batches already
+// delivered — callers should discard their results.
+func Run(src trace.EventSource, replicas []Replica, opts Options) (uint64, error) {
+	n := len(replicas)
+	if n == 0 {
+		// Nothing consumes the events; drain for the count and error so
+		// the degenerate call still honors the source contract.
+		var events uint64
+		buf := make([]trace.Event, batchSize(opts))
+		for {
+			c, ok := trace.ReadBatch(src, buf)
+			events += uint64(c)
+			if !ok {
+				return events, src.Err()
+			}
+		}
+	}
+	queue := opts.Queue
+	if queue <= 0 {
+		queue = 8
+	}
+
+	rings := make([]*spscRing, n)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		rings[w] = newRing(queue)
+		wg.Add(1)
+		go func(rep Replica, ring *spscRing) {
+			defer wg.Done()
+			for {
+				b, ok := ring.Pop()
+				if !ok {
+					return
+				}
+				rep.ProcessBatchAt(b.base, b.events)
+				b.release()
+			}
+		}(replicas[w], rings[w])
+	}
+
+	events, err := dispatch(src, rings, n, opts)
+	for _, ring := range rings {
+		ring.Close()
+	}
+	wg.Wait()
+	return events, err
+}
+
+// dispatch is the coordinator loop: it decodes (or forwards) batches
+// from src and sequences each into every worker's ring. Sync events
+// need no special casing here — sequencing whole batches in trace
+// order through FIFO rings means every worker observes every event,
+// sync or access, in exactly the trace's order.
+func dispatch(src trace.EventSource, rings []*spscRing, n int, opts Options) (uint64, error) {
+	var events uint64
+	fanOut := func(evs []trace.Event, recycle func([]trace.Event)) {
+		b := &sharedBatch{events: evs, base: events, recycle: recycle}
+		b.refs.Store(int32(n))
+		for _, ring := range rings {
+			ring.Push(b)
+		}
+		events += uint64(len(evs))
+	}
+
+	if p, ok := src.(trace.BatchProducer); ok {
+		// The upstream decoder owns the buffers; the last worker hands
+		// each one straight back to its ring.
+		for {
+			evs, ok := p.AcquireBatch()
+			if !ok {
+				return events, p.Err()
+			}
+			fanOut(evs, p.ReleaseBatch)
+		}
+	}
+
+	// Plain source: decode into a free pool of reusable buffers, sized
+	// past the rings' capacity so the coordinator only blocks when the
+	// slowest worker is genuinely behind.
+	free := make(chan []trace.Event, len(rings[0].buf)+2)
+	for i := 0; i < cap(free); i++ {
+		free <- make([]trace.Event, batchSize(opts))
+	}
+	recycle := func(evs []trace.Event) { free <- evs[:cap(evs)] }
+	for {
+		buf := <-free
+		c, ok := trace.ReadBatch(src, buf)
+		if c > 0 {
+			fanOut(buf[:c], recycle)
+		} else {
+			free <- buf
+		}
+		if !ok {
+			return events, src.Err()
+		}
+	}
+}
+
+// batchSize resolves the decode batch capacity.
+func batchSize(opts Options) int {
+	if opts.BatchSize > 0 {
+		return opts.BatchSize
+	}
+	return trace.DefaultBatchSize
+}

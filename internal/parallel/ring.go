@@ -1,0 +1,86 @@
+package parallel
+
+import "sync/atomic"
+
+// spscRing is a bounded single-producer/single-consumer queue of batch
+// references: the coordinator pushes, exactly one worker pops. Head and
+// tail are monotonically increasing sequence numbers (slot = seq mod
+// capacity); only the producer writes tail and only the consumer writes
+// head, so the fast path is two atomic loads, one atomic store and no
+// locks. Blocking uses one-token doorbell channels: a waiter re-checks
+// the indices in a loop after every wake, so a stale token can never
+// fake an item and a missed token can never strand one (every push
+// signals items, every pop signals space, and a token posted before the
+// waiter sleeps is still there when it arrives).
+type spscRing struct {
+	buf    []*sharedBatch
+	head   atomic.Uint64 // next sequence to pop; written by the consumer only
+	tail   atomic.Uint64 // next sequence to push; written by the producer only
+	closed atomic.Bool
+	items  chan struct{} // doorbell: producer -> consumer
+	space  chan struct{} // doorbell: consumer -> producer
+}
+
+// newRing returns a ring holding up to capacity batches; capacity < 1
+// is raised to 1.
+func newRing(capacity int) *spscRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &spscRing{
+		buf:   make([]*sharedBatch, capacity),
+		items: make(chan struct{}, 1),
+		space: make(chan struct{}, 1),
+	}
+}
+
+// signal posts a token on a doorbell unless one is already pending.
+func signal(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// Push enqueues b, blocking while the ring is full. It must only be
+// called by the single producer, and never after Close.
+func (r *spscRing) Push(b *sharedBatch) {
+	for {
+		t := r.tail.Load()
+		if t-r.head.Load() < uint64(len(r.buf)) {
+			r.buf[t%uint64(len(r.buf))] = b
+			r.tail.Store(t + 1)
+			signal(r.items)
+			return
+		}
+		<-r.space
+	}
+}
+
+// Pop dequeues the next batch in push order, blocking while the ring
+// is empty. ok is false once the ring is closed and drained. It must
+// only be called by the single consumer.
+func (r *spscRing) Pop() (b *sharedBatch, ok bool) {
+	for {
+		h := r.head.Load()
+		if h < r.tail.Load() {
+			slot := h % uint64(len(r.buf))
+			b = r.buf[slot]
+			r.buf[slot] = nil
+			r.head.Store(h + 1)
+			signal(r.space)
+			return b, true
+		}
+		if r.closed.Load() && h == r.tail.Load() {
+			return nil, false
+		}
+		<-r.items
+	}
+}
+
+// Close marks the ring exhausted: once drained, Pop reports ok ==
+// false. Only the producer may close, and only after its last Push.
+func (r *spscRing) Close() {
+	r.closed.Store(true)
+	signal(r.items)
+}

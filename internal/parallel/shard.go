@@ -1,0 +1,32 @@
+package parallel
+
+// Variable sharding
+//
+// Per-variable analysis state — access histories, read vectors, race
+// checks — is independent across variables (an epoch check for x never
+// reads the state of y), so it partitions cleanly: each worker owns the
+// variables its shard predicate accepts and ignores the rest. The
+// assignment must be a pure function of the variable id so every
+// worker, every run and every platform agrees on it, and it should
+// spread dense id ranges (generators and real traces both number
+// variables contiguously) instead of clustering them on one worker the
+// way a plain range split would.
+
+// ShardOf maps variable x to one of n shards by a stable
+// multiplicative hash (the murmur3 fmix32 finalizer), so consecutive
+// variable ids scatter across all shards. n must be positive.
+func ShardOf(x int32, n int) int {
+	h := uint32(x)
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return int(h % uint32(n))
+}
+
+// Owns returns the shard predicate of worker w out of n: it accepts
+// exactly the variables ShardOf assigns to w.
+func Owns(w, n int) func(x int32) bool {
+	return func(x int32) bool { return ShardOf(x, n) == w }
+}

@@ -1,0 +1,173 @@
+package treeclock
+
+// Sharded (parallel) streaming analysis: RunStreamParallel is RunStream
+// with the per-variable analysis partitioned across worker replicas.
+// See internal/parallel for the transport and the design notes, and
+// the package documentation's Architecture section for why the merged
+// result is byte-identical to a sequential run.
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"treeclock/internal/analysis"
+	"treeclock/internal/core"
+	"treeclock/internal/engine"
+	"treeclock/internal/parallel"
+	"treeclock/internal/trace"
+	"treeclock/internal/vc"
+)
+
+// RunStreamParallel is RunStream with the analysis sharded across
+// workers: variables partition across N full engine replicas by stable
+// hash, every replica processes the complete event stream in trace
+// order (sequenced by a coordinator through per-worker SPSC ring
+// queues, so clock evolution is identical in every replica), and each
+// variable's race checks run only on its owning worker. The merged
+// result — counts, samples in trace order, timestamps, metadata — is
+// byte-identical to the sequential run's; StreamResult.Mem sums the
+// replicas' retained state (and so grows with the worker count:
+// sharding trades replicated clock scaffolding for parallel analysis).
+//
+// The worker count comes from WithWorkers, defaulting to GOMAXPROCS.
+// All other options mean what they mean on RunStream; StreamScalar is
+// incompatible (sharding is batched by construction), and WithPipeline
+// is rarely worth it here — the coordinator already decodes
+// concurrently with the workers.
+func RunStreamParallel(engineName string, r io.Reader, opts ...StreamOption) (*StreamResult, error) {
+	cfg := parallelConfig(opts)
+	var src trace.EventSource
+	switch cfg.format {
+	case FormatText:
+		src = trace.NewScanner(r)
+	case FormatBinary:
+		src = trace.NewBinaryScanner(r)
+	default:
+		return nil, fmt.Errorf("treeclock: unknown trace format %d", cfg.format)
+	}
+	return runStream(engineName, src, cfg)
+}
+
+// RunStreamParallelSource is RunStreamParallel over an already-
+// constructed event source, the way RunStreamSource relates to
+// RunStream. Format options are ignored (the source is already
+// decoded).
+func RunStreamParallelSource(engineName string, src EventSource, opts ...StreamOption) (*StreamResult, error) {
+	return runStream(engineName, src, parallelConfig(opts))
+}
+
+// parallelConfig resolves options for the parallel entry points:
+// workers defaults to GOMAXPROCS, and the parallel path is taken even
+// at one worker (so "parallel with N=1" exercises the sharded runtime
+// rather than silently falling back).
+func parallelConfig(opts []StreamOption) streamConfig {
+	cfg := streamConfig{format: FormatText, analysis: true}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.workers <= 0 {
+		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	cfg.forceParallel = true
+	return cfg
+}
+
+// runStreamParallel shards the analysis of src across cfg.workers
+// replicas and merges their results. Called from runStream once the
+// configuration asks for more than one worker (or a parallel entry
+// point forces the path).
+func runStreamParallel(info EngineInfo, src trace.EventSource, cfg streamConfig) (*StreamResult, error) {
+	n := cfg.workers
+	if n < 1 {
+		n = 1
+	}
+	if cfg.validate {
+		// Validation is sequential by nature (lock discipline follows
+		// trace order) and runs on the coordinator side, exactly once.
+		src = trace.NewValidator(src)
+	}
+	if cfg.pipeline > 0 {
+		p := trace.NewPipeline(src, cfg.pipeline, trace.DefaultBatchSize)
+		defer p.Close()
+		src = p
+	}
+	if cfg.progressFn != nil {
+		src = wrapProgress(src, &cfg)
+	}
+
+	// One full replica per worker, each owning one variable shard. A
+	// shared WorkStats sink would race across workers, so each replica
+	// counts into its own and the totals are summed at the end.
+	engines := make([]streamEngine, n)
+	replicas := make([]parallel.Replica, n)
+	var sinks []WorkStats
+	if cfg.stats != nil {
+		sinks = make([]WorkStats, n)
+	}
+	for w := 0; w < n; w++ {
+		var sink *WorkStats
+		if cfg.stats != nil {
+			sink = &sinks[w]
+		}
+		owns := parallel.Owns(w, n)
+		if !cfg.analysis {
+			// Without analysis there is nothing to shard; the replicas
+			// would all do identical work. Keep the contract (the path
+			// still runs) but let every worker skip the gating closure.
+			owns = nil
+		}
+		if info.Clock == "tree" {
+			engines[w] = newStreamEngine[*core.TreeClock](info.Order, core.Factory(sink), cfg.analysis, owns)
+		} else {
+			engines[w] = newStreamEngine[*vc.VectorClock](info.Order, vc.Factory(sink), cfg.analysis, owns)
+		}
+		replicas[w] = engines[w]
+	}
+
+	events, err := parallel.Run(src, replicas, parallel.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for w, e := range engines {
+		if e.Events() != events {
+			return nil, fmt.Errorf("treeclock: internal error: worker %d processed %d of %d events", w, e.Events(), events)
+		}
+	}
+
+	// Replica clock evolution is identical everywhere, so worker 0
+	// speaks for timestamps and metadata; the sharded analysis state
+	// merges across all workers.
+	sum, samples, ts := engines[0].Finish()
+	if cfg.analysis {
+		accs := make([]*analysis.Accumulator, n)
+		for w, e := range engines {
+			accs[w] = e.Acc()
+		}
+		sum, samples = analysis.MergeAccumulators(accs)
+	}
+	res := &StreamResult{
+		Engine:     info.Name,
+		Meta:       engines[0].Meta(),
+		Events:     events,
+		Summary:    sum,
+		Samples:    samples,
+		Timestamps: ts,
+	}
+	var mems []engine.MemStats
+	for _, e := range engines {
+		if ms, ok := e.Mem(); ok {
+			mems = append(mems, ms)
+		}
+	}
+	if len(mems) > 0 {
+		ms := engine.MergeMemStats(mems)
+		res.Mem = &ms
+	}
+	if cfg.stats != nil {
+		for i := range sinks {
+			cfg.stats.Add(sinks[i])
+		}
+	}
+	return res, nil
+}

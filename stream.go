@@ -10,6 +10,7 @@ package treeclock
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 
 	"treeclock/internal/analysis"
@@ -90,12 +91,17 @@ const (
 
 // streamConfig collects RunStream options.
 type streamConfig struct {
-	format   TraceFormat
-	analysis bool
-	validate bool
-	scalar   bool
-	pipeline int // pipelined-decode depth; 0 = off
-	stats    *WorkStats
+	format        TraceFormat
+	analysis      bool
+	validate      bool
+	scalar        bool
+	pipeline      int  // pipelined-decode depth; <= 0 = synchronous
+	pipelineSet   bool // WithPipeline was given (auto-selection is off)
+	workers       int  // sharded-analysis worker count; <= 1 = sequential
+	forceParallel bool // RunStreamParallel entry: shard even at 1 worker
+	progressEvery uint64
+	progressFn    func(Progress)
+	stats         *WorkStats
 }
 
 // StreamOption configures RunStream.
@@ -131,12 +137,51 @@ func StreamScalar() StreamOption {
 // WithPipeline runs trace decoding in its own goroutine, feeding the
 // engine batches through a ring of depth recycled buffers so parsing
 // overlaps analysis. Batches are consumed in trace order, so results
-// are identical to the synchronous path. depth <= 0 selects a default
-// ring of 4; a depth of at least 2 is enforced. The extra goroutine
-// only pays off when decode and analysis cost are comparable — the
-// text format, mainly — so it is opt-in.
+// are identical to the synchronous path. A depth of at least 2 is
+// enforced; depth <= 0 forces the synchronous path. Without this
+// option RunStream decides on its own: text input decodes pipelined
+// when more than one CPU is available (GOMAXPROCS > 1), since the
+// extra goroutine only pays off when decode and analysis cost are
+// comparable and a second core exists to overlap them; binary input,
+// StreamScalar and sharded (WithWorkers) runs stay synchronous — the
+// parallel coordinator already decodes concurrently with analysis.
 func WithPipeline(depth int) StreamOption {
-	return func(c *streamConfig) { c.pipeline = depth }
+	return func(c *streamConfig) { c.pipeline, c.pipelineSet = depth, true }
+}
+
+// WithWorkers runs the analysis sharded across n workers: variables
+// partition across n full engine replicas by stable hash, each replica
+// processes the whole event stream (so clock evolution is identical
+// everywhere), and the per-variable race analysis — the dominant
+// per-event cost on access-heavy workloads — runs only on the
+// variable's owner. The merged result is byte-identical to the
+// sequential run's. n <= 1 selects the sequential path; RunStreamParallel
+// defaults n to GOMAXPROCS. Incompatible with StreamScalar (sharding
+// is batched by construction).
+func WithWorkers(n int) StreamOption {
+	return func(c *streamConfig) { c.workers = n }
+}
+
+// Progress is one WithProgress report.
+type Progress struct {
+	// Events is the number of trace events processed so far.
+	Events uint64
+	// Rate is the observed throughput in events/second since the
+	// previous report (since the start, for the first).
+	Rate float64
+}
+
+// WithProgress reports ingestion progress: fn fires after roughly
+// every `every` events (at batch granularity; every == 0 selects one
+// report per million events) with the running event count and the
+// events/second rate since the previous report. The callback runs
+// synchronously on the goroutine that consumes the decoded stream —
+// the caller's for plain and pipelined runs (the wrapper counts
+// batches as the engine acquires them), the coordinator's for sharded
+// (WithWorkers) runs — so it must be cheap and, under workers, must
+// not assume the caller's goroutine.
+func WithProgress(every uint64, fn func(Progress)) StreamOption {
+	return func(c *streamConfig) { c.progressEvery, c.progressFn = every, fn }
 }
 
 // StreamValidate enforces trace well-formedness incrementally while
@@ -186,12 +231,16 @@ func (s scalarSource) Next() (trace.Event, bool) { return s.src.Next() }
 func (s scalarSource) Err() error                { return s.src.Err() }
 
 // streamEngine is the non-generic view RunStream drives; a
-// runtimeAdapter instantiates it per clock type.
+// runtimeAdapter instantiates it per clock type. ProcessBatchAt and
+// Acc serve the sharded path: parallel workers are fed positioned
+// batches and their accumulators merged afterwards.
 type streamEngine interface {
 	ProcessSource(trace.EventSource) error
+	ProcessBatchAt(base uint64, events []trace.Event)
 	Events() uint64
 	Meta() trace.Meta
 	Mem() (engine.MemStats, bool)
+	Acc() *analysis.Accumulator
 	Finish() (analysis.Summary, []analysis.Pair, []vt.Vector)
 }
 
@@ -207,9 +256,13 @@ type runtimeAdapter[C vt.Clock[C]] struct {
 func (a *runtimeAdapter[C]) ProcessSource(src trace.EventSource) error {
 	return a.rt.ProcessSource(src)
 }
+func (a *runtimeAdapter[C]) ProcessBatchAt(base uint64, events []trace.Event) {
+	a.rt.ProcessBatchAt(base, events)
+}
 func (a *runtimeAdapter[C]) Events() uint64               { return a.rt.Events() }
 func (a *runtimeAdapter[C]) Meta() trace.Meta             { return a.rt.Meta() }
 func (a *runtimeAdapter[C]) Mem() (engine.MemStats, bool) { return a.rt.MemStats() }
+func (a *runtimeAdapter[C]) Acc() *analysis.Accumulator   { return a.acc }
 
 func (a *runtimeAdapter[C]) Finish() (analysis.Summary, []analysis.Pair, []vt.Vector) {
 	k := a.rt.Threads()
@@ -228,8 +281,13 @@ func (a *runtimeAdapter[C]) Finish() (analysis.Summary, []analysis.Pair, []vt.Ve
 }
 
 // newStreamEngine builds the dynamically growing runtime for one
-// registry entry over clock type C.
-func newStreamEngine[C vt.Clock[C]](order string, f vt.Factory[C], withAnalysis bool) streamEngine {
+// registry entry over clock type C. A non-nil owns predicate shards
+// the per-variable analysis to the variables it accepts: for the
+// detector-backed orders (HB, SHB) the whole detector — checks and
+// access-history state — is gated, for the self-checking orders (MAZ,
+// WCP) the accumulator drops foreign reports; either way the retained
+// samples carry trace positions so shards merge back into trace order.
+func newStreamEngine[C vt.Clock[C]](order string, f vt.Factory[C], withAnalysis bool, owns func(int32) bool) streamEngine {
 	var (
 		rt        *engine.Runtime[C]
 		timestamp func(t vt.TID, dst vt.Vector) vt.Vector
@@ -259,8 +317,18 @@ func newStreamEngine[C vt.Clock[C]](order string, f vt.Factory[C], withAnalysis 
 			// These orders run their own pair checks and only need an
 			// accumulator to report into.
 			acc = rt.EnableAnalysis()
+			if owns != nil {
+				acc.SetShard(owns)
+			}
 		default:
-			acc = rt.EnableRaceDetection().Acc
+			det := rt.EnableRaceDetection()
+			if owns != nil {
+				det.SetShard(owns)
+			}
+			acc = det.Acc
+		}
+		if owns != nil {
+			acc.TrackPositions()
 		}
 	}
 	return &runtimeAdapter[C]{rt: rt, acc: acc, timestamp: timestamp}
@@ -288,7 +356,28 @@ func RunStream(engineName string, r io.Reader, opts ...StreamOption) (*StreamRes
 	default:
 		return nil, fmt.Errorf("treeclock: unknown trace format %d", cfg.format)
 	}
+	if !cfg.pipelineSet {
+		cfg.pipeline = autoPipelineDepth(&cfg, runtime.GOMAXPROCS(0))
+	}
 	return runStream(engineName, src, cfg)
+}
+
+// defaultPipelineDepth is the decode-ring depth auto-selected for text
+// input on multi-core hosts.
+const defaultPipelineDepth = 4
+
+// autoPipelineDepth is the decode-mode selection applied when
+// WithPipeline was not given: text input decodes in its own goroutine
+// when a second CPU exists to overlap parsing with analysis, and
+// everything else stays synchronous — binary decode is too cheap to
+// win a goroutine hand-off, StreamScalar explicitly asks for the
+// per-event loop, and sharded runs already overlap decode (the
+// coordinator parses while the workers analyze).
+func autoPipelineDepth(cfg *streamConfig, maxprocs int) int {
+	if cfg.scalar || cfg.workers > 1 || cfg.forceParallel || cfg.format != FormatText || maxprocs < 2 {
+		return 0
+	}
+	return defaultPipelineDepth
 }
 
 // RunStreamSource is RunStream over an already-constructed event
@@ -306,7 +395,8 @@ func RunStreamSource(engineName string, src EventSource, opts ...StreamOption) (
 }
 
 // runStream wraps src according to cfg and drains it through the named
-// engine.
+// engine — sequentially, or sharded across workers when the
+// configuration asks for more than one.
 func runStream(engineName string, src trace.EventSource, cfg streamConfig) (*StreamResult, error) {
 	info, ok := engineRegistry[engineName]
 	if !ok {
@@ -314,6 +404,12 @@ func runStream(engineName string, src trace.EventSource, cfg streamConfig) (*Str
 	}
 	if cfg.scalar && cfg.pipeline > 0 {
 		return nil, fmt.Errorf("treeclock: StreamScalar and WithPipeline are mutually exclusive")
+	}
+	if cfg.scalar && (cfg.workers > 1 || cfg.forceParallel) {
+		return nil, fmt.Errorf("treeclock: StreamScalar and WithWorkers are mutually exclusive")
+	}
+	if cfg.workers > 1 || cfg.forceParallel {
+		return runStreamParallel(info, src, cfg)
 	}
 	if cfg.validate {
 		src = trace.NewValidator(src)
@@ -324,14 +420,18 @@ func runStream(engineName string, src trace.EventSource, cfg streamConfig) (*Str
 		p := trace.NewPipeline(src, cfg.pipeline, trace.DefaultBatchSize)
 		defer p.Close()
 		src = p
-	} else if cfg.scalar {
+	}
+	if cfg.progressFn != nil {
+		src = wrapProgress(src, &cfg)
+	}
+	if cfg.pipeline <= 0 && cfg.scalar {
 		src = scalarSource{src}
 	}
 	var e streamEngine
 	if info.Clock == "tree" {
-		e = newStreamEngine[*core.TreeClock](info.Order, core.Factory(cfg.stats), cfg.analysis)
+		e = newStreamEngine[*core.TreeClock](info.Order, core.Factory(cfg.stats), cfg.analysis, nil)
 	} else {
-		e = newStreamEngine[*vc.VectorClock](info.Order, vc.Factory(cfg.stats), cfg.analysis)
+		e = newStreamEngine[*vc.VectorClock](info.Order, vc.Factory(cfg.stats), cfg.analysis, nil)
 	}
 	if err := e.ProcessSource(src); err != nil {
 		return nil, err
@@ -349,4 +449,13 @@ func runStream(engineName string, src trace.EventSource, cfg streamConfig) (*Str
 		res.Mem = &ms
 	}
 	return res, nil
+}
+
+// wrapProgress adapts the config's callback to the trace-level
+// progress wrapper.
+func wrapProgress(src trace.EventSource, cfg *streamConfig) trace.EventSource {
+	fn := cfg.progressFn
+	return trace.NewProgressSource(src, cfg.progressEvery, func(events uint64, rate float64) {
+		fn(Progress{Events: events, Rate: rate})
+	})
 }
