@@ -33,12 +33,17 @@ type ingestTraceInfo struct {
 	BinaryBytes int    `json:"binary_bytes"`
 }
 
-// ingestResult is one engine × format × mode measurement.
+// ingestResult is one engine × format × mode measurement. For the
+// wcp engines each cell is measured twice — once per weak-clock
+// transport — and Weak says which: "sparse" is the default segment
+// representation, "flat" the Θ(threads) vector baseline it is compared
+// against. The field is empty for engines without a weak transport.
 type ingestResult struct {
 	Trace          string  `json:"trace"`
 	Engine         string  `json:"engine"`
 	Format         string  `json:"format"`
 	Mode           string  `json:"mode"`
+	Weak           string  `json:"weak,omitempty"`
 	EventsPerSec   float64 `json:"events_per_sec"`
 	NsPerEvent     float64 `json:"ns_per_event"`
 	AllocsPerEvent float64 `json:"allocs_per_event"`
@@ -66,6 +71,16 @@ var ingestModes = []struct {
 	{"scalar", []treeclock.StreamOption{treeclock.StreamScalar()}},
 	{"batch", []treeclock.StreamOption{treeclock.WithPipeline(0)}},
 	{"pipeline", []treeclock.StreamOption{treeclock.WithPipeline(4)}},
+}
+
+// treeclockEngineOrder looks up a registry engine's partial order.
+func treeclockEngineOrder(name string) string {
+	for _, info := range treeclock.EngineInfos() {
+		if info.Name == name {
+			return info.Order
+		}
+	}
+	return ""
 }
 
 // ingestExperiment runs the sweep and optionally writes the JSON
@@ -114,25 +129,50 @@ func ingestExperiment(events, repeats int, jsonPath string) {
 			{"bin", bin.Bytes(), []treeclock.StreamOption{treeclock.StreamBinary()}},
 		}
 		for _, name := range treeclock.Engines() {
+			// The wcp engines measure both weak-clock transports; the
+			// two must report identical pairs (they are differentially
+			// pinned byte for byte), so the consistency check spans the
+			// variants too.
+			variants := []struct {
+				weak string
+				opts []treeclock.StreamOption
+			}{{"", nil}}
+			if treeclockEngineOrder(name) == "wcp" {
+				variants = []struct {
+					weak string
+					opts []treeclock.StreamOption
+				}{
+					{"sparse", nil},
+					{"flat", []treeclock.StreamOption{treeclock.WithFlatWeakClocks()}},
+				}
+			}
 			for _, f := range formats {
 				var pairs uint64
 				first := true
-				line := fmt.Sprintf("  %-10s %-5s", name, f.name)
-				for _, mode := range ingestModes {
-					opts := append(append([]treeclock.StreamOption{}, f.opts...), mode.opts...)
-					res := measureIngest(tr.Meta.Name, name, f.name, mode.name, f.data, opts, repeats)
-					if first {
-						pairs, first = res.Pairs, false
-					} else if res.Pairs != pairs {
-						fmt.Fprintf(os.Stderr, "tcbench: %s/%s: %s mode diverges (%d pairs, want %d)\n",
-							name, f.name, mode.name, res.Pairs, pairs)
-						os.Exit(1)
+				for _, v := range variants {
+					label := name
+					if v.weak != "" {
+						label += "/" + v.weak
 					}
-					report.Results = append(report.Results, res)
-					line += fmt.Sprintf("   %s %8.0f ev/ms (%5.1f ns/ev, %5.3f allocs/ev)",
-						mode.name, res.EventsPerSec/1000, res.NsPerEvent, res.AllocsPerEvent)
+					line := fmt.Sprintf("  %-17s %-5s", label, f.name)
+					for _, mode := range ingestModes {
+						opts := append(append([]treeclock.StreamOption{}, f.opts...), mode.opts...)
+						opts = append(opts, v.opts...)
+						res := measureIngest(tr.Meta.Name, name, f.name, mode.name, f.data, opts, repeats)
+						res.Weak = v.weak
+						if first {
+							pairs, first = res.Pairs, false
+						} else if res.Pairs != pairs {
+							fmt.Fprintf(os.Stderr, "tcbench: %s/%s: %s/%s mode diverges (%d pairs, want %d)\n",
+								name, f.name, mode.name, v.weak, res.Pairs, pairs)
+							os.Exit(1)
+						}
+						report.Results = append(report.Results, res)
+						line += fmt.Sprintf("   %s %8.0f ev/ms (%5.1f ns/ev, %5.3f allocs/ev)",
+							mode.name, res.EventsPerSec/1000, res.NsPerEvent, res.AllocsPerEvent)
+					}
+					fmt.Println(line + fmt.Sprintf("   %d pairs", pairs))
 				}
-				fmt.Println(line + fmt.Sprintf("   %d pairs", pairs))
 			}
 		}
 	}

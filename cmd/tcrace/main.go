@@ -9,6 +9,7 @@
 //	tcrace -engine shb-vc < t.txt         # SHB with the vector-clock baseline
 //	tcrace -engine maz-tree -format bin t.tr
 //	tcrace -engine wcp-tree t.txt         # predictive races (WCP weak order)
+//	tcrace -engine wcp-vc -flat-weak t.txt # flat weak-clock baseline transport
 //	tcrace -workers 4 big.txt             # shard the analysis across 4 cores
 //	tcrace -pipeline 4 big.txt            # decode in a separate goroutine
 //	tcrace -progress 5000000 huge.txt     # rate reports to stderr
@@ -53,6 +54,7 @@ func main() {
 		pipeline   = flag.Int("pipeline", 0, "decode in a separate goroutine through a ring of N recycled batch buffers (0 = automatic, negative = off)")
 		scalar     = flag.Bool("scalar", false, "force the per-event streaming loop instead of batched ingestion")
 		workers    = flag.Int("workers", 1, "shard the analysis across N worker replicas (0 = GOMAXPROCS, 1 = sequential)")
+		flatWeak   = flag.Bool("flat-weak", false, "use the flat-vector weak-clock baseline for weak orders (wcp) instead of the sparse segment transport")
 		progress   = flag.Uint64("progress", 0, "print a progress line to stderr every N events (0 = off)")
 	)
 	flag.Parse()
@@ -102,6 +104,9 @@ func main() {
 	}
 	if *scalar {
 		opts = append(opts, treeclock.StreamScalar())
+	}
+	if *flatWeak {
+		opts = append(opts, treeclock.WithFlatWeakClocks())
 	}
 	if *progress > 0 {
 		opts = append(opts, treeclock.WithProgress(*progress, func(p treeclock.Progress) {

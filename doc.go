@@ -141,6 +141,34 @@
 // -experiment mem (BENCH_mem.json); cmd/traceinfo -wcp breaks the
 // numbers down per lock.
 //
+// # Weak clocks and why tree clocks don't apply
+//
+// WCP's per-thread state is a pair of clocks, and only one of them is
+// a tree clock. The strong backbone — the thread's HB-ish clock that
+// sync events join through — satisfies the tree-clock preconditions:
+// every thread owns its entry, knowledge of a thread always flows
+// from that thread's clock, and release-time copies are monotone
+// (Lemma 2), so the hierarchical representation and its pruned
+// traversals apply as in the paper. The weak clock does not. By
+// definition, a thread's WCP clock excludes its own current critical
+// sections: its own entry is deliberately stale, and what it learns
+// about other threads arrives through release snapshots and rule-(b)
+// absorption rather than whole-clock joins from the owning thread.
+// That breaks the tree clock's central invariant — that a subtree
+// rooted at u was learned through u and is therefore exactly u's past
+// — so the pruning arguments (direct and indirect monotonicity) are
+// unsound for weak time: a "not progressed" root no longer implies an
+// unchanged subtree. The same observation motivates the sparse
+// segment representation used instead (following the CSST line of
+// work, Tunç et al.): weak clocks evolve by absorbing immutable
+// release snapshots, so the profitable structure is not a
+// learned-through tree but block-level sharing between a release and
+// the releaser's previous release. internal/vt/weak.go defines the
+// two-sided contract (WeakClock, SnapStore), internal/vt/sparse.go
+// the copy-on-write segment-list implementation that the WCP engines
+// use by default (WithFlatWeakClocks selects the Θ(threads) flat
+// baseline, and the differential suites pin the two byte-identical).
+//
 // # Batched ingestion
 //
 // Ingestion is batched end to end. The text scanner is a byte-level

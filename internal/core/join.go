@@ -64,6 +64,9 @@ func (c *TreeClock) Join(o *TreeClock) {
 		// nothing in o is new (Algorithm 2, line 18).
 		return
 	}
+	// Past the no-progress exit some foreign entry changes (zr ≠ this
+	// clock's thread — see the panic below).
+	c.rev++
 	if c.root == none {
 		// Joining into the zero vector time is a plain copy.
 		c.deepCopyFrom(o)
@@ -95,6 +98,7 @@ func (c *TreeClock) MonotoneCopy(o *TreeClock) {
 	if o == c || o.root == none {
 		return
 	}
+	c.rev++
 	if c.root == none {
 		c.deepCopyFrom(o)
 		return
@@ -318,6 +322,7 @@ func (c *TreeClock) pushChild(u, p vt.TID) {
 // When the receiver's capacity exceeds the operand's, the tail entries
 // are cleared (o represents 0 for every thread beyond its capacity).
 func (c *TreeClock) deepCopyFrom(o *TreeClock) {
+	c.rev++
 	c.Grow(int(o.k))
 	if c.stats != nil {
 		c.stats.Entries += uint64(c.k)

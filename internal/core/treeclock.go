@@ -101,8 +101,19 @@ type TreeClock struct {
 	gather []rec
 	frames []frame
 
+	// rev advances whenever a foreign entry may have changed (see
+	// vt.Clock.Rev). Inc and Grow leave it alone: they never touch a
+	// foreign entry.
+	rev uint64
+
 	stats *vt.WorkStats
 }
+
+// Rev implements vt.Clock. The counter is bumped by Join past its O(1)
+// no-progress exit, and by every copy path; no-op joins — the common
+// case on self-synchronizing workloads — leave it unchanged, which is
+// what makes the weak-order snapshot's quiet-release fast path fire.
+func (c *TreeClock) Rev() uint64 { return c.rev }
 
 // New returns an empty tree clock over k threads (k may be 0 for a
 // clock that grows on demand). If stats is non-nil, every operation
@@ -214,6 +225,11 @@ func (c *TreeClock) Vector(dst vt.Vector) vt.Vector {
 	copy(dst, c.clk)
 	return dst
 }
+
+// VectorView returns the tree clock's flat mirror without copying:
+// the clock maintains clk as an exact per-thread image of the tree, so
+// the view is O(1). Valid only until the next mutation.
+func (c *TreeClock) VectorView() []vt.Time { return c.clk }
 
 // NumNodes returns how many threads are present in the tree. The count
 // is maintained incrementally as nodes are attached (a node, once

@@ -71,20 +71,7 @@ func newIntern() *intern { return &intern{ids: make(map[string]int32)} }
 // seen. This is the zero-allocation hot path of the text tokenizer.
 func (in *intern) idBytes(name []byte) int32 {
 	if v, ok := canonical(name); ok {
-		if in.fastPrefix == 0 {
-			in.fastPrefix = name[0]
-		}
-		if name[0] == in.fastPrefix {
-			if v < len(in.fast) {
-				if id := in.fast[v]; id != 0 {
-					return id - 1
-				}
-			} else {
-				in.fast = vt.GrowSlice(in.fast, v+1)
-			}
-			id := in.count
-			in.fast[v] = id + 1
-			in.count++
+		if id, ok := in.fastID(name[0], v); ok {
 			return id
 		}
 	}
@@ -95,6 +82,32 @@ func (in *intern) idBytes(name []byte) int32 {
 	in.ids[string(name)] = id
 	in.count++
 	return id
+}
+
+// fastID interns a canonical name given in decoded form — prefix
+// letter c, numeric suffix v — through the direct-index path. It
+// reports ok == false when the name must take the map instead (foreign
+// prefix letter or an out-of-range suffix); the only state such a miss
+// may have touched is fixing the space's prefix letter, exactly as
+// idBytes would have.
+func (in *intern) fastID(c byte, v int) (int32, bool) {
+	if in.fastPrefix == 0 {
+		in.fastPrefix = c
+	}
+	if c != in.fastPrefix || v >= fastLimit {
+		return 0, false
+	}
+	if v < len(in.fast) {
+		if id := in.fast[v]; id != 0 {
+			return id - 1, true
+		}
+	} else {
+		in.fast = vt.GrowSlice(in.fast, v+1)
+	}
+	id := in.count
+	in.fast[v] = id + 1
+	in.count++
+	return id, true
 }
 
 // canonical reports whether name is a canonical identifier — one

@@ -126,6 +126,12 @@ func (s *Scanner) Next() (ev Event, ok bool) {
 			s.line++
 			continue
 		}
+		// A real line most often has the exact canonical shape WriteText
+		// emits; try the one-pass decoder first, falling back to the
+		// general tokenizer on any mismatch (nothing is consumed then).
+		if ev, ok, handled := s.fastLine(i); handled {
+			return ev, ok
+		}
 		// A real line starts at i: split fields in place while scanning
 		// for the line end. Each field is one tight run over non-delim
 		// bytes; classification is a table lookup.
@@ -215,6 +221,96 @@ func (s *Scanner) Next() (ev Event, ok bool) {
 		}
 		return ev, true
 	}
+}
+
+// fastLine decodes the canonical line shape — "<id> <op> <id>\n" with
+// single spaces and canonical identifiers (one lowercase letter plus a
+// decimal suffix), exactly what WriteText emits — in one left-to-right
+// pass over the buffered bytes, fusing tokenizing, numeric decoding
+// and the direct-index interning that idBytes would otherwise re-derive
+// per field. i is the first non-space byte of the line. handled
+// reports whether the line was consumed; on any shape mismatch, a
+// line crossing the buffer end, or an identifier needing the intern
+// map, it returns handled == false with the scanner position
+// untouched and the general tokenizer takes over (interner state the
+// attempt may have advanced is identical to what idBytes would have
+// done, so the replay is consistent).
+func (s *Scanner) fastLine(i int) (ev Event, ok, handled bool) {
+	buf, end := s.buf, s.end
+	// Thread identifier: letter + decimal suffix, then one space.
+	c0 := buf[i]
+	if c0 < 'a' || c0 > 'z' {
+		return Event{}, false, false
+	}
+	j := i + 1
+	v0, n0 := 0, 0
+	for j < end && buf[j] >= '0' && buf[j] <= '9' {
+		v0 = v0*10 + int(buf[j]-'0')
+		n0++
+		j++
+	}
+	if n0 == 0 || n0 > 7 || (buf[i+1] == '0' && n0 > 1) || j >= end || buf[j] != ' ' {
+		return Event{}, false, false
+	}
+	j++
+	// Operation: fixed spellings, terminated by one space.
+	var kind Kind
+	var in *intern
+	switch {
+	case j+1 < end && buf[j+1] == ' ' && buf[j] == 'r':
+		kind, in = Read, s.vars
+		j += 2
+	case j+1 < end && buf[j+1] == ' ' && buf[j] == 'w':
+		kind, in = Write, s.vars
+		j += 2
+	case j+3 < end && buf[j] == 'a' && buf[j+1] == 'c' && buf[j+2] == 'q' && buf[j+3] == ' ':
+		kind, in = Acquire, s.locks
+		j += 4
+	case j+3 < end && buf[j] == 'r' && buf[j+1] == 'e' && buf[j+2] == 'l' && buf[j+3] == ' ':
+		kind, in = Release, s.locks
+		j += 4
+	case j+4 < end && buf[j] == 'f' && buf[j+1] == 'o' && buf[j+2] == 'r' && buf[j+3] == 'k' && buf[j+4] == ' ':
+		kind, in = Fork, s.threads
+		j += 5
+	case j+4 < end && buf[j] == 'j' && buf[j+1] == 'o' && buf[j+2] == 'i' && buf[j+3] == 'n' && buf[j+4] == ' ':
+		kind, in = Join, s.threads
+		j += 5
+	default:
+		return Event{}, false, false
+	}
+	// Operand identifier, then the newline.
+	if j >= end {
+		return Event{}, false, false
+	}
+	c2 := buf[j]
+	if c2 < 'a' || c2 > 'z' {
+		return Event{}, false, false
+	}
+	d2 := j + 1
+	j++
+	v2, n2 := 0, 0
+	for j < end && buf[j] >= '0' && buf[j] <= '9' {
+		v2 = v2*10 + int(buf[j]-'0')
+		n2++
+		j++
+	}
+	if n2 == 0 || n2 > 7 || (buf[d2] == '0' && n2 > 1) || j >= end || buf[j] != '\n' {
+		return Event{}, false, false
+	}
+	// Shape verified; commit through the direct-index interns. A miss
+	// (foreign prefix letter) falls back to the general path, which
+	// resolves the same names through the map.
+	t, tok := s.threads.fastID(c0, v0)
+	if !tok {
+		return Event{}, false, false
+	}
+	obj, ook := in.fastID(c2, v2)
+	if !ook {
+		return Event{}, false, false
+	}
+	s.pos = j + 1
+	s.line++
+	return Event{T: vt.TID(t), Obj: obj, Kind: kind}, true, true
 }
 
 // atEnd reports whether no further input can arrive: the reader hit

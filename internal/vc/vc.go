@@ -12,8 +12,15 @@ import "treeclock/internal/vt"
 // capacity (entries beyond a clock's capacity read as 0).
 type VectorClock struct {
 	v     vt.Vector
+	rev   uint64
 	stats *vt.WorkStats
 }
+
+// Rev implements vt.Clock. Join detects no-op joins (no entry rises)
+// and leaves the counter alone — its Θ(k) scan pays for the comparison
+// anyway — while the copy operations bump unconditionally; spurious
+// advances are allowed by the contract.
+func (c *VectorClock) Rev() uint64 { return c.rev }
 
 // New returns a vector clock over k threads representing the zero vector
 // time. If stats is non-nil, every operation accumulates work counters
@@ -68,20 +75,30 @@ func (c *VectorClock) Join(o *VectorClock) {
 		c.Grow(len(o.v))
 	}
 	if c.stats == nil {
+		changed := false
 		for i, t := range o.v {
 			if t > c.v[i] {
 				c.v[i] = t
+				changed = true
 			}
+		}
+		if changed {
+			c.rev++
 		}
 		return
 	}
 	c.stats.Joins++
 	c.stats.Entries += uint64(len(c.v))
+	changed := false
 	for i, t := range o.v {
 		if t > c.v[i] {
 			c.v[i] = t
 			c.stats.Changed++
+			changed = true
 		}
+	}
+	if changed {
+		c.rev++
 	}
 }
 
@@ -93,6 +110,7 @@ func (c *VectorClock) MonotoneCopy(o *VectorClock) {
 	if c == o {
 		return
 	}
+	c.rev++
 	if len(o.v) > len(c.v) {
 		c.Grow(len(o.v))
 	}
@@ -126,6 +144,7 @@ func (c *VectorClock) CopyCheckMonotone(o *VectorClock) bool {
 	if c == o {
 		return true
 	}
+	c.rev++
 	if len(o.v) > len(c.v) {
 		c.Grow(len(o.v))
 	}
@@ -165,6 +184,10 @@ func (c *VectorClock) Vector(dst vt.Vector) vt.Vector {
 	copy(dst, c.v)
 	return dst
 }
+
+// VectorView returns the underlying vector without copying, O(1).
+// Valid only until the next mutation.
+func (c *VectorClock) VectorView() []vt.Time { return c.v }
 
 // String renders the underlying vector.
 func (c *VectorClock) String() string { return c.v.String() }

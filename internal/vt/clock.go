@@ -51,6 +51,24 @@ type Clock[C any] interface {
 	// have length ≥ the clock's capacity) and returns it. It is a
 	// Θ(k) snapshot intended for timestamps, tests and reporting.
 	Vector(dst Vector) Vector
+	// VectorView returns a read-only view of the represented vector
+	// time, valid only until the clock's next mutation; entries at or
+	// beyond the view's length are zero. Clocks that maintain a flat
+	// mirror return it without copying, so per-event consumers (the
+	// weak-order release snapshot) can read the full vector time
+	// without a Θ(k) materialization; clocks without a mirror may
+	// materialize (documented per type). Callers must not write
+	// through or retain the view.
+	VectorView() []Time
+	// Rev returns a revision counter for the clock's foreign entries:
+	// it advances whenever an entry other than the owning thread's may
+	// have changed, so an unchanged Rev across two reads guarantees
+	// every foreign entry is unchanged. The converse need not hold —
+	// implementations may advance it spuriously (a no-op join), never
+	// the other way around. Consumers that diff successive vector
+	// times (the weak-order release snapshot) use it to skip the diff
+	// outright between quiet releases.
+	Rev() uint64
 }
 
 // Factory constructs fresh, uninitialized clocks with thread capacity

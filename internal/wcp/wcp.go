@@ -20,18 +20,19 @@
 // it this plugin maintains, via the LockSemantics/ThreadSemantics
 // hooks:
 //
-//   - per thread t, the weak clock W_t: a plain vector holding the
-//     pure WCP knowledge {e : e ≺WCP next event of t}. Unlike a thread
-//     clock, W_t's own entry is NOT t's local time (thread order is
-//     deliberately outside WCP; the race check treats the own thread
-//     separately), and other threads routinely hold entries for t that
-//     are ahead of W_t's own entry. That breaks the provenance
-//     invariant tree-clock joins rely on ("only t's own clock knows
-//     t's future"), which is why weak clocks are flat vectors for both
-//     registry variants — the observation that motivates the CSSTs
-//     line of work on data structures for weak orders. Both variants
-//     share this code, so wcp-tree and wcp-vc differ only in the HB
-//     backbone and produce byte-identical reports by construction.
+//   - per thread t, the weak clock W_t: the pure WCP knowledge
+//     {e : e ≺WCP next event of t}. Unlike a thread clock, W_t's own
+//     entry is NOT t's local time (thread order is deliberately
+//     outside WCP; the race check treats the own thread separately),
+//     and other threads routinely hold entries for t that are ahead of
+//     W_t's own entry. That breaks the provenance invariant tree-clock
+//     joins rely on ("only t's own clock knows t's future"), which is
+//     why weak clocks cannot be tree clocks for either registry
+//     variant — the observation that motivates the CSSTs line of work
+//     on data structures for weak orders (Tunç et al., arXiv
+//     2403.17818). Both variants share this code, so wcp-tree and
+//     wcp-vc differ only in the HB backbone and produce byte-identical
+//     reports by construction.
 //   - per lock ℓ, the weak clock of the last release (rule-c transport
 //     across the release→acquire HB edge), a FIFO history of closed
 //     critical sections — releasing thread, acquire local time, HB
@@ -44,31 +45,74 @@
 // All of it grows on first sight of an identifier, like every other
 // engine: the plugin needs no trace metadata.
 //
+// # Weak-clock representation
+//
+// The weak clocks and release snapshots are generic over the transport
+// representation (vt.WeakClock / vt.SnapStore): the flat Θ(k) vectors
+// that used to be hard-coded remain available as the differential
+// baseline (NewSemanticsFlat, NewFlat), but the default is the sparse
+// copy-on-write segment representation of vt.Sparse/vt.SparseStore.
+// Its costs per release are
+//
+//   - snapshot: O(k/SegSize) segment compares against the thread's
+//     previous release, plus one segment copy per segment in which a
+//     *foreign* entry advanced since then — the releaser's own entry
+//     is carried out of band as an epoch, so the pure-sync steady
+//     state (one lock partner per round) copies exactly one segment
+//     and shares the rest by reference;
+//   - rule-(b) absorption: one segment join per segment, with
+//     pointer-equal and dominated segments short-circuiting to a
+//     reference share, plus an O(1) epoch fix for the snapshot's own
+//     entry;
+//   - publish and rule-(c) transport: reference shares (O(changed
+//     segments) amortized).
+//
+// Soundness of the out-of-band epoch: a snapshot's segments hold the
+// exact HB release time for every thread but the releaser itself,
+// whose slot may be stale (it is exactly what lets consecutive
+// releases share segments). The stale value is bounded by the true
+// epoch (a thread's own time only grows), and every absorption repairs
+// the slot from the epoch before the weak clock can be observed, so
+// weak clocks are exact in every entry and the flat and sparse
+// representations are observationally identical — pinned by a
+// differential test over the whole corpus.
+//
+// The rule-(b) scan exploits the same monotonicity the compaction
+// proof rests on: snapshots along one lock's history are pointwise
+// increasing (each releaser joined the previous release's clock at its
+// acquire), so absorbing every triggered entry equals absorbing only
+// the last one. The scan therefore advances the cursor entry by entry
+// — checking triggers against the thread's weak clock joined with the
+// last pending snapshot — and performs a single absorption at the end:
+// O(entries passed + changed segments) per release instead of a full
+// join per passed entry.
+//
 // # Memory
 //
 // Everything above is bounded by the live identifier spaces — O(threads
 // × (threads + locks)) for the weak clocks and cursors, O(locks × vars
-// × threads) vectors for the rule-(a) summaries (joined in place, one
-// per contributing thread) — except the per-lock section histories,
-// whose entries each pin a Θ(threads) HB snapshot and which grow with
-// the trace. They are therefore compacted: an entry is dropped from the
-// FIFO as soon as some thread other than its releaser has absorbed it
-// (advanced its rule-(b) cursor past it), and the freed snapshot
-// vectors are recycled through a free list. Dropping then is sound on
-// well-formed traces: the absorbing release merges the entry's snapshot
-// into its weak clock *before* publishing it as ℓ's weak clock, lock
-// publications grow monotonically along ℓ's release chain (each
-// publisher first joined the previous publication at its acquire), and
-// any thread that could still scan the entry must release ℓ later and
-// hence acquire ℓ after the absorbing release — inheriting the snapshot
-// there, which makes its own absorption a no-op. Note the gate must be
-// a *foreign* cursor: the releaser's own cursor skips its entries
-// without absorbing them, and its published weak clock never contains
-// its own release snapshots, so "every acquiring thread's cursor has
-// passed the entry" (or any scheme counting the owner) would lose
-// orderings for threads that first touch ℓ — or first appear — later
-// and reach the entry's trigger condition through a nested-lock
-// rule-(a) summary (see TestWCPCompactionLateThreadSoundness).
+// × threads) snapshots for the rule-(a) summaries (each replaced in
+// place, one per contributing thread) — except the per-lock section
+// histories, whose entries each pin a release snapshot and which grow
+// with the trace. They are therefore compacted: an entry is dropped
+// from the FIFO as soon as some thread other than its releaser has
+// absorbed it (advanced its rule-(b) cursor past it), and the freed
+// snapshot storage is recycled through the store's free pool. Dropping
+// then is sound on well-formed traces: the absorbing release merges
+// the entry's snapshot into its weak clock *before* publishing it as
+// ℓ's weak clock, lock publications grow monotonically along ℓ's
+// release chain (each publisher first joined the previous publication
+// at its acquire), and any thread that could still scan the entry must
+// release ℓ later and hence acquire ℓ after the absorbing release —
+// inheriting the snapshot there, which makes its own absorption a
+// no-op. Note the gate must be a *foreign* cursor: the releaser's own
+// cursor skips its entries without absorbing them, and its published
+// weak clock never contains its own release snapshots, so "every
+// acquiring thread's cursor has passed the entry" (or any scheme
+// counting the owner) would lose orderings for threads that first
+// touch ℓ — or first appear — later and reach the entry's trigger
+// condition through a nested-lock rule-(a) summary (see
+// TestWCPCompactionLateThreadSoundness).
 //
 // Under compaction a lock's retained history is the unabsorbed tail
 // only: O(threads) entries on workloads whose critical sections
@@ -86,16 +130,17 @@
 //     section.
 //   - Release: scan ℓ's history from t's cursor: while the head
 //     entry's acquire is WCP-before this release (epoch check against
-//     W_t), absorb its release snapshot into W_t (rule b; FIFO order
-//     is sound because an entry can only trigger if every earlier
-//     foreign entry triggers — releases are HB-ordered along a lock).
-//     Then close the section: append its HB snapshot to the history
-//     and merge it into the per-variable summaries of everything the
-//     section accessed, and publish W_t as ℓ's weak clock.
-//   - Read: join the write summaries of every held lock for x into
+//     W_t and the pending snapshot), advance the cursor, then absorb
+//     the last triggered snapshot into W_t (rule b; FIFO order is
+//     sound because an entry can only trigger if every earlier foreign
+//     entry triggers — releases are HB-ordered along a lock). Then
+//     close the section: append its HB snapshot to the history and
+//     install it as the per-variable summary of everything the section
+//     accessed, and publish W_t as ℓ's weak clock.
+//   - Read: absorb the write summaries of every held lock for x into
 //     W_t (rule a), then run the race check, then record x into the
 //     open sections' read sets.
-//   - Write: as Read, but join read and write summaries, and check
+//   - Write: as Read, but absorb read and write summaries, and check
 //     against both the last write and the pending reads.
 //   - Fork/Join: propagate W along the corresponding HB edges
 //     (rule c).
@@ -116,50 +161,164 @@ import (
 )
 
 // csEntry is one closed critical section in a lock's FIFO history.
-type csEntry struct {
-	t     vt.TID    // releasing thread
-	acqLT vt.Time   // local time of the section's acquire
-	rel   vt.Vector // HB timestamp of the release (incl. its own epoch)
+type csEntry[S any] struct {
+	t     vt.TID  // releasing thread
+	acqLT vt.Time // local time of the section's acquire
+	rel   S       // HB snapshot of the release (incl. its own epoch)
 }
 
-// contrib accumulates the HB release snapshots of one thread's closed
-// sections that accessed a given variable under a given lock. Keeping
+const (
+	histShift = 8 // 256 entries per history chunk
+	histLen   = 1 << histShift
+	histMask  = histLen - 1
+)
+
+// histBuf is a lock's section history as a FIFO of fixed-size chunks.
+// A flat append-grown slice would re-zero, copy and write-barrier the
+// entire history at every doubling — on rule-(b)-quiet workloads the
+// history reaches tens of thousands of entries and that churn was the
+// single largest release-path cost — and compaction would memmove the
+// surviving tail. Chunks never move once allocated (entry pointers
+// stay valid for the owning semantics' lifetime), pushes never copy
+// old entries, and dropping a compacted prefix releases whole chunks
+// to a free list shared across the engine's locks, so steady-state
+// compaction allocates nothing. Entries are addressed by the same
+// dense indices the rule-(b) cursors already use; dropFront renumbers
+// by shifting head, exactly matching the cursor adjustment compaction
+// performs.
+type histBuf[S any] struct {
+	chunks [][]csEntry[S] // live chunks, oldest first
+	head   int            // index of entry 0 inside chunks[0] (< histLen)
+	n      int            // live entry count
+}
+
+func (h *histBuf[S]) len() int { return h.n }
+
+// at returns entry i (0 = oldest live). The pointer stays valid until
+// the entry is dropped: chunks are never moved or copied.
+func (h *histBuf[S]) at(i int) *csEntry[S] {
+	j := h.head + i
+	return &h.chunks[j>>histShift][j&histMask]
+}
+
+// push appends an entry for (t, acqLT), drawing chunk storage from
+// free when possible, and returns a stable pointer to it. The rel
+// field is NOT initialized — a recycled chunk leaves stale data there —
+// and the caller must assign it before the entry can be read. Writing
+// rel in place rather than pushing a completed entry saves a
+// snapshot-sized store (plus its write barrier) per release.
+func (h *histBuf[S]) push(t vt.TID, acqLT vt.Time, free *[][]csEntry[S]) *csEntry[S] {
+	j := h.head + h.n
+	if j>>histShift == len(h.chunks) {
+		var c []csEntry[S]
+		if k := len(*free); k > 0 {
+			c = (*free)[k-1]
+			(*free)[k-1] = nil
+			*free = (*free)[:k-1]
+		} else {
+			c = make([]csEntry[S], histLen)
+		}
+		h.chunks = append(h.chunks, c)
+	}
+	h.n++
+	p := &h.chunks[j>>histShift][j&histMask]
+	p.t, p.acqLT = t, acqLT
+	return p
+}
+
+// dropFront removes the d oldest entries — whose snapshots the caller
+// has already returned to the store — recycling fully vacated chunks.
+// Recycled chunks are not zeroed: every slot is overwritten before it
+// becomes live again, and the snapshots a stale slot appears to pin
+// were already dropped (the sparse representation's references are
+// integers, invisible to the collector anyway).
+func (h *histBuf[S]) dropFront(d int, free *[][]csEntry[S]) {
+	h.head += d
+	h.n -= d
+	for h.head >= histLen && len(h.chunks) > 0 {
+		*free = append(*free, h.chunks[0])
+		h.chunks[0] = nil
+		h.chunks = h.chunks[1:]
+		h.head -= histLen
+	}
+}
+
+// contrib holds the latest HB release snapshot of one thread's closed
+// sections that accessed a given variable under a given lock. The
+// snapshots of one (lock, variable, thread) triple form a pointwise-
+// increasing chain (a thread's releases of one lock are totally
+// ordered by HB), so the newest snapshot subsumes every earlier one
+// and replacement is exactly the join the rule needs. Keeping
 // contributions per thread lets an accessor skip its own (rule a is
 // between different threads); the list stays tiny in practice — it has
 // one entry per thread that ever guarded the variable with the lock.
-type contrib struct {
+type contrib[S any] struct {
 	t vt.TID
-	v vt.Vector
+	s S
 }
 
 // varSummary is the rule-(a) state for one (lock, variable) pair.
-type varSummary struct {
-	reads  []contrib
-	writes []contrib
-}
-
-// add merges an HB release snapshot into the contribution of thread t.
-func add(cs []contrib, t vt.TID, h vt.Vector) []contrib {
-	for i := range cs {
-		if cs[i].t == t {
-			cs[i].v = joinVec(cs[i].v, h)
-			return cs
-		}
-	}
-	return append(cs, contrib{t: t, v: h.Clone()})
+type varSummary[S any] struct {
+	reads  []contrib[S]
+	writes []contrib[S]
 }
 
 // lockState is the per-lock WCP bookkeeping.
-type lockState struct {
-	w      vt.Vector // weak clock of the last release (transport)
+type lockState[W, S any] struct {
+	w      W // weak clock of the last release (transport)
 	wSet   bool
-	hist   []csEntry // closed sections not yet compacted, in release (= trace) order
-	cursor []int     // per-thread scan position into hist (rule b)
-	sums   map[int32]*varSummary
+	hist   histBuf[S] // closed sections not yet compacted, in release (= trace) order
+	cursor []int      // per-thread scan position into hist (rule b)
+	// spos caches, per thread, the (t, acqLT) of the history entry the
+	// thread's cursor is parked on. A rule-(b)-quiet scan re-examines
+	// the same blocking entry at every release, and that entry may sit
+	// tens of thousands of positions back in a cold history chunk; the
+	// cache keeps the repeat check inside the lock's own state. idx is
+	// the cached cursor position plus one (0 = nothing cached);
+	// compaction rebases it alongside the cursors.
+	spos []scanPos
+	// Top two cursor positions, maintained incrementally as cursors
+	// advance (bumpCursor) so compaction's droppability check needs no
+	// per-release scan over the thread space: cmax1 ≥ cmax2, ctmax is
+	// the thread holding cmax1 (None while all cursors sit at zero).
+	cmax1, cmax2 int
+	ctmax        vt.TID
+	sums         map[int32]*varSummary[S]
 	// Retained-state accounting: peak is the high-water mark of
 	// len(hist); dropped counts entries reclaimed by compaction.
 	peak    int
 	dropped uint64
+}
+
+// scanPos is one thread's cached rule-(b) scan position: the head
+// fields of the history entry at cursor position idx-1. Entries are
+// immutable once pushed, so the cache can only go stale by renumbering
+// (compaction), which rebases or invalidates it.
+type scanPos struct {
+	idx int32 // cached cursor position + 1; 0 = invalid
+	t   vt.TID
+	lt  vt.Time // the entry's acqLT
+}
+
+// bumpCursor folds thread t's advanced cursor into the incrementally
+// maintained top-two positions. Cursors only grow between compactions,
+// so each case matches a full recomputation: when the maximum's own
+// cursor advances the runner-up set is untouched, and when another
+// thread overtakes, the old maximum is exactly the new runner-up
+// (every third thread was already at or below it). On a tie the two
+// maxima are equal and the droppability check no longer consults
+// ctmax, so which thread holds it is immaterial.
+func (ls *lockState[W, S]) bumpCursor(t vt.TID) {
+	c := ls.cursor[t]
+	switch {
+	case t == ls.ctmax:
+		ls.cmax1 = c
+	case c > ls.cmax1:
+		ls.cmax2 = ls.cmax1
+		ls.cmax1, ls.ctmax = c, t
+	case c > ls.cmax2:
+		ls.cmax2 = c
+	}
 }
 
 // openCS is one currently held lock of a thread.
@@ -171,9 +330,9 @@ type openCS struct {
 }
 
 // threadState is the per-thread WCP bookkeeping.
-type threadState struct {
-	w    vt.Vector // pure WCP knowledge; own entry NOT the local time
-	held []openCS  // open critical sections, in acquire order
+type threadState[W any] struct {
+	w    W        // pure WCP knowledge; own entry NOT the local time
+	held []openCS // open critical sections, in acquire order
 }
 
 // accessState is the per-variable race-check history (FastTrack-style
@@ -184,62 +343,82 @@ type accessState struct {
 	shared vt.Vector // per-thread last reads, once reads were concurrent
 }
 
-// Semantics is the WCP plugin for the shared engine runtime. It
-// implements the Read/Write hooks plus the LockSemantics and
-// ThreadSemantics extensions.
-type Semantics[C vt.Clock[C]] struct {
-	threads []threadState
-	locks   []lockState
+// SemanticsOf is the WCP plugin for the shared engine runtime, generic
+// over both the strong-clock backbone C and the weak-clock transport
+// (W, S, F — see vt.WeakClock and vt.SnapStore). It implements the
+// Read/Write hooks plus the LockSemantics and ThreadSemantics
+// extensions. Use the Semantics (sparse transport) or FlatSemantics
+// (flat baseline) instantiations.
+type SemanticsOf[C vt.Clock[C], W vt.WeakClock[W, S], S any, F vt.SnapStore[W, S]] struct {
+	store   F
+	threads []threadState[W]
+	locks   []lockState[W, S]
 	vars    []accessState
 	k       int // thread-count high-water mark
 
 	// History compaction (see "Memory" in the package doc): compact
-	// gates the rule-(b) prefix drop, free recycles dropped snapshot
-	// vectors, and the counters feed MemStats.
+	// gates the rule-(b) prefix drop; dropped snapshot storage recycles
+	// through the store, and the counters feed MemStats.
 	compact      bool
-	free         []vt.Vector
 	liveHist     int    // history entries currently retained, all locks
 	peakLockHist int    // max length any single lock's history reached
 	dropped      uint64 // entries reclaimed by compaction, all locks
+
+	// histFree recycles vacated history chunks across all locks: on
+	// hot-lock workloads compaction vacates chunks at the same rate
+	// pushes consume them, so the steady state allocates none.
+	histFree [][]csEntry[S]
 }
 
-// maxFreeVectors caps the snapshot free list: a burst compaction after
-// a long unabsorbed stretch must not turn reclaimed history into a
-// permanently hoarded pool. Beyond the cap, dropped vectors go to the
-// garbage collector.
-const maxFreeVectors = 256
+// Semantics is SemanticsOf with the default sparse weak-clock
+// transport.
+type Semantics[C vt.Clock[C]] = SemanticsOf[C, *vt.Sparse, vt.SparseSnap, *vt.SparseStore]
 
-// NewSemantics returns fresh WCP semantics (one per engine run).
-// History compaction is enabled; SetCompaction(false) turns it off for
-// memory measurements.
-func NewSemantics[C vt.Clock[C]]() *Semantics[C] { return &Semantics[C]{compact: true} }
+// FlatSemantics is SemanticsOf with the flat-vector weak-clock
+// transport (the pre-sparse baseline, kept for differential testing
+// and benchmarking).
+type FlatSemantics[C vt.Clock[C]] = SemanticsOf[C, *vt.FlatWeak, vt.Vector, *vt.FlatStore]
+
+// NewSemantics returns fresh WCP semantics (one per engine run) on the
+// sparse weak-clock transport. History compaction is enabled;
+// SetCompaction(false) turns it off for memory measurements.
+func NewSemantics[C vt.Clock[C]]() *Semantics[C] {
+	return &Semantics[C]{store: vt.NewSparseStore(), compact: true}
+}
+
+// NewSemanticsFlat is NewSemantics on the flat-vector weak-clock
+// transport.
+func NewSemanticsFlat[C vt.Clock[C]]() *FlatSemantics[C] {
+	return &FlatSemantics[C]{store: vt.NewFlatStore(), compact: true}
+}
 
 // SetCompaction enables or disables rule-(b) history compaction
 // (enabled by default). Disabling exists for the memory benchmarks and
 // soak tests that measure the pre-compaction growth; on well-formed
 // traces the analysis results are identical either way — compaction
 // only drops entries whose absorption would be a no-op.
-func (s *Semantics[C]) SetCompaction(on bool) { s.compact = on }
+func (s *SemanticsOf[C, W, S, F]) SetCompaction(on bool) { s.compact = on }
 
-// Interface conformance (the runtime detects the extensions).
+// Interface conformance (the runtime detects the extensions), for both
+// transports.
 var (
 	_ engine.LockSemantics[*noClock]   = (*Semantics[*noClock])(nil)
 	_ engine.ThreadSemantics[*noClock] = (*Semantics[*noClock])(nil)
 	_ engine.MemReporter               = (*Semantics[*noClock])(nil)
+	_ engine.LockSemantics[*noClock]   = (*FlatSemantics[*noClock])(nil)
+	_ engine.ThreadSemantics[*noClock] = (*FlatSemantics[*noClock])(nil)
+	_ engine.MemReporter               = (*FlatSemantics[*noClock])(nil)
 )
 
-// joinVec grows dst to cover src and joins src into it.
-func joinVec(dst, src vt.Vector) vt.Vector {
-	if len(src) > len(dst) {
-		dst = vt.GrowSlice(dst, len(src))
-	}
-	dst.Join(src)
-	return dst
-}
-
 // thread returns thread t's state, growing the thread space.
-func (s *Semantics[C]) thread(t vt.TID) *threadState {
-	s.threads = vt.GrowSlice(s.threads, int(t)+1)
+func (s *SemanticsOf[C, W, S, F]) thread(t vt.TID) *threadState[W] {
+	if int(t) >= len(s.threads) {
+		old := len(s.threads)
+		s.threads = vt.GrowSlice(s.threads, int(t)+1)
+		for i := old; i < len(s.threads); i++ {
+			s.threads[i].w = s.store.NewW()
+		}
+	}
 	if int(t) >= s.k {
 		s.k = int(t) + 1
 	}
@@ -247,13 +426,20 @@ func (s *Semantics[C]) thread(t vt.TID) *threadState {
 }
 
 // lockOf returns lock l's state, growing the lock space.
-func (s *Semantics[C]) lockOf(l int32) *lockState {
-	s.locks = vt.GrowSlice(s.locks, int(l)+1)
+func (s *SemanticsOf[C, W, S, F]) lockOf(l int32) *lockState[W, S] {
+	if int(l) >= len(s.locks) {
+		old := len(s.locks)
+		s.locks = vt.GrowSlice(s.locks, int(l)+1)
+		for i := old; i < len(s.locks); i++ {
+			s.locks[i].w = s.store.NewW()
+			s.locks[i].ctmax = vt.None
+		}
+	}
 	return &s.locks[l]
 }
 
 // varOf returns variable x's race-check history, growing the space.
-func (s *Semantics[C]) varOf(x int32) *accessState {
+func (s *SemanticsOf[C, W, S, F]) varOf(x int32) *accessState {
 	s.vars = vt.GrowSlice(s.vars, int(x)+1)
 	return &s.vars[x]
 }
@@ -261,7 +447,7 @@ func (s *Semantics[C]) varOf(x int32) *accessState {
 // ordered reports whether the event identified by epoch e is ordered
 // before thread t's current event under WCP ∪ thread-order: same
 // thread (trace order within a thread), or within t's weak clock.
-func ordered(e vt.Epoch, t vt.TID, w vt.Vector) bool {
+func (s *SemanticsOf[C, W, S, F]) ordered(e vt.Epoch, t vt.TID, w W) bool {
 	return e.T == t || e.Clk <= w.Get(e.T)
 }
 
@@ -269,7 +455,7 @@ func ordered(e vt.Epoch, t vt.TID, w vt.Vector) bool {
 // snapshot of every earlier conflicting same-lock section of another
 // thread joins the weak clock. Writes conflict with everything;
 // reads only with writes.
-func (s *Semantics[C]) joinSummaries(ts *threadState, t vt.TID, x int32, isWrite bool) {
+func (s *SemanticsOf[C, W, S, F]) joinSummaries(ts *threadState[W], t vt.TID, x int32, isWrite bool) {
 	for i := range ts.held {
 		ls := s.lockOf(ts.held[i].lock)
 		sum := ls.sums[x]
@@ -278,13 +464,13 @@ func (s *Semantics[C]) joinSummaries(ts *threadState, t vt.TID, x int32, isWrite
 		}
 		for j := range sum.writes {
 			if sum.writes[j].t != t {
-				ts.w = joinVec(ts.w, sum.writes[j].v)
+				ts.w.Absorb(&sum.writes[j].s)
 			}
 		}
 		if isWrite {
 			for j := range sum.reads {
 				if sum.reads[j].t != t {
-					ts.w = joinVec(ts.w, sum.reads[j].v)
+					ts.w.Absorb(&sum.reads[j].s)
 				}
 			}
 		}
@@ -292,7 +478,7 @@ func (s *Semantics[C]) joinSummaries(ts *threadState, t vt.TID, x int32, isWrite
 }
 
 // record notes the access in every open section of the thread.
-func record(ts *threadState, x int32, isWrite bool) {
+func record[W any](ts *threadState[W], x int32, isWrite bool) {
 	for i := range ts.held {
 		cs := &ts.held[i]
 		if isWrite {
@@ -310,13 +496,13 @@ func record(ts *threadState, x int32, isWrite bool) {
 }
 
 // Read implements engine.Semantics.
-func (s *Semantics[C]) Read(rt *engine.Runtime[C], t vt.TID, x int32, ct C) {
+func (s *SemanticsOf[C, W, S, F]) Read(rt *engine.Runtime[C], t vt.TID, x int32, ct C) {
 	ts := s.thread(t)
 	s.joinSummaries(ts, t, x, false)
 	vs := s.varOf(x)
 	now := vt.Epoch{T: t, Clk: ct.Get(t)}
 	if acc := rt.Analysis(); acc != nil {
-		if !vs.w.Zero() && !ordered(vs.w, t, ts.w) {
+		if !vs.w.Zero() && !s.ordered(vs.w, t, ts.w) {
 			acc.Report(analysis.WriteRead, x, vs.w, now)
 		}
 	}
@@ -329,7 +515,7 @@ func (s *Semantics[C]) Read(rt *engine.Runtime[C], t vt.TID, x int32, ct C) {
 			vs.shared = vt.GrowSlice(vs.shared, s.k)
 		}
 		vs.shared[t] = now.Clk
-	} else if vs.r.Zero() || ordered(vs.r, t, ts.w) {
+	} else if vs.r.Zero() || s.ordered(vs.r, t, ts.w) {
 		vs.r = now
 	} else {
 		n := s.k
@@ -345,22 +531,22 @@ func (s *Semantics[C]) Read(rt *engine.Runtime[C], t vt.TID, x int32, ct C) {
 }
 
 // Write implements engine.Semantics.
-func (s *Semantics[C]) Write(rt *engine.Runtime[C], t vt.TID, x int32, ct C) {
+func (s *SemanticsOf[C, W, S, F]) Write(rt *engine.Runtime[C], t vt.TID, x int32, ct C) {
 	ts := s.thread(t)
 	s.joinSummaries(ts, t, x, true)
 	vs := s.varOf(x)
 	now := vt.Epoch{T: t, Clk: ct.Get(t)}
 	if acc := rt.Analysis(); acc != nil {
-		if !vs.w.Zero() && !ordered(vs.w, t, ts.w) {
+		if !vs.w.Zero() && !s.ordered(vs.w, t, ts.w) {
 			acc.Report(analysis.WriteWrite, x, vs.w, now)
 		}
 		if vs.shared != nil {
 			for u, rc := range vs.shared {
-				if rc > 0 && !ordered(vt.Epoch{T: vt.TID(u), Clk: rc}, t, ts.w) {
+				if rc > 0 && !s.ordered(vt.Epoch{T: vt.TID(u), Clk: rc}, t, ts.w) {
 					acc.Report(analysis.ReadWrite, x, vt.Epoch{T: vt.TID(u), Clk: rc}, now)
 				}
 			}
-		} else if !vs.r.Zero() && !ordered(vs.r, t, ts.w) {
+		} else if !vs.r.Zero() && !s.ordered(vs.r, t, ts.w) {
 			acc.Report(analysis.ReadWrite, x, vs.r, now)
 		}
 	}
@@ -378,11 +564,11 @@ func (s *Semantics[C]) Write(rt *engine.Runtime[C], t vt.TID, x int32, ct C) {
 // the release→acquire HB edge, then open the section. A reacquire of a
 // lock the thread already holds (malformed input) keeps the original
 // section.
-func (s *Semantics[C]) Acquire(rt *engine.Runtime[C], t vt.TID, l int32, ct C) {
+func (s *SemanticsOf[C, W, S, F]) Acquire(rt *engine.Runtime[C], t vt.TID, l int32, ct C) {
 	ts := s.thread(t)
 	ls := s.lockOf(l)
 	if ls.wSet {
-		ts.w = joinVec(ts.w, ls.w)
+		ts.w.Join(ls.w)
 	}
 	for i := range ts.held {
 		if ts.held[i].lock == l {
@@ -397,7 +583,7 @@ func (s *Semantics[C]) Acquire(rt *engine.Runtime[C], t vt.TID, l int32, ct C) {
 // summaries), then publish the weak clock. A release of a lock the
 // thread does not hold (malformed input) closes nothing but still
 // publishes, mirroring the runtime's uniform lock-clock overwrite.
-func (s *Semantics[C]) Release(rt *engine.Runtime[C], t vt.TID, l int32, ct C) {
+func (s *SemanticsOf[C, W, S, F]) Release(rt *engine.Runtime[C], t vt.TID, l int32, ct C) {
 	ts := s.thread(t)
 	ls := s.lockOf(l)
 
@@ -409,67 +595,121 @@ func (s *Semantics[C]) Release(rt *engine.Runtime[C], t vt.TID, l int32, ct C) {
 	}
 
 	if held >= 0 {
-		// Rule (b): absorb every earlier foreign section whose acquire
-		// is already WCP-before this release. The FIFO scan may stop at
+		// Rule (b): pass every earlier foreign section whose acquire is
+		// already WCP-before this release. The FIFO scan may stop at
 		// the first miss: a later foreign entry's acquire is HB-after
 		// every earlier entry's release (same lock), so by rule (c) it
 		// can only be WCP-before this release if the earlier ones are.
+		// Since the passed snapshots are pointwise increasing along the
+		// history (each releaser joined its predecessor's clock at the
+		// acquire), the last triggered snapshot subsumes the others:
+		// triggers are checked against the weak clock joined with that
+		// pending snapshot, and only it is absorbed after the scan.
 		if int(t) >= len(ls.cursor) {
 			ls.cursor = vt.GrowSlice(ls.cursor, s.k)
+			ls.spos = vt.GrowSlice(ls.spos, s.k)
 		}
-		for ls.cursor[t] < len(ls.hist) {
-			e := &ls.hist[ls.cursor[t]]
-			if e.t == t {
-				ls.cursor[t]++
+		last := -1
+		start := ls.cursor[t]
+		i := start
+		sp := &ls.spos[t]
+		for i < ls.hist.len() {
+			// The head fields of the entry under scan, via the cache
+			// when the cursor is parked where it was last time (the
+			// common case on rule-(b)-quiet traces, where the blocking
+			// entry lives in a long-cold history chunk).
+			var et vt.TID
+			var elt vt.Time
+			if int(sp.idx) == i+1 {
+				et, elt = sp.t, sp.lt
+			} else {
+				e := ls.hist.at(i)
+				et, elt = e.t, e.acqLT
+				sp.idx, sp.t, sp.lt = int32(i+1), et, elt
+			}
+			if et == t {
+				i++
 				continue
 			}
-			if ts.w.Get(e.t) >= e.acqLT {
-				ts.w = joinVec(ts.w, e.rel)
-				ls.cursor[t]++
-				continue
+			trig := ts.w.Get(et) >= elt
+			if !trig && last >= 0 {
+				trig = s.store.SnapGet(&ls.hist.at(last).rel, et) >= elt
 			}
-			break
+			if !trig {
+				break
+			}
+			last = i
+			i++
+		}
+		ls.cursor[t] = i
+		if last >= 0 {
+			ts.w.Absorb(&ls.hist.at(last).rel)
+		}
+		if i != start {
+			ls.bumpCursor(t)
 		}
 
 		cs := ts.held[held]
-		ts.held = append(ts.held[:held], ts.held[held+1:]...)
+		if held == len(ts.held)-1 {
+			// LIFO release (the overwhelmingly common discipline): a
+			// plain truncation, skipping append's typed-copy machinery
+			// and its per-element write barriers for the map fields.
+			ts.held = ts.held[:held]
+		} else {
+			ts.held = append(ts.held[:held], ts.held[held+1:]...)
+		}
 		// The HB snapshot of this release: everything ≤HB here rides
 		// along any rule-(a)/(b) edge out of this section (rule c).
-		// The snapshot is retained by the history entry, so it needs
-		// its own storage — recycled from compacted entries when
-		// available.
-		h := ct.Vector(s.newSnapshot(rt.Threads()))
-		ls.hist = append(ls.hist, csEntry{t: t, acqLT: cs.acqLT, rel: h})
+		// The snapshot is retained by the history entry; the store
+		// recycles storage from compacted entries and shares whatever
+		// did not change since the thread's previous release.
+		// Build the snapshot directly in the appended entry: a local
+		// would have its address taken by addContrib below and escape,
+		// costing a heap allocation per release. The store reads the
+		// clock's flat mirror in place — no scratch vector to zero and
+		// fill per release.
+		rel := &ls.hist.push(t, cs.acqLT, &s.histFree).rel
+		*rel = s.store.Snapshot(t, ct.VectorView(), ct.Rev(), rt.Threads())
 		s.liveHist++
-		if len(ls.hist) > ls.peak {
-			ls.peak = len(ls.hist)
+		if ls.hist.len() > ls.peak {
+			ls.peak = ls.hist.len()
 			if ls.peak > s.peakLockHist {
 				s.peakLockHist = ls.peak
 			}
 		}
+		// The nil checks matter: ranging over a nil map still enters the
+		// runtime's iterator setup, a measurable per-release cost on
+		// pure-sync workloads where sections never touch a variable.
 		if len(cs.read)+len(cs.written) > 0 && ls.sums == nil {
-			ls.sums = make(map[int32]*varSummary)
+			ls.sums = make(map[int32]*varSummary[S])
 		}
-		for x := range cs.read {
-			sum := ls.sums[x]
-			if sum == nil {
-				sum = &varSummary{}
-				ls.sums[x] = sum
+		if cs.read != nil {
+			for x := range cs.read {
+				sum := ls.sums[x]
+				if sum == nil {
+					sum = &varSummary[S]{}
+					ls.sums[x] = sum
+				}
+				sum.reads = s.addContrib(sum.reads, t, rel)
 			}
-			sum.reads = add(sum.reads, t, h)
 		}
-		for x := range cs.written {
-			sum := ls.sums[x]
-			if sum == nil {
-				sum = &varSummary{}
-				ls.sums[x] = sum
+		if cs.written != nil {
+			for x := range cs.written {
+				sum := ls.sums[x]
+				if sum == nil {
+					sum = &varSummary[S]{}
+					ls.sums[x] = sum
+				}
+				sum.writes = s.addContrib(sum.writes, t, rel)
 			}
-			sum.writes = add(sum.writes, t, h)
 		}
 		// Reclaim the history prefix this scan (and earlier ones) has
 		// made dead. The entry appended above is never dropped here: no
-		// foreign cursor can be past it yet.
-		if s.compact {
+		// foreign cursor can be past it yet. With every cursor still at
+		// zero nothing can be droppable (an entry dies only once a
+		// foreign cursor is past it), so the call is skipped outright on
+		// rule-(b)-quiet locks.
+		if s.compact && ls.cmax1 > 0 {
 			s.compactLock(ls)
 		}
 	}
@@ -478,72 +718,65 @@ func (s *Semantics[C]) Release(rt *engine.Runtime[C], t vt.TID, l int32, ct C) {
 	// acquirer inherits across the HB edge (rule c). The release's own
 	// epoch is deliberately NOT included — rel→acq is an HB edge, not a
 	// WCP one.
-	if len(ls.w) < len(ts.w) {
-		ls.w = vt.GrowSlice(ls.w, len(ts.w))
-	}
-	for i := range ls.w {
-		if i < len(ts.w) {
-			ls.w[i] = ts.w[i]
-		} else {
-			ls.w[i] = 0
+	ls.w.CopyFrom(ts.w)
+	ls.wSet = true
+}
+
+// addContrib installs thread t's newest release snapshot as its
+// contribution (replacement is the join: the chain is monotone, see
+// contrib).
+func (s *SemanticsOf[C, W, S, F]) addContrib(cs []contrib[S], t vt.TID, snap *S) []contrib[S] {
+	for i := range cs {
+		if cs[i].t == t {
+			s.store.Assign(&cs[i].s, snap)
+			return cs
 		}
 	}
-	ls.wSet = true
+	cs = append(cs, contrib[S]{t: t})
+	s.store.Assign(&cs[len(cs)-1].s, snap)
+	return cs
 }
 
 // compactLock drops the longest history prefix in which every entry
 // has been absorbed by a thread other than its releaser, recycling the
-// freed snapshot vectors.
+// freed snapshot storage through the store.
 //
 // Soundness (well-formed traces; see also the package doc): once a
 // foreign thread's cursor is past an entry, that thread joined the
 // entry's snapshot into its weak clock during the rule-(b) scan of one
-// of its releases of ℓ and published the enlarged clock as ℓ's weak
-// clock in the same Release step. Publications along ℓ's release chain
-// are monotone — the lock is held exclusively, so every publisher
-// first joined the previous publication at its acquire. Any thread
-// that might still scan the entry does so at a later release of ℓ,
-// whose matching acquire follows the absorbing release in ℓ's chain
-// and therefore already inherited the snapshot: skipping the entry
-// changes nothing. The gate is deliberately a *foreign* cursor — the
-// releaser's own cursor skips its entries without absorbing them, and
-// its published weak clock never includes its own release snapshots,
-// so an owner-counting gate would drop entries still needed by threads
-// that first reach ℓ (or first appear) later.
+// of its releases of ℓ (via the subsuming last pending snapshot) and
+// published the enlarged clock as ℓ's weak clock in the same Release
+// step. Publications along ℓ's release chain are monotone — the lock
+// is held exclusively, so every publisher first joined the previous
+// publication at its acquire. Any thread that might still scan the
+// entry does so at a later release of ℓ, whose matching acquire
+// follows the absorbing release in ℓ's chain and therefore already
+// inherited the snapshot: skipping the entry changes nothing. The gate
+// is deliberately a *foreign* cursor — the releaser's own cursor skips
+// its entries without absorbing them, and its published weak clock
+// never includes its own release snapshots, so an owner-counting gate
+// would drop entries still needed by threads that first reach ℓ (or
+// first appear) later.
 //
 // Per entry the check is O(1) given the top two cursor positions: an
 // entry at index i has a foreign cursor beyond it iff i < max2 (two
 // distinct threads are past it — at least one is foreign) or
 // i < max1 with the entry not owned by the unique maximum's thread.
-func (s *Semantics[C]) compactLock(ls *lockState) {
-	max1, max2 := 0, 0 // top two cursor positions, max1 ≥ max2
-	var tmax vt.TID = vt.None
-	for t, c := range ls.cursor {
-		if c > max1 {
-			max2 = max1
-			max1, tmax = c, vt.TID(t)
-		} else if c > max2 {
-			max2 = c
-		}
-	}
+// The top two are maintained incrementally (bumpCursor), so a release
+// whose scan went nowhere pays O(1) here, not O(threads).
+func (s *SemanticsOf[C, W, S, F]) compactLock(ls *lockState[W, S]) {
+	max1, max2, tmax := ls.cmax1, ls.cmax2, ls.ctmax
 	drop := 0
-	for drop < len(ls.hist) && (drop < max2 || (drop < max1 && ls.hist[drop].t != tmax)) {
+	for drop < ls.hist.len() && (drop < max2 || (drop < max1 && ls.hist.at(drop).t != tmax)) {
 		drop++
 	}
 	if drop == 0 {
 		return
 	}
 	for i := 0; i < drop; i++ {
-		if len(s.free) < maxFreeVectors {
-			s.free = append(s.free, ls.hist[i].rel)
-		}
-		ls.hist[i].rel = nil
+		s.store.Drop(&ls.hist.at(i).rel)
 	}
-	n := copy(ls.hist, ls.hist[drop:])
-	for i := n; i < len(ls.hist); i++ {
-		ls.hist[i] = csEntry{} // unpin the moved entries' snapshots
-	}
-	ls.hist = ls.hist[:n]
+	ls.hist.dropFront(drop, &s.histFree)
 	for t := range ls.cursor {
 		if ls.cursor[t] > drop {
 			ls.cursor[t] -= drop
@@ -551,55 +784,59 @@ func (s *Semantics[C]) compactLock(ls *lockState) {
 			ls.cursor[t] = 0
 		}
 	}
+	// Rebase the scan caches with the same shift; a cache pointing into
+	// the dropped prefix is invalidated (its cursor was clamped to 0,
+	// where a live entry may now sit).
+	for t := range ls.spos {
+		if int(ls.spos[t].idx) > drop {
+			ls.spos[t].idx -= int32(drop)
+		} else {
+			ls.spos[t].idx = 0
+		}
+	}
+	// The shift is monotone and uniform, so the top-two invariant
+	// survives clamping: order among cursors is preserved, and when
+	// cmax1 collapses to zero the stale ctmax is harmless (a zero
+	// maximum never lets the drop loop consult it).
+	if ls.cmax1 > drop {
+		ls.cmax1 -= drop
+	} else {
+		ls.cmax1 = 0
+	}
+	if ls.cmax2 > drop {
+		ls.cmax2 -= drop
+	} else {
+		ls.cmax2 = 0
+	}
 	ls.dropped += uint64(drop)
 	s.dropped += uint64(drop)
 	s.liveHist -= drop
 }
 
-// newSnapshot returns a zeroed vector of length k for a release
-// snapshot, reusing a compacted entry's vector when one with enough
-// capacity is available.
-func (s *Semantics[C]) newSnapshot(k int) vt.Vector {
-	n := len(s.free)
-	if n == 0 {
-		return vt.NewVector(k)
-	}
-	v := s.free[n-1]
-	s.free[n-1] = nil
-	s.free = s.free[:n-1]
-	if cap(v) < k {
-		return vt.NewVector(k)
-	}
-	v = v[:k]
-	for i := range v {
-		v[i] = 0
-	}
-	return v
-}
-
 // Per-object constants for the approximate retained-bytes accounting:
-// slice header + fixed fields of a csEntry, and of a contrib.
+// slice header + fixed fields of a csEntry, and of a contrib (the
+// snapshot payload is the store's SnapHeap).
 const (
 	csEntryBytes = 40
 	contribBytes = 32
 )
 
 // lockStat computes one lock's retained-history statistics.
-func (s *Semantics[C]) lockStat(l int32) LockHistStat {
+func (s *SemanticsOf[C, W, S, F]) lockStat(l int32) LockHistStat {
 	ls := &s.locks[l]
-	st := LockHistStat{Lock: l, Live: len(ls.hist), Peak: ls.peak, Dropped: ls.dropped}
-	for i := range ls.hist {
-		st.RetainedBytes += uint64(len(ls.hist[i].rel))*8 + csEntryBytes
+	st := LockHistStat{Lock: l, Live: ls.hist.len(), Peak: ls.peak, Dropped: ls.dropped}
+	for i := 0; i < ls.hist.len(); i++ {
+		st.RetainedBytes += s.store.SnapHeap(&ls.hist.at(i).rel) + csEntryBytes
 	}
-	st.RetainedBytes += uint64(len(ls.cursor))*8 + uint64(len(ls.w))*8
+	st.RetainedBytes += uint64(len(ls.cursor))*8 + ls.w.Heap()
 	for _, sum := range ls.sums {
 		for i := range sum.reads {
 			st.Summaries++
-			st.RetainedBytes += uint64(len(sum.reads[i].v))*8 + contribBytes
+			st.RetainedBytes += s.store.SnapHeap(&sum.reads[i].s) + contribBytes
 		}
 		for i := range sum.writes {
 			st.Summaries++
-			st.RetainedBytes += uint64(len(sum.writes[i].v))*8 + contribBytes
+			st.RetainedBytes += s.store.SnapHeap(&sum.writes[i].s) + contribBytes
 		}
 	}
 	return st
@@ -612,15 +849,16 @@ type LockHistStat struct {
 	Live      int    // history entries currently retained
 	Peak      int    // high-water mark of the history length
 	Dropped   uint64 // entries reclaimed by compaction
-	Summaries int    // rule-(a) contribution vectors retained
+	Summaries int    // rule-(a) contribution snapshots retained
 	// RetainedBytes approximates the bytes pinned by the above (8 per
-	// vector entry plus small per-object constants).
+	// vector entry, shared segments attributed fractionally, plus
+	// small per-object constants).
 	RetainedBytes uint64
 }
 
 // LockHistStats reports per-lock retained-history statistics for every
 // lock that retained or reclaimed any state, in lock id order.
-func (s *Semantics[C]) LockHistStats() []LockHistStat {
+func (s *SemanticsOf[C, W, S, F]) LockHistStats() []LockHistStat {
 	var out []LockHistStat
 	for l := range s.locks {
 		st := s.lockStat(int32(l))
@@ -633,53 +871,62 @@ func (s *Semantics[C]) LockHistStats() []LockHistStat {
 }
 
 // MemStats implements engine.MemReporter: the retained critical-
-// section state, aggregated over all locks.
-func (s *Semantics[C]) MemStats() engine.MemStats {
+// section state, aggregated over all locks. Every number derives from
+// the plugin's and store's own state, so it is identical across clock
+// backbones by construction (the soak test asserts this).
+func (s *SemanticsOf[C, W, S, F]) MemStats() engine.MemStats {
 	ms := engine.MemStats{
 		HistEntries:    s.liveHist,
 		PeakLockHist:   s.peakLockHist,
 		DroppedEntries: s.dropped,
-		FreeVectors:    len(s.free),
+		FreeVectors:    s.store.FreeCount(),
 	}
+	// Deliberately NOT the sum of lockStat: that walks every retained
+	// history entry, which on rule-(b)-quiet workloads is the bulk of
+	// the trace — a Θ(events) tax on every stats snapshot. The store
+	// answers the aggregate snapshot payload in O(1) (LiveHeap), so
+	// only the per-lock fixed state is walked here; lockStat keeps the
+	// exact per-lock breakdown for traceinfo's offline reporting.
 	for l := range s.locks {
-		st := s.lockStat(int32(l))
-		ms.SummaryVectors += st.Summaries
-		ms.RetainedBytes += st.RetainedBytes
+		ls := &s.locks[l]
+		for _, sum := range ls.sums {
+			ms.SummaryVectors += len(sum.reads) + len(sum.writes)
+		}
+		ms.RetainedBytes += uint64(len(ls.cursor))*8 + ls.w.Heap()
 	}
-	for i := range s.free {
-		ms.RetainedBytes += uint64(cap(s.free[i])) * 8
-	}
+	ms.RetainedBytes += uint64(s.liveHist)*csEntryBytes + uint64(ms.SummaryVectors)*contribBytes
+	ms.RetainedBytes += uint64(len(s.histFree)) * histLen * csEntryBytes // parked history chunks
+	ms.RetainedBytes += s.store.LiveHeap() + s.store.Heap()
 	return ms
 }
 
 // Fork implements engine.ThreadSemantics: the child's weak clock
 // inherits the parent's (rule c across the fork edge).
-func (s *Semantics[C]) Fork(rt *engine.Runtime[C], t vt.TID, u vt.TID, ct C) {
+func (s *SemanticsOf[C, W, S, F]) Fork(rt *engine.Runtime[C], t vt.TID, u vt.TID, ct C) {
 	w := s.thread(t).w
-	if len(w) > 0 {
-		cu := s.thread(u)
-		cu.w = joinVec(cu.w, w)
+	if w.Len() > 0 {
+		s.thread(u).w.Join(w)
 	}
 }
 
 // Join implements engine.ThreadSemantics: the parent absorbs the
 // joined thread's weak clock (rule c across the join edge).
-func (s *Semantics[C]) Join(rt *engine.Runtime[C], t vt.TID, u vt.TID, ct C) {
+func (s *SemanticsOf[C, W, S, F]) Join(rt *engine.Runtime[C], t vt.TID, u vt.TID, ct C) {
 	w := s.thread(u).w
-	if len(w) > 0 {
-		ts := s.thread(t)
-		ts.w = joinVec(ts.w, w)
+	if w.Len() > 0 {
+		s.thread(t).w.Join(w)
 	}
 }
 
 // WeakClock exposes thread t's pure WCP knowledge (for tests and
-// timestamp comparison against the oracle). The returned vector is
-// live; callers must not modify it.
-func (s *Semantics[C]) WeakClock(t vt.TID) vt.Vector {
+// timestamp comparison against the oracle), materialized into a fresh
+// vector.
+func (s *SemanticsOf[C, W, S, F]) WeakClock(t vt.TID) vt.Vector {
 	if int(t) >= len(s.threads) {
 		return nil
 	}
-	return s.threads[t].w
+	w := s.threads[t].w
+	return w.Vector(vt.NewVector(w.Len()))
 }
 
 // Timestamp writes thread t's WCP ∪ thread-order timestamp — the weak
@@ -688,13 +935,12 @@ func (s *Semantics[C]) WeakClock(t vt.TID) vt.Vector {
 // Clock.Vector), dst is a scratch destination, not a truncation bound:
 // when it is shorter than the weak clock (or cannot hold t's own
 // entry) it is grown, so callers must use the returned vector.
-func (s *Semantics[C]) Timestamp(t vt.TID, lt vt.Time, dst vt.Vector) vt.Vector {
+func (s *SemanticsOf[C, W, S, F]) Timestamp(t vt.TID, lt vt.Time, dst vt.Vector) vt.Vector {
 	need := int(t) + 1
-	var w vt.Vector
-	if int(t) < len(s.threads) {
-		w = s.threads[t].w
-		if len(w) > need {
-			need = len(w)
+	known := int(t) < len(s.threads)
+	if known {
+		if n := s.threads[t].w.Len(); n > need {
+			need = n
 		}
 	}
 	if len(dst) < need {
@@ -705,22 +951,30 @@ func (s *Semantics[C]) Timestamp(t vt.TID, lt vt.Time, dst vt.Vector) vt.Vector 
 	for i := range dst {
 		dst[i] = 0
 	}
-	copy(dst, w)
+	if known {
+		s.threads[t].w.Vector(dst)
+	}
 	dst[t] = lt
 	return dst
 }
 
-// Engine computes WCP timestamps while streaming events. It is the
+// EngineOf computes WCP timestamps while streaming events. It is the
 // shared runtime bound to the WCP semantics; every runtime method is
 // promoted. Enable reporting with EnableAnalysis (WCP performs its own
 // epoch checks, like MAZ).
-type Engine[C vt.Clock[C]] struct {
+type EngineOf[C vt.Clock[C], W vt.WeakClock[W, S], S any, F vt.SnapStore[W, S]] struct {
 	engine.Runtime[C]
-	sem *Semantics[C]
+	sem *SemanticsOf[C, W, S, F]
 }
 
+// Engine is EngineOf on the default sparse weak-clock transport.
+type Engine[C vt.Clock[C]] = EngineOf[C, *vt.Sparse, vt.SparseSnap, *vt.SparseStore]
+
+// FlatEngine is EngineOf on the flat-vector weak-clock transport.
+type FlatEngine[C vt.Clock[C]] = EngineOf[C, *vt.FlatWeak, vt.Vector, *vt.FlatStore]
+
 // Sem returns the bound semantics (weak clocks, for inspection).
-func (e *Engine[C]) Sem() *Semantics[C] { return e.sem }
+func (e *EngineOf[C, W, S, F]) Sem() *SemanticsOf[C, W, S, F] { return e.sem }
 
 // Timestamp snapshots thread t's current WCP ∪ thread-order vector
 // time into dst, shadowing the promoted runtime method (whose thread
@@ -728,7 +982,7 @@ func (e *Engine[C]) Sem() *Semantics[C] { return e.sem }
 // engine's timestamps are timestamps of the order it computes. The
 // thread's local time is read off its HB clock (own entries agree
 // across all orders).
-func (e *Engine[C]) Timestamp(t vt.TID, dst vt.Vector) vt.Vector {
+func (e *EngineOf[C, W, S, F]) Timestamp(t vt.TID, dst vt.Vector) vt.Vector {
 	return e.sem.Timestamp(t, e.ThreadClock(t).Get(t), dst)
 }
 
@@ -750,6 +1004,23 @@ func NewStreaming[C vt.Clock[C]](factory vt.Factory[C]) *Engine[C] {
 	return e
 }
 
+// NewFlat is New on the flat-vector weak-clock transport.
+func NewFlat[C vt.Clock[C]](meta trace.Meta, factory vt.Factory[C]) *FlatEngine[C] {
+	sem := NewSemanticsFlat[C]()
+	e := &FlatEngine[C]{sem: sem}
+	e.Runtime = *engine.NewWithMeta[C](sem, factory, meta)
+	return e
+}
+
+// NewStreamingFlat is NewStreaming on the flat-vector weak-clock
+// transport.
+func NewStreamingFlat[C vt.Clock[C]](factory vt.Factory[C]) *FlatEngine[C] {
+	sem := NewSemanticsFlat[C]()
+	e := &FlatEngine[C]{sem: sem}
+	e.Runtime = *engine.New[C](sem, factory)
+	return e
+}
+
 // noClock is a minimal vt.Clock used only for the compile-time
 // interface-conformance assertions above.
 type noClock struct{}
@@ -762,3 +1033,5 @@ func (*noClock) Join(*noClock)                   {}
 func (*noClock) MonotoneCopy(*noClock)           {}
 func (*noClock) CopyCheckMonotone(*noClock) bool { return true }
 func (*noClock) Vector(dst vt.Vector) vt.Vector  { return dst }
+func (*noClock) VectorView() []vt.Time           { return nil }
+func (*noClock) Rev() uint64                     { return 0 }

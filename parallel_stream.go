@@ -118,9 +118,9 @@ func runStreamParallel(info EngineInfo, src trace.EventSource, cfg streamConfig)
 			owns = nil
 		}
 		if info.Clock == "tree" {
-			engines[w] = newStreamEngine[*core.TreeClock](info.Order, core.Factory(sink), cfg.analysis, owns)
+			engines[w] = newStreamEngine[*core.TreeClock](info.Order, core.Factory(sink), cfg.analysis, owns, cfg.flatWeak)
 		} else {
-			engines[w] = newStreamEngine[*vc.VectorClock](info.Order, vc.Factory(sink), cfg.analysis, owns)
+			engines[w] = newStreamEngine[*vc.VectorClock](info.Order, vc.Factory(sink), cfg.analysis, owns, cfg.flatWeak)
 		}
 		replicas[w] = engines[w]
 	}

@@ -99,6 +99,7 @@ type streamConfig struct {
 	pipelineSet   bool // WithPipeline was given (auto-selection is off)
 	workers       int  // sharded-analysis worker count; <= 1 = sequential
 	forceParallel bool // RunStreamParallel entry: shard even at 1 worker
+	flatWeak      bool // wcp only: flat-vector weak-clock transport
 	progressEvery uint64
 	progressFn    func(Progress)
 	stats         *WorkStats
@@ -160,6 +161,18 @@ func WithPipeline(depth int) StreamOption {
 // is batched by construction).
 func WithWorkers(n int) StreamOption {
 	return func(c *streamConfig) { c.workers = n }
+}
+
+// WithFlatWeakClocks selects the flat-vector weak-clock transport for
+// the "wcp-*" engines instead of the default sparse copy-on-write
+// segment representation. The two transports are observationally
+// identical (the differential suites pin them byte for byte); the flat
+// one pays Θ(threads) per release snapshot and transport operation. It
+// exists as the benchmark baseline the sparse representation is
+// measured against — see the "weak" column of tcbench's ingest sweep.
+// Engines whose order is not "wcp" ignore the option.
+func WithFlatWeakClocks() StreamOption {
+	return func(c *streamConfig) { c.flatWeak = true }
 }
 
 // Progress is one WithProgress report.
@@ -287,7 +300,7 @@ func (a *runtimeAdapter[C]) Finish() (analysis.Summary, []analysis.Pair, []vt.Ve
 // access-history state — is gated, for the self-checking orders (MAZ,
 // WCP) the accumulator drops foreign reports; either way the retained
 // samples carry trace positions so shards merge back into trace order.
-func newStreamEngine[C vt.Clock[C]](order string, f vt.Factory[C], withAnalysis bool, owns func(int32) bool) streamEngine {
+func newStreamEngine[C vt.Clock[C]](order string, f vt.Factory[C], withAnalysis bool, owns func(int32) bool, flatWeak bool) streamEngine {
 	var (
 		rt        *engine.Runtime[C]
 		timestamp func(t vt.TID, dst vt.Vector) vt.Vector
@@ -300,12 +313,22 @@ func newStreamEngine[C vt.Clock[C]](order string, f vt.Factory[C], withAnalysis 
 	case "maz":
 		rt = engine.New[C](maz.NewSemantics[C](), f)
 	case "wcp":
-		sem := wcp.NewSemantics[C]()
-		rt = engine.New[C](sem, f)
 		// WCP timestamps are the weak clocks (plus thread order), not
-		// the runtime's HB scaffolding.
-		timestamp = func(t vt.TID, dst vt.Vector) vt.Vector {
-			return sem.Timestamp(t, rt.ThreadClock(t).Get(t), dst)
+		// the runtime's HB scaffolding. The weak-clock transport is
+		// sparse by default; WithFlatWeakClocks selects the flat
+		// baseline.
+		if flatWeak {
+			sem := wcp.NewSemanticsFlat[C]()
+			rt = engine.New[C](sem, f)
+			timestamp = func(t vt.TID, dst vt.Vector) vt.Vector {
+				return sem.Timestamp(t, rt.ThreadClock(t).Get(t), dst)
+			}
+		} else {
+			sem := wcp.NewSemantics[C]()
+			rt = engine.New[C](sem, f)
+			timestamp = func(t vt.TID, dst vt.Vector) vt.Vector {
+				return sem.Timestamp(t, rt.ThreadClock(t).Get(t), dst)
+			}
 		}
 	default:
 		panic("treeclock: unknown partial order " + order)
@@ -429,9 +452,9 @@ func runStream(engineName string, src trace.EventSource, cfg streamConfig) (*Str
 	}
 	var e streamEngine
 	if info.Clock == "tree" {
-		e = newStreamEngine[*core.TreeClock](info.Order, core.Factory(cfg.stats), cfg.analysis, nil)
+		e = newStreamEngine[*core.TreeClock](info.Order, core.Factory(cfg.stats), cfg.analysis, nil, cfg.flatWeak)
 	} else {
-		e = newStreamEngine[*vc.VectorClock](info.Order, vc.Factory(cfg.stats), cfg.analysis, nil)
+		e = newStreamEngine[*vc.VectorClock](info.Order, vc.Factory(cfg.stats), cfg.analysis, nil, cfg.flatWeak)
 	}
 	if err := e.ProcessSource(src); err != nil {
 		return nil, err

@@ -1,0 +1,97 @@
+package treeclock_test
+
+// Differential pinning of the WCP weak-clock transports through the
+// public streaming API: WithFlatWeakClocks must change throughput
+// characteristics only — race reports, timestamps and retained-state
+// counters stay byte-identical across the sequential, pipelined and
+// sharded paths.
+
+import (
+	"bytes"
+	"testing"
+
+	"treeclock"
+)
+
+// runWeak streams data through a wcp engine with the given transport
+// and path options and renders its full observable outcome.
+func runWeak(t *testing.T, engineName string, data []byte, parallel bool, opts ...treeclock.StreamOption) (*treeclock.StreamResult, string) {
+	t.Helper()
+	var (
+		res *treeclock.StreamResult
+		err error
+	)
+	if parallel {
+		res, err = treeclock.RunStreamParallel(engineName, bytes.NewReader(data), opts...)
+	} else {
+		res, err = treeclock.RunStream(engineName, bytes.NewReader(data), opts...)
+	}
+	if err != nil {
+		t.Fatalf("%s: %v", engineName, err)
+	}
+	return res, raceReport(res.Summary, res.Samples)
+}
+
+func TestWCPFlatWeakTransportByteIdentical(t *testing.T) {
+	paths := []struct {
+		name     string
+		parallel bool
+		opts     []treeclock.StreamOption
+	}{
+		{"batch", false, []treeclock.StreamOption{treeclock.WithPipeline(0)}},
+		{"pipeline", false, []treeclock.StreamOption{treeclock.WithPipeline(3)}},
+		{"workers", true, []treeclock.StreamOption{treeclock.WithWorkers(3)}},
+	}
+	for _, tr := range generatorSuite() {
+		var text bytes.Buffer
+		if err := treeclock.WriteTraceText(&text, tr); err != nil {
+			t.Fatal(err)
+		}
+		for _, engineName := range []string{"wcp-tree", "wcp-vc"} {
+			for _, p := range paths {
+				t.Run(tr.Meta.Name+"/"+engineName+"/"+p.name, func(t *testing.T) {
+					sparse, sparseReport := runWeak(t, engineName, text.Bytes(), p.parallel, p.opts...)
+					flatOpts := append([]treeclock.StreamOption{treeclock.WithFlatWeakClocks()}, p.opts...)
+					flat, flatReport := runWeak(t, engineName, text.Bytes(), p.parallel, flatOpts...)
+					if sparseReport != flatReport {
+						t.Errorf("race reports diverge:\nsparse:\n%s\nflat:\n%s", sparseReport, flatReport)
+					}
+					for th := range sparse.Timestamps {
+						g, w := sparse.Timestamps[th], flat.Timestamps[th]
+						for u := 0; u < len(g) || u < len(w); u++ {
+							if g.Get(treeclock.ThreadID(u)) != w.Get(treeclock.ThreadID(u)) {
+								t.Fatalf("thread %d timestamp diverges: sparse %v, flat %v", th, g, w)
+							}
+						}
+					}
+					if sparse.Mem == nil || flat.Mem == nil {
+						t.Fatal("wcp engines must report retained-state accounting")
+					}
+					// The history/compaction counters are transport-
+					// independent; byte and pool counts are not.
+					if sparse.Mem.HistEntries != flat.Mem.HistEntries ||
+						sparse.Mem.PeakLockHist != flat.Mem.PeakLockHist ||
+						sparse.Mem.DroppedEntries != flat.Mem.DroppedEntries ||
+						sparse.Mem.SummaryVectors != flat.Mem.SummaryVectors {
+						t.Errorf("retained-state counters diverge:\nsparse %+v\nflat   %+v", sparse.Mem, flat.Mem)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestFlatWeakClocksIgnoredByStrongOrders: the option is a no-op for
+// engines without a weak transport.
+func TestFlatWeakClocksIgnoredByStrongOrders(t *testing.T) {
+	tr := treeclock.GenerateStar(6, 500, 1)
+	var text bytes.Buffer
+	if err := treeclock.WriteTraceText(&text, tr); err != nil {
+		t.Fatal(err)
+	}
+	plain, plainReport := runWeak(t, "hb-tree", text.Bytes(), false)
+	opt, optReport := runWeak(t, "hb-tree", text.Bytes(), false, treeclock.WithFlatWeakClocks())
+	if plainReport != optReport || plain.Events != opt.Events {
+		t.Errorf("WithFlatWeakClocks changed an hb run: %q vs %q", plainReport, optReport)
+	}
+}
