@@ -14,6 +14,8 @@
 //	tcrace -pipeline 4 big.txt            # decode in a separate goroutine
 //	tcrace -progress 5000000 huge.txt     # rate reports to stderr
 //	tcrace -algo shb -clock vc < t.txt    # legacy flag spelling
+//	tcrace -checkpoint run.ckpt huge.txt  # crash-safe: periodic checkpoints
+//	tcrace -resume run.ckpt huge.txt      # continue an interrupted run
 //
 // Ingestion is batched by default; -scalar forces the per-event loop
 // and -pipeline N overlaps decoding with analysis through a ring of N
@@ -26,12 +28,29 @@
 // (which on a single-CPU host means the sharded path with one
 // replica); -workers 1 is the sequential pass.
 //
+// -checkpoint PATH writes a crash-safe checkpoint of the full analysis
+// state to PATH every -checkpoint-every events (atomically: temp file
+// plus rename, so a kill mid-write never corrupts the previous
+// checkpoint). -resume PATH restores such a checkpoint before reading
+// the trace — which must be the same input, re-opened from the start —
+// and the finished run's report is byte-identical to an uninterrupted
+// one. Both flags require a trace file or a restartable stdin; the
+// worker count and engine flags must match the checkpointed run's.
+//
 // Prints the race summary and up to 64 sample pairs, plus timing and —
 // with -work — the data-structure work counters. Engine names come
 // from the registry (see -list).
+//
+// Exit codes:
+//
+//	0  analysis completed, no races detected
+//	1  analysis completed, races detected
+//	2  usage or I/O error (bad flags, unreadable input, malformed trace)
+//	3  corrupt or truncated checkpoint (-resume)
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -41,29 +60,75 @@ import (
 	"treeclock"
 )
 
+// Exit codes; see the package comment.
+const (
+	exitClean   = 0
+	exitRaces   = 1
+	exitUsage   = 2
+	exitCorrupt = 3
+)
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// exitCodesDoc is appended to -h output; the cmd test pins it.
+const exitCodesDoc = `
+Exit codes:
+  0  analysis completed, no races detected
+  1  analysis completed, races detected
+  2  usage or I/O error (bad flags, unreadable input, malformed trace)
+  3  corrupt or truncated checkpoint (-resume)
+`
+
+// printUsage writes the flag summary and the exit-code contract to w.
+func printUsage(fs *flag.FlagSet, w io.Writer) {
+	fmt.Fprintf(w, "usage: tcrace [flags] [trace-file]\n\nFlags:\n")
+	fs.SetOutput(w)
+	fs.PrintDefaults()
+	fmt.Fprint(w, exitCodesDoc)
+}
+
+// run is the whole command, factored from main so tests can pin the
+// exit-code contract without spawning processes.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tcrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		engineFlag = flag.String("engine", "", "registry engine name (see -list); overrides -algo/-clock")
-		algo       = flag.String("algo", "hb", "partial order: hb, shb, maz or wcp")
-		clock      = flag.String("clock", "tc", "clock data structure: tc (tree clock) or vc (vector clock)")
-		format     = flag.String("format", "text", "trace format: text or bin")
-		work       = flag.Bool("work", false, "also report data-structure work counters")
-		samples    = flag.Int("samples", 10, "sample races to print")
-		list       = flag.Bool("list", false, "list registered engines and exit")
-		noValidate = flag.Bool("no-validate", false, "skip incremental well-formedness checking (lock/fork/join discipline)")
-		pipeline   = flag.Int("pipeline", 0, "decode in a separate goroutine through a ring of N recycled batch buffers (0 = automatic, negative = off)")
-		scalar     = flag.Bool("scalar", false, "force the per-event streaming loop instead of batched ingestion")
-		workers    = flag.Int("workers", 1, "shard the analysis across N worker replicas (0 = GOMAXPROCS, 1 = sequential)")
-		flatWeak   = flag.Bool("flat-weak", false, "use the flat-vector weak-clock baseline for weak orders (wcp) instead of the sparse segment transport")
-		progress   = flag.Uint64("progress", 0, "print a progress line to stderr every N events (0 = off)")
+		engineFlag = fs.String("engine", "", "registry engine name (see -list); overrides -algo/-clock")
+		algo       = fs.String("algo", "hb", "partial order: hb, shb, maz or wcp")
+		clock      = fs.String("clock", "tc", "clock data structure: tc (tree clock) or vc (vector clock)")
+		format     = fs.String("format", "text", "trace format: text or bin")
+		work       = fs.Bool("work", false, "also report data-structure work counters")
+		samples    = fs.Int("samples", 10, "sample races to print")
+		list       = fs.Bool("list", false, "list registered engines and exit")
+		noValidate = fs.Bool("no-validate", false, "skip incremental well-formedness checking (lock/fork/join discipline)")
+		pipeline   = fs.Int("pipeline", 0, "decode in a separate goroutine through a ring of N recycled batch buffers (0 = automatic, negative = off)")
+		scalar     = fs.Bool("scalar", false, "force the per-event streaming loop instead of batched ingestion")
+		workers    = fs.Int("workers", 1, "shard the analysis across N worker replicas (0 = GOMAXPROCS, 1 = sequential)")
+		flatWeak   = fs.Bool("flat-weak", false, "use the flat-vector weak-clock baseline for weak orders (wcp) instead of the sparse segment transport")
+		progress   = fs.Uint64("progress", 0, "print a progress line to stderr every N events (0 = off)")
+		checkpoint = fs.String("checkpoint", "", "write a crash-safe checkpoint to this file every -checkpoint-every events")
+		ckptEvery  = fs.Uint64("checkpoint-every", 1_000_000, "events between checkpoints (with -checkpoint)")
+		resume     = fs.String("resume", "", "restore analysis state from this checkpoint file before reading the trace")
 	)
-	flag.Parse()
+	// flag reports parse errors to fs.Output on its own; Usage is
+	// rendered once, to stdout for -h and to stderr for usage errors.
+	fs.Usage = func() {}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			printUsage(fs, stdout)
+			return exitClean
+		}
+		printUsage(fs, stderr)
+		return exitUsage
+	}
 
 	if *list {
 		for _, info := range treeclock.EngineInfos() {
-			fmt.Printf("%-10s %s\n", info.Name, info.Doc)
+			fmt.Fprintf(stdout, "%-10s %s\n", info.Name, info.Doc)
 		}
-		return
+		return exitClean
 	}
 
 	name := *engineFlag
@@ -74,18 +139,18 @@ func main() {
 		case "vc":
 			suffix = "-vc"
 		default:
-			fmt.Fprintf(os.Stderr, "tcrace: unknown clock %q\n", *clock)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "tcrace: unknown clock %q\n", *clock)
+			return exitUsage
 		}
 		name = *algo + suffix
 	}
 
-	var in io.Reader = os.Stdin
-	if flag.NArg() > 0 {
-		f, err := os.Open(flag.Arg(0))
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tcrace: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "tcrace: %v\n", err)
+			return exitUsage
 		}
 		defer f.Close()
 		in = f
@@ -110,7 +175,7 @@ func main() {
 	}
 	if *progress > 0 {
 		opts = append(opts, treeclock.WithProgress(*progress, func(p treeclock.Progress) {
-			fmt.Fprintf(os.Stderr, "progress: %d events (%.2fM ev/s)\n", p.Events, p.Rate/1e6)
+			fmt.Fprintf(stderr, "progress: %d events (%.2fM ev/s)\n", p.Events, p.Rate/1e6)
 		}))
 	}
 	switch *format {
@@ -118,17 +183,29 @@ func main() {
 	case "bin":
 		opts = append(opts, treeclock.StreamBinary())
 	default:
-		fmt.Fprintf(os.Stderr, "tcrace: unknown format %q\n", *format)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "tcrace: unknown format %q\n", *format)
+		return exitUsage
 	}
 	var st treeclock.WorkStats
 	if *work {
 		opts = append(opts, treeclock.StreamWorkStats(&st))
 	}
+	if *checkpoint != "" {
+		opts = append(opts, treeclock.WithCheckpoint(*ckptEvery, treeclock.FileCheckpointSink{Path: *checkpoint}))
+	}
+	if *resume != "" {
+		f, err := os.Open(*resume)
+		if err != nil {
+			fmt.Fprintf(stderr, "tcrace: %v\n", err)
+			return exitUsage
+		}
+		defer f.Close()
+		opts = append(opts, treeclock.ResumeFrom(f))
+	}
 
 	if *workers < 0 {
-		fmt.Fprintf(os.Stderr, "tcrace: -workers must be >= 0 (got %d)\n", *workers)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "tcrace: -workers must be >= 0 (got %d)\n", *workers)
+		return exitUsage
 	}
 
 	start := time.Now()
@@ -144,29 +221,36 @@ func main() {
 	}
 	elapsed := time.Since(start)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tcrace: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "tcrace: %v\n", err)
+		if errors.Is(err, treeclock.ErrCorruptCheckpoint) {
+			return exitCorrupt
+		}
+		return exitUsage
 	}
 
-	fmt.Printf("trace: %d events, %d threads, %d vars, %d locks (streamed, no prior metadata)\n",
+	fmt.Fprintf(stdout, "trace: %d events, %d threads, %d vars, %d locks (streamed, no prior metadata)\n",
 		res.Events, res.Meta.Threads, res.Meta.Vars, res.Meta.Locks)
 	if *workers != 1 {
-		fmt.Printf("analysis sharded across worker replicas (variable-partitioned; results identical to sequential)\n")
+		fmt.Fprintf(stdout, "analysis sharded across worker replicas (variable-partitioned; results identical to sequential)\n")
 	}
-	fmt.Printf("%s: %d concurrent conflicting pairs detected in %v\n",
+	fmt.Fprintf(stdout, "%s: %d concurrent conflicting pairs detected in %v\n",
 		res.Engine, res.Summary.Total, elapsed.Round(time.Microsecond))
 	if *work {
-		fmt.Printf("work: %d entries touched, %d changed (VTWork), %d joins, %d copies, %d deep copies\n",
+		fmt.Fprintf(stdout, "work: %d entries touched, %d changed (VTWork), %d joins, %d copies, %d deep copies\n",
 			st.Entries, st.Changed, st.Joins, st.Copies, st.DeepCopies)
 	}
 	if len(res.Samples) > 0 && *samples > 0 {
-		fmt.Println("sample pairs:")
+		fmt.Fprintln(stdout, "sample pairs:")
 		for i, p := range res.Samples {
 			if i >= *samples {
-				fmt.Printf("  ... (%d samples kept)\n", len(res.Samples))
+				fmt.Fprintf(stdout, "  ... (%d samples kept)\n", len(res.Samples))
 				break
 			}
-			fmt.Printf("  %s\n", p)
+			fmt.Fprintf(stdout, "  %s\n", p)
 		}
 	}
+	if res.Summary.Total > 0 {
+		return exitRaces
+	}
+	return exitClean
 }

@@ -1,0 +1,238 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTrace drops a trace file into a temp dir and returns its path.
+func writeTrace(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const (
+	cleanTrace = "t0 acq l\nt0 w x\nt0 rel l\nt1 acq l\nt1 w x\nt1 rel l\n"
+	racyTrace  = "t0 w x\nt1 w x\n"
+)
+
+// runCmd invokes the factored command entry and returns its exit code
+// plus the captured output streams.
+func runCmd(t *testing.T, stdin string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+// TestExitCodes pins the documented exit-code contract: 0 clean,
+// 1 races, 2 usage/I-O, 3 corrupt checkpoint.
+func TestExitCodes(t *testing.T) {
+	t.Run("clean", func(t *testing.T) {
+		code, out, _ := runCmd(t, cleanTrace)
+		if code != exitClean {
+			t.Fatalf("clean trace: exit %d, want %d", code, exitClean)
+		}
+		if !strings.Contains(out, "0 concurrent conflicting pairs") {
+			t.Fatalf("clean trace output:\n%s", out)
+		}
+	})
+	t.Run("races", func(t *testing.T) {
+		code, out, _ := runCmd(t, racyTrace)
+		if code != exitRaces {
+			t.Fatalf("racy trace: exit %d, want %d", code, exitRaces)
+		}
+		if !strings.Contains(out, "1 concurrent conflicting pairs") {
+			t.Fatalf("racy trace output:\n%s", out)
+		}
+	})
+	t.Run("bad flag", func(t *testing.T) {
+		code, _, errOut := runCmd(t, "", "-no-such-flag")
+		if code != exitUsage {
+			t.Fatalf("bad flag: exit %d, want %d", code, exitUsage)
+		}
+		if !strings.Contains(errOut, "usage: tcrace") {
+			t.Fatalf("bad flag stderr:\n%s", errOut)
+		}
+	})
+	t.Run("unknown engine", func(t *testing.T) {
+		if code, _, _ := runCmd(t, cleanTrace, "-engine", "nope"); code != exitUsage {
+			t.Fatalf("unknown engine: exit %d, want %d", code, exitUsage)
+		}
+	})
+	t.Run("unknown clock", func(t *testing.T) {
+		if code, _, _ := runCmd(t, cleanTrace, "-clock", "sundial"); code != exitUsage {
+			t.Fatalf("unknown clock: exit %d, want %d", code, exitUsage)
+		}
+	})
+	t.Run("unknown format", func(t *testing.T) {
+		if code, _, _ := runCmd(t, cleanTrace, "-format", "xml"); code != exitUsage {
+			t.Fatalf("unknown format: exit %d, want %d", code, exitUsage)
+		}
+	})
+	t.Run("negative workers", func(t *testing.T) {
+		if code, _, _ := runCmd(t, cleanTrace, "-workers", "-1"); code != exitUsage {
+			t.Fatalf("negative workers: exit %d, want %d", code, exitUsage)
+		}
+	})
+	t.Run("missing trace file", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "nope.txt")
+		if code, _, _ := runCmd(t, "", path); code != exitUsage {
+			t.Fatalf("missing trace file: exit %d, want %d", code, exitUsage)
+		}
+	})
+	t.Run("malformed trace", func(t *testing.T) {
+		code, _, errOut := runCmd(t, "t0 frobnicate x\n")
+		if code != exitUsage {
+			t.Fatalf("malformed trace: exit %d, want %d", code, exitUsage)
+		}
+		if !strings.Contains(errOut, "tcrace:") {
+			t.Fatalf("malformed trace stderr:\n%s", errOut)
+		}
+	})
+	t.Run("invalid trace", func(t *testing.T) {
+		// Double acquire: the streaming validator rejects it.
+		if code, _, _ := runCmd(t, "t0 acq l\nt1 acq l\n"); code != exitUsage {
+			t.Fatalf("invalid trace: exit %d, want %d", code, exitUsage)
+		}
+	})
+	t.Run("missing resume file", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "nope.ckpt")
+		if code, _, _ := runCmd(t, cleanTrace, "-resume", path); code != exitUsage {
+			t.Fatalf("missing resume file: exit %d, want %d", code, exitUsage)
+		}
+	})
+	t.Run("corrupt checkpoint", func(t *testing.T) {
+		ckpt := writeTrace(t, "bad.ckpt", "this is not a checkpoint")
+		code, _, errOut := runCmd(t, cleanTrace, "-resume", ckpt)
+		if code != exitCorrupt {
+			t.Fatalf("corrupt checkpoint: exit %d, want %d (stderr: %s)", code, exitCorrupt, errOut)
+		}
+		if !strings.Contains(errOut, "tcrace:") {
+			t.Fatalf("corrupt checkpoint stderr:\n%s", errOut)
+		}
+	})
+	t.Run("truncated checkpoint", func(t *testing.T) {
+		dir := t.TempDir()
+		trace := filepath.Join(dir, "t.txt")
+		if err := os.WriteFile(trace, []byte(racyTrace), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ck := filepath.Join(dir, "run.ckpt")
+		if code, _, errOut := runCmd(t, "", "-checkpoint", ck, "-checkpoint-every", "1", trace); code != exitRaces {
+			t.Fatalf("checkpointed run: exit %d (stderr: %s)", code, errOut)
+		}
+		data, err := os.ReadFile(ck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(ck, data[:len(data)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if code, _, _ := runCmd(t, "", "-resume", ck, trace); code != exitCorrupt {
+			t.Fatalf("truncated checkpoint: exit %d, want %d", code, exitCorrupt)
+		}
+	})
+	t.Run("resume config mismatch", func(t *testing.T) {
+		dir := t.TempDir()
+		trace := filepath.Join(dir, "t.txt")
+		if err := os.WriteFile(trace, []byte(racyTrace), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ck := filepath.Join(dir, "run.ckpt")
+		if code, _, _ := runCmd(t, "", "-checkpoint", ck, "-checkpoint-every", "1", trace); code != exitRaces {
+			t.Fatal("checkpointed run failed")
+		}
+		// Wrong engine for the checkpoint: a usage error, not corruption.
+		if code, _, _ := runCmd(t, "", "-engine", "shb-tree", "-resume", ck, trace); code != exitUsage {
+			t.Fatalf("mismatched resume: exit %d, want %d", code, exitUsage)
+		}
+	})
+}
+
+// TestHelpDocumentsExitCodes pins that -h exits 0 and prints the
+// exit-code contract on stdout.
+func TestHelpDocumentsExitCodes(t *testing.T) {
+	code, out, errOut := runCmd(t, "", "-h")
+	if code != exitClean {
+		t.Fatalf("-h: exit %d, want %d", code, exitClean)
+	}
+	if errOut != "" {
+		t.Fatalf("-h wrote to stderr:\n%s", errOut)
+	}
+	for _, want := range []string{
+		"usage: tcrace",
+		"Exit codes:",
+		"0  analysis completed, no races detected",
+		"1  analysis completed, races detected",
+		"2  usage or I/O error (bad flags, unreadable input, malformed trace)",
+		"3  corrupt or truncated checkpoint (-resume)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-h output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestList pins that -list exits 0 and names the registry engines.
+func TestList(t *testing.T) {
+	code, out, _ := runCmd(t, "", "-list")
+	if code != exitClean {
+		t.Fatalf("-list: exit %d, want %d", code, exitClean)
+	}
+	for _, name := range []string{"hb-tree", "hb-vc", "shb-tree", "wcp-vc"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("-list output missing %q:\n%s", name, out)
+		}
+	}
+}
+
+// TestCheckpointResumeCLI runs a checkpointed analysis, then resumes
+// from the written checkpoint and checks both runs report the same
+// races.
+func TestCheckpointResumeCLI(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "t.txt")
+	var sb strings.Builder
+	for i := 0; i < 200; i++ {
+		sb.WriteString(racyTrace)
+	}
+	if err := os.WriteFile(trace, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, ref, _ := runCmd(t, "", trace)
+	if code != exitRaces {
+		t.Fatalf("reference run: exit %d", code)
+	}
+	ck := filepath.Join(dir, "run.ckpt")
+	if code, _, errOut := runCmd(t, "", "-checkpoint", ck, "-checkpoint-every", "64", trace); code != exitRaces {
+		t.Fatalf("checkpointed run: exit %d (stderr: %s)", code, errOut)
+	}
+	code, out, errOut := runCmd(t, "", "-resume", ck, trace)
+	if code != exitRaces {
+		t.Fatalf("resumed run: exit %d (stderr: %s)", code, errOut)
+	}
+	// Reports match except the timing line (elapsed differs by nature).
+	if got, want := stripTiming(out), stripTiming(ref); got != want {
+		t.Fatalf("resumed report differs:\n--- resumed\n%s--- reference\n%s", got, want)
+	}
+}
+
+// stripTiming removes the elapsed duration from the summary line so
+// reports compare structurally.
+func stripTiming(out string) string {
+	lines := strings.Split(out, "\n")
+	for i, l := range lines {
+		if idx := strings.Index(l, " detected in "); idx >= 0 {
+			lines[i] = l[:idx]
+		}
+	}
+	return strings.Join(lines, "\n")
+}

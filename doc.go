@@ -195,6 +195,44 @@
 // batch granularity, on both RunStream and RunStreamParallel (tcrace
 // -progress).
 //
+// # Checkpointing and crash equivalence
+//
+// Analysis state is checkpointable: WithCheckpoint(every, sink)
+// serializes the complete engine state — clocks, detector and
+// accumulator state, WCP histories, cursors and summaries including
+// the refcounted sparse segment arenas, the interner tables, and the
+// stream position — at the first batch boundary past every `every`
+// events, and ResumeFrom(r) reconstructs it so the finished run's
+// report is byte-identical to an uninterrupted one. The format
+// (internal/ckpt) is length-prefixed, versioned and CRC-checked per
+// section; a truncated, bit-flipped or mismatched checkpoint fails
+// with an error wrapping ErrCorruptCheckpoint — never a panic — and a
+// committed golden file pins the wire format against silent drift.
+// Checkpoints are written whole (the sink receives only complete
+// serializations; tcrace -checkpoint additionally writes
+// temp-file-plus-rename), so a crash mid-write leaves the previous
+// checkpoint usable.
+//
+// The guarantee is proven by fault injection, not argued: the crash
+// harness (trace.NewCrashSource) kills the analysis at batch
+// boundaries throughout the trace, resumes from the last checkpoint,
+// and requires byte-identical reports, timestamps and retained-state
+// accounting versus the uninterrupted run — across all eight registry
+// engines, both weak-clock transports, the sequential and sharded
+// parallel drivers, and under the race detector. In the parallel
+// runtime a checkpoint is a barrier: the coordinator pauses every
+// worker at the same trace position, serializes all replicas, and
+// releases them, so a parallel checkpoint resumes into sequential or
+// parallel runs interchangeably.
+//
+// Runs are also cancellable: WithContext(ctx) stops either driver at
+// the next batch boundary when ctx is done, returning the partial
+// StreamResult (events ingested so far, retained-state accounting)
+// alongside ctx.Err(), with no goroutines left behind. cmd/tcrace
+// surfaces all of it (-checkpoint, -checkpoint-every, -resume) with a
+// documented exit-code contract: 0 clean, 1 races found, 2 usage or
+// I/O error, 3 corrupt checkpoint.
+//
 // # Layout
 //
 //   - The clock data structures: NewTreeClock (the contribution) and

@@ -1,0 +1,81 @@
+package treeclock
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"treeclock/internal/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestCheckpointGolden pins the checkpoint wire format: the bytes a
+// fixed trace prefix checkpoints to must never change without a
+// version bump (run with -update to regenerate after an intentional
+// format change), and the committed golden must keep restoring into a
+// run whose final report matches an uninterrupted one.
+func TestCheckpointGolden(t *testing.T) {
+	tr := GenerateMixed(GenConfig{
+		Name: "golden", Threads: 4, Locks: 3, Vars: 16,
+		Events: 1500, SyncFrac: 0.3, Seed: 42,
+	})
+	var text bytes.Buffer
+	if err := WriteTraceText(&text, tr); err != nil {
+		t.Fatal(err)
+	}
+	newSrc := func() EventSource { return trace.NewScanner(bytes.NewReader(text.Bytes())) }
+
+	// Checkpoint after every 512-event batch; keep the one at 1024.
+	sink := newArchiveSink()
+	if _, err := RunStreamSource("wcp-tree", newSrc(), StreamValidate(), WithCheckpoint(512, sink)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := sink.all[1024]
+	if !ok {
+		t.Fatalf("no checkpoint at event 1024 (have %v)", keysOf(sink.all))
+	}
+
+	path := filepath.Join("testdata", "checkpoint_v1.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("checkpoint bytes changed: %d bytes, golden %d bytes — format drift needs a version bump (or -update for an intentional change)",
+			len(got), len(want))
+	}
+
+	// The committed bytes must still restore and finish identically.
+	ref, err := RunStreamSource("wcp-tree", newSrc(), StreamValidate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunStreamSource("wcp-tree", newSrc(), StreamValidate(), ResumeFrom(bytes.NewReader(want)))
+	if err != nil {
+		t.Fatalf("restoring golden checkpoint: %v", err)
+	}
+	if !reflect.DeepEqual(res, ref) {
+		t.Fatalf("golden resume diverged:\ngot  %+v\nwant %+v", res, ref)
+	}
+}
+
+// keysOf lists an archive sink's checkpoint boundaries for diagnostics.
+func keysOf(m map[uint64][]byte) []uint64 {
+	ks := make([]uint64, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}

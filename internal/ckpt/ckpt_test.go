@@ -1,0 +1,244 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var b bytes.Buffer
+	e := NewEnc(&b)
+	e.Header()
+	e.Begin("alpha")
+	e.U8(7)
+	e.U32(0xdeadbeef)
+	e.U64(1 << 60)
+	e.Uvarint(300)
+	e.Svarint(-5)
+	e.Int(-123456)
+	e.Int32(-2)
+	e.Bool(true)
+	e.Bool(false)
+	e.Bytes([]byte{1, 2, 3})
+	e.String("héllo")
+	e.End()
+	e.Begin("beta")
+	e.End()
+	if err := e.Err(); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+
+	d := NewDec(bytes.NewReader(b.Bytes()))
+	d.Header()
+	d.Begin("alpha")
+	if got := d.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if got := d.U32(); got != 0xdeadbeef {
+		t.Errorf("U32 = %x", got)
+	}
+	if got := d.U64(); got != 1<<60 {
+		t.Errorf("U64 = %x", got)
+	}
+	if got := d.Uvarint(); got != 300 {
+		t.Errorf("Uvarint = %d", got)
+	}
+	if got := d.Svarint(); got != -5 {
+		t.Errorf("Svarint = %d", got)
+	}
+	if got := d.Int(); got != -123456 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := d.Int32(); got != -2 {
+		t.Errorf("Int32 = %d", got)
+	}
+	if got := d.Bool(); !got {
+		t.Errorf("Bool = %v", got)
+	}
+	if got := d.Bool(); got {
+		t.Errorf("Bool = %v", got)
+	}
+	if got := d.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Bytes = %v", got)
+	}
+	if got := d.String(); got != "héllo" {
+		t.Errorf("String = %q", got)
+	}
+	d.End()
+	d.Begin("beta")
+	d.End()
+	if err := d.Err(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+}
+
+// checkpointBytes builds a small valid stream for corruption tests.
+func checkpointBytes() []byte {
+	var b bytes.Buffer
+	e := NewEnc(&b)
+	e.Header()
+	e.Begin("s")
+	e.U64(42)
+	e.String("payload")
+	e.End()
+	if err := e.Err(); err != nil {
+		panic(err)
+	}
+	return b.Bytes()
+}
+
+func decodeAll(data []byte) error {
+	d := NewDec(bytes.NewReader(data))
+	d.Header()
+	d.Begin("s")
+	d.U64()
+	_ = d.String()
+	d.End()
+	return d.Err()
+}
+
+func TestTruncationRejected(t *testing.T) {
+	data := checkpointBytes()
+	if err := decodeAll(data); err != nil {
+		t.Fatalf("pristine stream: %v", err)
+	}
+	for n := 0; n < len(data); n++ {
+		err := decodeAll(data[:n])
+		if err == nil {
+			t.Fatalf("truncation to %d bytes not detected", n)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d: error %v does not wrap ErrCorrupt", n, err)
+		}
+	}
+}
+
+func TestBitFlipsRejected(t *testing.T) {
+	data := checkpointBytes()
+	for i := range data {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), data...)
+			mut[i] ^= 1 << bit
+			err := decodeAll(mut)
+			if err == nil {
+				t.Fatalf("bit flip at byte %d bit %d not detected", i, bit)
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("bit flip at byte %d bit %d: error %v does not wrap ErrCorrupt", i, bit, err)
+			}
+		}
+	}
+}
+
+func TestWrongSectionName(t *testing.T) {
+	data := checkpointBytes()
+	d := NewDec(bytes.NewReader(data))
+	d.Header()
+	d.Begin("other")
+	err := d.Err()
+	if err == nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("wrong section name: err = %v", err)
+	}
+	if !strings.Contains(err.Error(), `"s"`) || !strings.Contains(err.Error(), `"other"`) {
+		t.Fatalf("error %v does not name both sections", err)
+	}
+}
+
+func TestLeftoverPayloadRejected(t *testing.T) {
+	data := checkpointBytes()
+	d := NewDec(bytes.NewReader(data))
+	d.Header()
+	d.Begin("s")
+	d.U64() // leave the string unread
+	d.End()
+	if err := d.Err(); err == nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("leftover payload: err = %v", err)
+	}
+}
+
+func TestStickyErrors(t *testing.T) {
+	d := NewDec(bytes.NewReader(nil))
+	d.Header()
+	first := d.Err()
+	if first == nil {
+		t.Fatal("empty stream accepted")
+	}
+	d.Begin("s")
+	d.U64()
+	d.End()
+	if err := d.Err(); err != first {
+		t.Fatalf("error not sticky: %v then %v", first, err)
+	}
+}
+
+func TestCountBounds(t *testing.T) {
+	var b bytes.Buffer
+	e := NewEnc(&b)
+	e.Header()
+	e.Begin("s")
+	e.Uvarint(1 << 40) // an absurd count with no payload behind it
+	e.End()
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	d := NewDec(bytes.NewReader(b.Bytes()))
+	d.Header()
+	d.Begin("s")
+	if n := d.Len(8); n != 0 || d.Err() == nil {
+		t.Fatalf("Len accepted oversized count: n=%d err=%v", n, d.Err())
+	}
+
+	d = NewDec(bytes.NewReader(b.Bytes()))
+	d.Header()
+	d.Begin("s")
+	if n := d.Count(); n != 0 || d.Err() == nil {
+		t.Fatalf("Count accepted oversized count: n=%d err=%v", n, d.Err())
+	}
+
+	d = NewDec(bytes.NewReader(b.Bytes()))
+	d.Header()
+	d.Begin("s")
+	if c := d.Cap(4); c != 0 || d.Err() == nil {
+		t.Fatalf("Cap accepted oversized capacity: c=%d err=%v", c, d.Err())
+	}
+}
+
+func TestCapBelowLenRejected(t *testing.T) {
+	var b bytes.Buffer
+	e := NewEnc(&b)
+	e.Header()
+	e.Begin("s")
+	e.Uvarint(3)
+	e.End()
+	d := NewDec(bytes.NewReader(b.Bytes()))
+	d.Header()
+	d.Begin("s")
+	if c := d.Cap(5); c != 0 || !errors.Is(d.Err(), ErrCorrupt) {
+		t.Fatalf("Cap below len accepted: c=%d err=%v", c, d.Err())
+	}
+}
+
+// FuzzDec drives the decoder over arbitrary bytes: it must always
+// return (errors wrapping ErrCorrupt for malformed input), never
+// panic, and behave deterministically.
+func FuzzDec(f *testing.F) {
+	f.Add(checkpointBytes())
+	f.Add([]byte("TCKP\x01"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		err1 := decodeAll(data)
+		err2 := decodeAll(data)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic: %v vs %v", err1, err2)
+		}
+		if err1 != nil && err2 != nil && err1.Error() != err2.Error() {
+			t.Fatalf("nondeterministic error text: %q vs %q", err1, err2)
+		}
+		if err1 != nil && !errors.Is(err1, ErrCorrupt) {
+			t.Fatalf("error %v does not wrap ErrCorrupt", err1)
+		}
+	})
+}

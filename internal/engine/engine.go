@@ -139,6 +139,7 @@ type Runtime[C vt.Clock[C]] struct {
 	lockSem   LockSemantics[C]
 	threadSem ThreadSemantics[C]
 	memRep    MemReporter
+	ckptSem   CheckpointSemantics[C]
 	factory   vt.Factory[C]
 	threads   []C
 	locks     []C
@@ -162,6 +163,9 @@ func New[C vt.Clock[C]](sem Semantics[C], factory vt.Factory[C]) *Runtime[C] {
 	}
 	if mr, ok := sem.(MemReporter); ok {
 		r.memRep = mr
+	}
+	if cs, ok := sem.(CheckpointSemantics[C]); ok {
+		r.ckptSem = cs
 	}
 	return r
 }

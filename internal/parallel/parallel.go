@@ -42,6 +42,7 @@
 package parallel
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -66,16 +67,42 @@ type Options struct {
 	// BatchSize is the decode batch capacity when the source does not
 	// produce its own batches (default trace.DefaultBatchSize).
 	BatchSize int
+	// Ctx cancels the run: the coordinator stops dispatching at the
+	// next batch boundary, the workers drain what was already queued,
+	// and Run returns the delivered count with ctx.Err(). Nil means
+	// never cancelled.
+	Ctx context.Context
+	// StartAt is the global trace position of the first event the
+	// source will deliver — non-zero when resuming from a checkpoint,
+	// so position stamps continue the interrupted run's numbering.
+	StartAt uint64
+	// CheckpointEvery is the checkpoint cadence in events (at batch
+	// granularity); 0 disables checkpointing.
+	CheckpointEvery uint64
+	// Checkpoint is called at each checkpoint boundary with every
+	// worker paused at exactly the same trace position (a barrier), so
+	// it may read all replica state without synchronization. A non-nil
+	// error aborts the run.
+	Checkpoint func(events uint64) error
 }
 
 // sharedBatch is one decoded batch in flight to all workers. events is
 // read-only while shared; refs counts the workers still processing it,
 // and the last release recycles the underlying buffer.
+//
+// A sharedBatch with a non-nil pause field is a barrier, not data: the
+// worker reports arrival on pause, blocks on resume, and processes no
+// events. Because the rings are FIFO and the coordinator pushes the
+// barrier after batch k into every ring, all workers stand at the same
+// trace position while the coordinator holds the barrier — the quiesce
+// point checkpoints are taken at.
 type sharedBatch struct {
 	events  []trace.Event
 	base    uint64 // global trace position of events[0]
 	refs    atomic.Int32
 	recycle func([]trace.Event)
+	pause   *sync.WaitGroup // barrier arrival; nil for data batches
+	resume  chan struct{}   // closed by the coordinator to release the barrier
 }
 
 // release is called by each worker when done with the batch; the last
@@ -124,6 +151,11 @@ func Run(src trace.EventSource, replicas []Replica, opts Options) (uint64, error
 				if !ok {
 					return
 				}
+				if b.pause != nil {
+					b.pause.Done()
+					<-b.resume
+					continue
+				}
 				rep.ProcessBatchAt(b.base, b.events)
 				b.release()
 			}
@@ -142,9 +174,16 @@ func Run(src trace.EventSource, replicas []Replica, opts Options) (uint64, error
 // from src and sequences each into every worker's ring. Sync events
 // need no special casing here — sequencing whole batches in trace
 // order through FIFO rings means every worker observes every event,
-// sync or access, in exactly the trace's order.
+// sync or access, in exactly the trace's order. Between batches the
+// coordinator honors cancellation and checkpoint boundaries (see
+// Options); both act at batch granularity, so every worker's replica
+// is at a well-defined trace position when either fires.
 func dispatch(src trace.EventSource, rings []*spscRing, n int, opts Options) (uint64, error) {
-	var events uint64
+	events := opts.StartAt
+	nextCkpt := opts.CheckpointEvery
+	for nextCkpt > 0 && nextCkpt <= events {
+		nextCkpt += opts.CheckpointEvery
+	}
 	fanOut := func(evs []trace.Event, recycle func([]trace.Event)) {
 		b := &sharedBatch{events: evs, base: events, recycle: recycle}
 		b.refs.Store(int32(n))
@@ -153,16 +192,55 @@ func dispatch(src trace.EventSource, rings []*spscRing, n int, opts Options) (ui
 		}
 		events += uint64(len(evs))
 	}
+	cancelled := func() bool {
+		if opts.Ctx == nil {
+			return false
+		}
+		select {
+		case <-opts.Ctx.Done():
+			return true
+		default:
+			return false
+		}
+	}
+	// barrier pauses every worker at the current trace position, runs
+	// the checkpoint callback, and releases them. Rings are FIFO, so by
+	// the time all workers have arrived they have each processed every
+	// event dispatched so far and nothing else.
+	barrier := func() error {
+		if opts.CheckpointEvery == 0 || events < nextCkpt {
+			return nil
+		}
+		var arrived sync.WaitGroup
+		arrived.Add(n)
+		b := &sharedBatch{pause: &arrived, resume: make(chan struct{})}
+		for _, ring := range rings {
+			ring.Push(b)
+		}
+		arrived.Wait()
+		err := opts.Checkpoint(events)
+		close(b.resume)
+		for nextCkpt <= events {
+			nextCkpt += opts.CheckpointEvery
+		}
+		return err
+	}
 
 	if p, ok := src.(trace.BatchProducer); ok {
 		// The upstream decoder owns the buffers; the last worker hands
 		// each one straight back to its ring.
 		for {
+			if cancelled() {
+				return events, opts.Ctx.Err()
+			}
 			evs, ok := p.AcquireBatch()
 			if !ok {
 				return events, p.Err()
 			}
 			fanOut(evs, p.ReleaseBatch)
+			if err := barrier(); err != nil {
+				return events, err
+			}
 		}
 	}
 
@@ -175,6 +253,9 @@ func dispatch(src trace.EventSource, rings []*spscRing, n int, opts Options) (ui
 	}
 	recycle := func(evs []trace.Event) { free <- evs[:cap(evs)] }
 	for {
+		if cancelled() {
+			return events, opts.Ctx.Err()
+		}
 		buf := <-free
 		c, ok := trace.ReadBatch(src, buf)
 		if c > 0 {
@@ -184,6 +265,9 @@ func dispatch(src trace.EventSource, rings []*spscRing, n int, opts Options) (ui
 		}
 		if !ok {
 			return events, src.Err()
+		}
+		if err := barrier(); err != nil {
+			return events, err
 		}
 	}
 }

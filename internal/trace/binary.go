@@ -90,6 +90,8 @@ type BinaryScanner struct {
 	eof  bool  // underlying reader is exhausted
 	rerr error // underlying read error (io.EOF excluded)
 
+	consumed int64 // total bytes read from r (checkpoint offset accounting)
+
 	meta    Meta
 	total   uint64 // declared event count
 	read    uint64 // events returned so far
@@ -114,6 +116,7 @@ func (s *BinaryScanner) fill() {
 	for !s.eof && s.end < len(s.buf) {
 		n, err := s.r.Read(s.buf[s.end:])
 		s.end += n
+		s.consumed += int64(n)
 		if err != nil {
 			if err != io.EOF {
 				s.rerr = err

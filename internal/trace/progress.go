@@ -60,6 +60,16 @@ func (p *progressState) tick(n int) {
 	}
 }
 
+// StartAt seeds the counters at a resumed run's trace position, so
+// reports continue the interrupted run's event numbering and cadence.
+// The rate baseline restarts (the time spent before the interruption
+// is not this run's).
+func (p *progressState) StartAt(events uint64) {
+	p.count, p.lastCount = events, events
+	p.next = events - events%p.every + p.every
+	p.last = time.Now()
+}
+
 // progressSource wraps a plain or batched source.
 type progressSource struct {
 	src EventSource

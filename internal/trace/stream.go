@@ -44,18 +44,19 @@ const (
 // steady state — once every identifier has been seen — Next and
 // NextBatch perform zero allocations per event.
 type Scanner struct {
-	r       io.Reader
-	buf     []byte // reused read buffer; grows only for oversized lines
-	pos     int    // start of unconsumed bytes
-	end     int    // end of valid bytes
-	eof     bool   // reader returned io.EOF
-	readErr error  // deferred non-EOF read error (buffered lines drain first)
-	empty   int    // consecutive zero-byte reads (io.ErrNoProgress guard)
-	threads *intern
-	locks   *intern
-	vars    *intern
-	line    int
-	err     error
+	r        io.Reader
+	buf      []byte // reused read buffer; grows only for oversized lines
+	pos      int    // start of unconsumed bytes
+	end      int    // end of valid bytes
+	eof      bool   // reader returned io.EOF
+	readErr  error  // deferred non-EOF read error (buffered lines drain first)
+	empty    int    // consecutive zero-byte reads (io.ErrNoProgress guard)
+	consumed int64  // total bytes read from r (checkpoint offset accounting)
+	threads  *intern
+	locks    *intern
+	vars     *intern
+	line     int
+	err      error
 }
 
 // NewScanner wraps a text-format trace stream.
@@ -363,6 +364,7 @@ func (s *Scanner) fill() {
 	}
 	n, err := s.r.Read(s.buf[s.end:])
 	s.end += n
+	s.consumed += int64(n)
 	if n > 0 {
 		s.empty = 0
 	} else if err == nil {

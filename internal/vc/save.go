@@ -1,0 +1,34 @@
+package vc
+
+import (
+	"treeclock/internal/ckpt"
+	"treeclock/internal/vt"
+)
+
+// Save implements vt.Clock: the vector and the foreign-entry revision
+// counter (consumed by the weak-order quiet-release fast path, so it
+// must survive a restore).
+func (c *VectorClock) Save(e *ckpt.Enc) {
+	e.Uvarint(uint64(len(c.v)))
+	for _, t := range c.v {
+		e.Svarint(int64(t))
+	}
+	e.U64(c.rev)
+}
+
+// Load implements vt.Clock, replacing the clock's contents.
+func (c *VectorClock) Load(d *ckpt.Dec) {
+	n := d.Len(1)
+	if d.Err() != nil {
+		return
+	}
+	v := make(vt.Vector, n)
+	for i := range v {
+		v[i] = vt.Time(d.Svarint())
+	}
+	rev := d.U64()
+	if d.Err() != nil {
+		return
+	}
+	c.v, c.rev = v, rev
+}

@@ -1,5 +1,7 @@
 package vt
 
+import "treeclock/internal/ckpt"
+
 // Clock is the interface shared by the tree clock and the vector clock.
 // Partial-order engines are generic over Clock, so exactly the same
 // algorithm code runs with either data structure; any performance
@@ -69,6 +71,14 @@ type Clock[C any] interface {
 	// times (the weak-order release snapshot) use it to skip the diff
 	// outright between quiet releases.
 	Rev() uint64
+	// Save serializes the clock's complete state — including Rev, so a
+	// restored clock keeps its quiet-release behaviour — into the open
+	// section of e (checkpoint/restore, internal/ckpt).
+	Save(e *ckpt.Enc)
+	// Load restores state written by Save, replacing the clock's
+	// contents. Failures latch in d as errors wrapping ckpt.ErrCorrupt;
+	// Load never panics on malformed input.
+	Load(d *ckpt.Dec)
 }
 
 // Factory constructs fresh, uninitialized clocks with thread capacity

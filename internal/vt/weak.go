@@ -1,5 +1,7 @@
 package vt
 
+import "treeclock/internal/ckpt"
+
 // Weak-clock transport contracts.
 //
 // Weak partial orders (WCP and its relatives) keep per-thread clocks
@@ -46,6 +48,14 @@ type WeakClock[W any, S any] interface {
 	Vector(dst Vector) Vector
 	// Heap approximates the bytes retained by the clock.
 	Heap() uint64
+	// SaveWeak serializes the clock into the open section of e in its
+	// native representation (sharing-preserving for the sparse clock),
+	// for checkpoint/restore. The matching store's state must be saved
+	// before any clock bound to it.
+	SaveWeak(e *ckpt.Enc)
+	// LoadWeak restores state written by SaveWeak. The clock must be
+	// bound to a store whose LoadState already ran. Failures latch in d.
+	LoadWeak(d *ckpt.Dec)
 }
 
 // SnapStore creates and recycles the release snapshots a weak-order
@@ -93,6 +103,22 @@ type SnapStore[W any, S any] interface {
 	// Heap approximates the bytes parked in the store itself (the
 	// free pool).
 	Heap() uint64
+	// SaveState serializes the store's own state (arenas, free pools,
+	// diff bases) into the open section of e. It must be saved before
+	// any weak clock or snapshot it produced, and preserves sharing:
+	// restoring the store plus every holder reproduces the exact
+	// object graph, refcounts and accounting of the saved run.
+	SaveState(e *ckpt.Enc)
+	// LoadState restores state written by SaveState into an empty
+	// store. Failures latch in d.
+	LoadState(d *ckpt.Dec)
+	// SaveSnap serializes one snapshot (raw references into the
+	// store's already-saved state; nothing is flattened).
+	SaveSnap(e *ckpt.Enc, s *S)
+	// LoadSnap restores a snapshot written by SaveSnap, without
+	// touching refcounts or live accounting — LoadState already
+	// restored those wholesale.
+	LoadSnap(d *ckpt.Dec, s *S)
 }
 
 // maxFreeSnapshots caps the flat store's free list: a burst compaction

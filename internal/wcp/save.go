@@ -1,0 +1,395 @@
+package wcp
+
+// Checkpoint serialization for the WCP plugin (see internal/ckpt).
+//
+// The order is load-bearing: the snapshot store's state — for the
+// sparse transport, the whole refcounted segment arena — is written
+// before any weak clock, history entry or summary, because those
+// holders serialize raw arena references and restoring them requires
+// the arena (and its reference-validation bound) to exist first.
+// Nothing re-retains on load: the dumped refcounts already count every
+// holder, so the restored object graph reproduces the exact
+// copy-on-write sharing, refcounts and byte accounting of the saved
+// run (see internal/vt/save.go).
+//
+// Everything that steers future behaviour or feeds MemStats is
+// captured verbatim: the history's chunk-relative head offset (chunk
+// recycling timing feeds the free-chunk accounting), the rule-(b)
+// cursors with their incrementally maintained top-two positions, the
+// per-thread scan-position caches, and the free-chunk count (restored
+// as fresh empty chunks — recycled chunk contents are dead by
+// construction). Map-backed state (rule-(a) summaries, open-section
+// access sets) is encoded in sorted order so identical state always
+// produces identical bytes; contribution lists keep their order, which
+// fixes the absorb order after resume.
+
+import (
+	"io"
+	"sort"
+
+	"treeclock/internal/ckpt"
+	"treeclock/internal/engine"
+	"treeclock/internal/vt"
+)
+
+// Checkpoint conformance for both transports (the runtime detects the
+// extension at construction).
+var (
+	_ engine.CheckpointSemantics[*noClock] = (*Semantics[*noClock])(nil)
+	_ engine.CheckpointSemantics[*noClock] = (*FlatSemantics[*noClock])(nil)
+)
+
+// Save and Load complete noClock's vt.Clock conformance for the
+// compile-time assertions; it never carries state.
+func (*noClock) Save(e *ckpt.Enc) {}
+func (*noClock) Load(d *ckpt.Dec) {}
+
+// maxFreeChunks bounds the recycled-history-chunk count a checkpoint
+// may claim (each restored chunk is a histLen-entry allocation, so the
+// bound is much tighter than ckpt's generic slice cap).
+const maxFreeChunks = 1 << 20
+
+// Snapshot implements engine.CheckpointSemantics.
+func (s *SemanticsOf[C, W, S, F]) Snapshot(rt *engine.Runtime[C], w io.Writer) error {
+	e := ckpt.NewEnc(w)
+	e.Begin("wcp")
+	e.Int(s.k)
+	e.Bool(s.compact)
+	e.Int(s.liveHist)
+	e.Int(s.peakLockHist)
+	e.U64(s.dropped)
+	e.Uvarint(uint64(len(s.histFree)))
+	s.store.SaveState(e)
+	e.Uvarint(uint64(len(s.threads)))
+	for i := range s.threads {
+		ts := &s.threads[i]
+		ts.w.SaveWeak(e)
+		e.Uvarint(uint64(len(ts.held)))
+		for j := range ts.held {
+			cs := &ts.held[j]
+			e.Int32(cs.lock)
+			e.Svarint(int64(cs.acqLT))
+			saveVarSet(e, cs.read)
+			saveVarSet(e, cs.written)
+		}
+	}
+	e.Uvarint(uint64(len(s.locks)))
+	for l := range s.locks {
+		s.saveLock(e, &s.locks[l])
+	}
+	e.Uvarint(uint64(len(s.vars)))
+	for i := range s.vars {
+		vs := &s.vars[i]
+		vt.SaveEpoch(e, vs.w)
+		vt.SaveEpoch(e, vs.r)
+		if vs.shared == nil {
+			e.Bool(false)
+			continue
+		}
+		e.Bool(true)
+		e.Uvarint(uint64(len(vs.shared)))
+		for _, c := range vs.shared {
+			e.Svarint(int64(c))
+		}
+	}
+	e.End()
+	return e.Err()
+}
+
+// Restore implements engine.CheckpointSemantics. It must run on a
+// freshly constructed semantics (same transport); on error the plugin
+// must be discarded.
+func (s *SemanticsOf[C, W, S, F]) Restore(rt *engine.Runtime[C], r io.Reader) error {
+	d := ckpt.NewDec(r)
+	d.Begin("wcp")
+	k := d.Int()
+	compact := d.Bool()
+	liveHist := d.Int()
+	peakLockHist := d.Int()
+	dropped := d.U64()
+	nfree := d.Count()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if k < 0 || k > vt.MaxID || liveHist < 0 || peakLockHist < 0 {
+		d.Corruptf("plugin counters (k %d, live %d, peak %d) out of range",
+			k, liveHist, peakLockHist)
+		return d.Err()
+	}
+	if nfree > maxFreeChunks {
+		d.Corruptf("history free list of %d chunks out of range", nfree)
+		return d.Err()
+	}
+	s.store.LoadState(d)
+	nt := d.Len(1)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	threads := make([]threadState[W], nt)
+	for i := range threads {
+		ts := &threads[i]
+		ts.w = s.store.NewW()
+		ts.w.LoadWeak(d)
+		nh := d.Len(1)
+		if d.Err() != nil {
+			return d.Err()
+		}
+		for j := 0; j < nh; j++ {
+			l := d.Int32()
+			if d.Err() == nil && (l < 0 || l >= vt.MaxID) {
+				d.Corruptf("open section lock %d out of range", l)
+			}
+			cs := openCS{lock: l, acqLT: vt.Time(d.Svarint())}
+			cs.read = loadVarSet(d)
+			cs.written = loadVarSet(d)
+			if d.Err() != nil {
+				return d.Err()
+			}
+			ts.held = append(ts.held, cs)
+		}
+	}
+	nl := d.Len(1)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	locks := make([]lockState[W, S], nl)
+	for l := range locks {
+		if err := s.loadLock(d, &locks[l]); err != nil {
+			return err
+		}
+	}
+	nv := d.Len(1)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	vars := make([]accessState, nv)
+	for i := range vars {
+		vs := &vars[i]
+		vs.w = vt.LoadEpoch(d)
+		vs.r = vt.LoadEpoch(d)
+		if d.Bool() {
+			n := d.Len(1)
+			if d.Err() != nil {
+				return d.Err()
+			}
+			vs.shared = vt.NewVector(n)
+			for j := range vs.shared {
+				vs.shared[j] = vt.Time(d.Svarint())
+			}
+		}
+		if d.Err() != nil {
+			return d.Err()
+		}
+	}
+	d.End()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	s.k, s.compact = k, compact
+	s.liveHist, s.peakLockHist, s.dropped = liveHist, peakLockHist, dropped
+	s.histFree = nil
+	for i := 0; i < nfree; i++ {
+		s.histFree = append(s.histFree, make([]csEntry[S], histLen))
+	}
+	s.threads, s.locks, s.vars = threads, locks, vars
+	return nil
+}
+
+// saveLock serializes one lock's state. The history is written with
+// its chunk-relative head offset so the restored chunk layout — and
+// with it the timing of future chunk recycling — matches the saved
+// run's exactly.
+func (s *SemanticsOf[C, W, S, F]) saveLock(e *ckpt.Enc, ls *lockState[W, S]) {
+	e.Bool(ls.wSet)
+	ls.w.SaveWeak(e)
+	e.Uvarint(uint64(ls.hist.head))
+	e.Uvarint(uint64(ls.hist.n))
+	for i := 0; i < ls.hist.n; i++ {
+		en := ls.hist.at(i)
+		e.Int32(int32(en.t))
+		e.Svarint(int64(en.acqLT))
+		s.store.SaveSnap(e, &en.rel)
+	}
+	e.Uvarint(uint64(len(ls.cursor)))
+	for _, c := range ls.cursor {
+		e.Uvarint(uint64(c))
+	}
+	e.Uvarint(uint64(len(ls.spos)))
+	for i := range ls.spos {
+		sp := &ls.spos[i]
+		e.Int32(sp.idx)
+		e.Int32(int32(sp.t))
+		e.Int32(int32(sp.lt))
+	}
+	e.Int(ls.cmax1)
+	e.Int(ls.cmax2)
+	e.Int32(int32(ls.ctmax))
+	ids := make([]int32, 0, len(ls.sums))
+	for x := range ls.sums {
+		ids = append(ids, x)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	e.Uvarint(uint64(len(ids)))
+	for _, x := range ids {
+		e.Int32(x)
+		sum := ls.sums[x]
+		s.saveContribs(e, sum.reads)
+		s.saveContribs(e, sum.writes)
+	}
+	e.Int(ls.peak)
+	e.U64(ls.dropped)
+}
+
+// loadLock restores one lock's state, validating everything that later
+// indexes or scans: the head offset, cursor positions against the
+// history length, the scan caches, and the top-two cursor maxima.
+func (s *SemanticsOf[C, W, S, F]) loadLock(d *ckpt.Dec, ls *lockState[W, S]) error {
+	ls.wSet = d.Bool()
+	ls.w = s.store.NewW()
+	ls.w.LoadWeak(d)
+	head := d.Count()
+	n := d.Len(4)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if head >= histLen {
+		d.Corruptf("history head offset %d out of range", head)
+		return d.Err()
+	}
+	ls.hist = histBuf[S]{head: head, n: n}
+	if nchunks := (head + n + histLen - 1) >> histShift; nchunks > 0 {
+		ls.hist.chunks = make([][]csEntry[S], nchunks)
+		for i := range ls.hist.chunks {
+			ls.hist.chunks[i] = make([]csEntry[S], histLen)
+		}
+	}
+	for i := 0; i < n; i++ {
+		en := ls.hist.at(i)
+		en.t = vt.LoadTID(d)
+		en.acqLT = vt.Time(d.Svarint())
+		s.store.LoadSnap(d, &en.rel)
+		if d.Err() != nil {
+			return d.Err()
+		}
+	}
+	nc := d.Len(1)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	ls.cursor = make([]int, nc)
+	for t := range ls.cursor {
+		c := d.Count()
+		if d.Err() == nil && c > n {
+			d.Corruptf("rule-(b) cursor %d beyond history length %d", c, n)
+		}
+		ls.cursor[t] = c
+	}
+	nsp := d.Len(1)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if nsp != nc {
+		d.Corruptf("scan cache length %d does not match %d cursors", nsp, nc)
+		return d.Err()
+	}
+	ls.spos = make([]scanPos, nsp)
+	for i := range ls.spos {
+		sp := &ls.spos[i]
+		sp.idx = d.Int32()
+		sp.t = vt.TID(d.Int32())
+		sp.lt = vt.Time(d.Int32())
+		if d.Err() == nil && (sp.idx < 0 || int(sp.idx) > n || sp.t < 0 || sp.t >= vt.MaxID) {
+			d.Corruptf("scan cache entry (%d, t%d) out of range", sp.idx, sp.t)
+		}
+	}
+	ls.cmax1 = d.Int()
+	ls.cmax2 = d.Int()
+	ctmax := d.Int32()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if ls.cmax2 < 0 || ls.cmax1 > n || ls.cmax2 > ls.cmax1 || ctmax < int32(vt.None) || ctmax >= vt.MaxID {
+		d.Corruptf("cursor maxima (%d, %d, t%d) inconsistent with history length %d",
+			ls.cmax1, ls.cmax2, ctmax, n)
+		return d.Err()
+	}
+	ls.ctmax = vt.TID(ctmax)
+	nsums := d.Len(1)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if nsums > 0 {
+		ls.sums = make(map[int32]*varSummary[S], nsums)
+	}
+	for i := 0; i < nsums; i++ {
+		x := d.Int32()
+		sum := &varSummary[S]{}
+		var err error
+		if sum.reads, err = s.loadContribs(d); err != nil {
+			return err
+		}
+		if sum.writes, err = s.loadContribs(d); err != nil {
+			return err
+		}
+		ls.sums[x] = sum
+	}
+	ls.peak = d.Int()
+	ls.dropped = d.U64()
+	if d.Err() == nil && ls.peak < 0 {
+		d.Corruptf("lock peak history %d negative", ls.peak)
+	}
+	return d.Err()
+}
+
+// saveContribs serializes one rule-(a) contribution list in order (the
+// order fixes the absorb sequence after resume).
+func (s *SemanticsOf[C, W, S, F]) saveContribs(e *ckpt.Enc, cs []contrib[S]) {
+	e.Uvarint(uint64(len(cs)))
+	for i := range cs {
+		e.Int32(int32(cs[i].t))
+		s.store.SaveSnap(e, &cs[i].s)
+	}
+}
+
+func (s *SemanticsOf[C, W, S, F]) loadContribs(d *ckpt.Dec) ([]contrib[S], error) {
+	n := d.Len(1)
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	var cs []contrib[S]
+	for i := 0; i < n; i++ {
+		c := contrib[S]{t: vt.LoadTID(d)}
+		s.store.LoadSnap(d, &c.s)
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		cs = append(cs, c)
+	}
+	return cs, nil
+}
+
+// saveVarSet serializes an open section's access set in sorted order;
+// an absent (nil) map round-trips as nil.
+func saveVarSet(e *ckpt.Enc, m map[int32]struct{}) {
+	ids := make([]int32, 0, len(m))
+	for x := range m {
+		ids = append(ids, x)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	e.Uvarint(uint64(len(ids)))
+	for _, x := range ids {
+		e.Int32(x)
+	}
+}
+
+func loadVarSet(d *ckpt.Dec) map[int32]struct{} {
+	n := d.Len(1)
+	if d.Err() != nil || n == 0 {
+		return nil
+	}
+	m := make(map[int32]struct{}, n)
+	for i := 0; i < n; i++ {
+		m[d.Int32()] = struct{}{}
+	}
+	return m
+}

@@ -7,6 +7,7 @@ package treeclock
 // result is byte-identical to a sequential run.
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"runtime"
@@ -125,13 +126,44 @@ func runStreamParallel(info EngineInfo, src trace.EventSource, cfg streamConfig)
 		replicas[w] = engines[w]
 	}
 
-	events, err := parallel.Run(src, replicas, parallel.Options{})
-	if err != nil {
-		return nil, err
+	// Checkpoint/resume: every replica's state goes into (and comes
+	// back from) the checkpoint, in worker order, and the coordinator
+	// takes snapshots at barriers where all workers stand at the same
+	// trace position.
+	var (
+		startAt uint64
+		cs      trace.CheckpointableSource
+	)
+	if cfg.ckptSink != nil || cfg.resume != nil {
+		var err error
+		cs, err = asCheckpointable(src)
+		if err != nil {
+			return nil, err
+		}
+		if !engines[0].Checkpointable() {
+			return nil, fmt.Errorf("treeclock: engine %q does not support checkpointing", info.Name)
+		}
+		if cfg.resume != nil {
+			if startAt, err = restoreCheckpoint(&cfg, info.Name, n, cs, engines); err != nil {
+				return nil, err
+			}
+		}
 	}
-	for w, e := range engines {
-		if e.Events() != events {
-			return nil, fmt.Errorf("treeclock: internal error: worker %d processed %d of %d events", w, e.Events(), events)
+	popts := parallel.Options{Ctx: cfg.ctx, StartAt: startAt}
+	if cfg.ckptSink != nil {
+		var scratch bytes.Buffer
+		popts.CheckpointEvery = cfg.ckptEvery
+		popts.Checkpoint = func(events uint64) error {
+			return emitCheckpoint(&cfg, &scratch, info.Name, n, events, cs, engines)
+		}
+	}
+
+	events, err := parallel.Run(src, replicas, popts)
+	if err == nil {
+		for w, e := range engines {
+			if e.Events() != events {
+				return nil, fmt.Errorf("treeclock: internal error: worker %d processed %d of %d events", w, e.Events(), events)
+			}
 		}
 	}
 
@@ -168,6 +200,14 @@ func runStreamParallel(info EngineInfo, src trace.EventSource, cfg streamConfig)
 		for i := range sinks {
 			cfg.stats.Add(sinks[i])
 		}
+	}
+	if err != nil {
+		// The workers have drained every batch dispatched before the
+		// failure (cancellation, a mid-stream decode error, a checkpoint
+		// write error), so the partial result is internally consistent:
+		// counts, merged MemStats and metadata all describe exactly the
+		// events delivered.
+		return res, err
 	}
 	return res, nil
 }

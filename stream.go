@@ -8,6 +8,8 @@ package treeclock
 // Engines and EngineInfos.
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -103,6 +105,10 @@ type streamConfig struct {
 	progressEvery uint64
 	progressFn    func(Progress)
 	stats         *WorkStats
+	ctx           context.Context // WithContext; nil = never cancelled
+	ckptEvery     uint64          // WithCheckpoint cadence; 0 = off
+	ckptSink      CheckpointSink  // WithCheckpoint destination
+	resume        io.Reader       // ResumeFrom checkpoint stream; nil = fresh run
 }
 
 // StreamOption configures RunStream.
@@ -255,6 +261,9 @@ type streamEngine interface {
 	Mem() (engine.MemStats, bool)
 	Acc() *analysis.Accumulator
 	Finish() (analysis.Summary, []analysis.Pair, []vt.Vector)
+	Checkpointable() bool
+	Snapshot(w io.Writer) error
+	Restore(r io.Reader) error
 }
 
 type runtimeAdapter[C vt.Clock[C]] struct {
@@ -276,6 +285,9 @@ func (a *runtimeAdapter[C]) Events() uint64               { return a.rt.Events()
 func (a *runtimeAdapter[C]) Meta() trace.Meta             { return a.rt.Meta() }
 func (a *runtimeAdapter[C]) Mem() (engine.MemStats, bool) { return a.rt.MemStats() }
 func (a *runtimeAdapter[C]) Acc() *analysis.Accumulator   { return a.acc }
+func (a *runtimeAdapter[C]) Checkpointable() bool         { return a.rt.Checkpointable() }
+func (a *runtimeAdapter[C]) Snapshot(w io.Writer) error   { return a.rt.Snapshot(w) }
+func (a *runtimeAdapter[C]) Restore(r io.Reader) error    { return a.rt.Restore(r) }
 
 func (a *runtimeAdapter[C]) Finish() (analysis.Summary, []analysis.Pair, []vt.Vector) {
 	k := a.rt.Threads()
@@ -400,6 +412,10 @@ func autoPipelineDepth(cfg *streamConfig, maxprocs int) int {
 	if cfg.scalar || cfg.workers > 1 || cfg.forceParallel || cfg.format != FormatText || maxprocs < 2 {
 		return 0
 	}
+	if cfg.ckptSink != nil || cfg.resume != nil {
+		// The pipelined decoder's in-flight state is not checkpointable.
+		return 0
+	}
 	return defaultPipelineDepth
 }
 
@@ -431,6 +447,9 @@ func runStream(engineName string, src trace.EventSource, cfg streamConfig) (*Str
 	if cfg.scalar && (cfg.workers > 1 || cfg.forceParallel) {
 		return nil, fmt.Errorf("treeclock: StreamScalar and WithWorkers are mutually exclusive")
 	}
+	if (cfg.ckptSink != nil || cfg.resume != nil) && cfg.pipeline > 0 {
+		return nil, fmt.Errorf("treeclock: WithCheckpoint/ResumeFrom and WithPipeline are mutually exclusive (the pipelined decoder is not checkpointable)")
+	}
 	if cfg.workers > 1 || cfg.forceParallel {
 		return runStreamParallel(info, src, cfg)
 	}
@@ -456,9 +475,87 @@ func runStream(engineName string, src trace.EventSource, cfg streamConfig) (*Str
 	} else {
 		e = newStreamEngine[*vc.VectorClock](info.Order, vc.Factory(cfg.stats), cfg.analysis, nil, cfg.flatWeak)
 	}
-	if err := e.ProcessSource(src); err != nil {
-		return nil, err
+	if cfg.ckptSink != nil || cfg.resume != nil {
+		cs, err := asCheckpointable(src)
+		if err != nil {
+			return nil, err
+		}
+		if !e.Checkpointable() {
+			return nil, fmt.Errorf("treeclock: engine %q does not support checkpointing", engineName)
+		}
+		if cfg.resume != nil {
+			if _, err := restoreCheckpoint(&cfg, engineName, 1, cs, []streamEngine{e}); err != nil {
+				return nil, err
+			}
+		}
 	}
+	err := driveSequential(e, src, &cfg, engineName)
+	res := finishResult(engineName, e)
+	if err != nil {
+		// The result still carries the consistent partial state (events
+		// processed, retained-state accounting) for callers that want it
+		// — a cancelled run's progress, a crashed run's accounting.
+		return res, err
+	}
+	return res, nil
+}
+
+// driveSequential is the explicit batch loop the sequential path runs
+// when it needs per-batch control (cancellation checks, checkpoint
+// boundaries); results are identical to Runtime.ProcessSource. The
+// plain configuration keeps the runtime's own loop, whose
+// BatchProducer fast path the pipelined decoder relies on.
+func driveSequential(e streamEngine, src trace.EventSource, cfg *streamConfig, engineName string) error {
+	if cfg.ctx == nil && cfg.ckptSink == nil {
+		return e.ProcessSource(src)
+	}
+	var (
+		buf     = make([]trace.Event, trace.DefaultBatchSize)
+		scratch bytes.Buffer
+		next    uint64
+		cs      trace.CheckpointableSource
+	)
+	if cfg.ckptSink != nil {
+		cs, _ = asCheckpointable(src) // validated by the caller
+		next = nextBoundary(e.Events(), cfg.ckptEvery)
+	}
+	for {
+		if cfg.ctx != nil {
+			select {
+			case <-cfg.ctx.Done():
+				return cfg.ctx.Err()
+			default:
+			}
+		}
+		n, ok := trace.ReadBatch(src, buf)
+		if n > 0 {
+			e.ProcessBatchAt(e.Events(), buf[:n])
+		}
+		if cs != nil && e.Events() >= next {
+			if err := emitCheckpoint(cfg, &scratch, engineName, 1, e.Events(), cs, []streamEngine{e}); err != nil {
+				return err
+			}
+			next = nextBoundary(e.Events(), cfg.ckptEvery)
+		}
+		if !ok {
+			return src.Err()
+		}
+	}
+}
+
+// nextBoundary returns the first checkpoint threshold past events.
+func nextBoundary(events, every uint64) uint64 {
+	next := events + every
+	next -= next % every
+	if next <= events {
+		next += every
+	}
+	return next
+}
+
+// finishResult assembles a StreamResult from a drained (or
+// interrupted) engine.
+func finishResult(engineName string, e streamEngine) *StreamResult {
 	sum, samples, ts := e.Finish()
 	res := &StreamResult{
 		Engine:     engineName,
@@ -471,7 +568,7 @@ func runStream(engineName string, src trace.EventSource, cfg streamConfig) (*Str
 	if ms, ok := e.Mem(); ok {
 		res.Mem = &ms
 	}
-	return res, nil
+	return res
 }
 
 // wrapProgress adapts the config's callback to the trace-level
