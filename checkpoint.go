@@ -160,6 +160,9 @@ func writeCheckpoint(w io.Writer, name string, cfg *streamConfig, shards int, ev
 	e.Bool(cfg.validate)
 	e.Int(shards)
 	e.U64(events)
+	e.Bool(cfg.slotReclaim)
+	e.Int(cfg.summaryCap)
+	e.Int(cfg.internCap)
 	e.End()
 	if err := e.Err(); err != nil {
 		return err
@@ -212,6 +215,9 @@ func restoreCheckpoint(cfg *streamConfig, name string, shards int, src trace.Che
 	ckValidate := d.Bool()
 	ckShards := d.Int()
 	events = d.U64()
+	ckReclaim := d.Bool()
+	ckSumCap := d.Int()
+	ckInternCap := d.Int()
 	d.End()
 	if err := d.Err(); err != nil {
 		return 0, err
@@ -220,6 +226,10 @@ func restoreCheckpoint(cfg *streamConfig, name string, shards int, src trace.Che
 		return 0, fmt.Errorf("treeclock: checkpoint was written by engine %q (flat-weak %v, analysis %v, validate %v, %d workers); this run is %q (flat-weak %v, analysis %v, validate %v, %d workers)",
 			ckName, ckFlat, ckAnalysis, ckValidate, ckShards,
 			name, cfg.flatWeak, cfg.analysis, cfg.validate, shards)
+	}
+	if ckReclaim != cfg.slotReclaim || ckSumCap != cfg.summaryCap || ckInternCap != cfg.internCap {
+		return 0, fmt.Errorf("treeclock: checkpoint was written with slot-reclaim %v, summary cap %d, intern cap %d; this run has slot-reclaim %v, summary cap %d, intern cap %d",
+			ckReclaim, ckSumCap, ckInternCap, cfg.slotReclaim, cfg.summaryCap, cfg.internCap)
 	}
 	if err := src.RestoreSource(d); err != nil {
 		return 0, err

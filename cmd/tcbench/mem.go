@@ -63,6 +63,16 @@ type memResult struct {
 	// still referenced — only measured on the direct-construction WCP
 	// rows (0 elsewhere). An upper bound: allocator slack counts.
 	HeapRetainedBytes uint64 `json:"heap_retained_bytes,omitempty"`
+	// Churn-section numbers (zero outside it): clock slots under
+	// thread churn, summary evictions under variable churn, interner
+	// occupancy under identifier-name churn.
+	ThreadSlots      int    `json:"thread_slots,omitempty"`
+	FreeSlots        int    `json:"free_slots,omitempty"`
+	RetiredSlots     uint64 `json:"retired_slots,omitempty"`
+	ReusedSlots      uint64 `json:"reused_slots,omitempty"`
+	SummaryEvictions uint64 `json:"summary_evictions,omitempty"`
+	InternedNames    int    `json:"interned_names,omitempty"`
+	InternEvictions  uint64 `json:"intern_evictions,omitempty"`
 }
 
 // memReport is the -mem-json payload.
@@ -113,9 +123,96 @@ func memExperiment(events int, jsonPath string) {
 		}
 		fmt.Println()
 	}
+	memChurnSection(events, &report)
 	if jsonPath != "" {
 		writeJSONReport(jsonPath, &report, len(report.Results))
 	}
+}
+
+// memChurnSection measures the three residual-state caps on their
+// adversarial workloads: slot reclamation under thread churn, rule-(a)
+// summary aging under variable churn, and the intern cap under
+// identifier-name churn. Each cap runs at the full event count; the
+// unreclaimed fork-churn baseline is clipped (its O(k) clock
+// operations over an ever-growing k make long runs quadratic), so
+// compare its slots-per-event growth rate, not its absolute count.
+func memChurnSection(events int, report *memReport) {
+	fmt.Printf("Residual-state caps under churn, %d streamed events:\n", events)
+	stream := func(workload, engine, mode string, src trace.EventSource, opts ...treeclock.StreamOption) memResult {
+		res, err := treeclock.RunStreamSource(engine, src, opts...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcbench: %s/%s: %v\n", engine, mode, err)
+			os.Exit(1)
+		}
+		return churnRow(workload, engine, mode, res)
+	}
+
+	// Thread churn: external ids grow without bound; reclamation must
+	// hold clock capacity at the live ring.
+	growEv := events
+	if growEv > 20_000 {
+		growEv = 20_000
+	}
+	rows := []memResult{
+		stream("fork-churn-r8", "hb-tree", "grow", gen.Take(gen.ForkChurn(8, 31), growEv)),
+		stream("fork-churn-r8", "hb-tree", "reclaim", gen.Take(gen.ForkChurn(8, 31), events), treeclock.WithSlotReclaim()),
+		// Variable churn: rule-(a) summaries grow toward threads x vars
+		// uncapped; the aging sweep holds them near the cap.
+		stream("churning-vars-k8-v256", "wcp-tree", "unaged", gen.Take(gen.ChurningVars(8, 256, 10, 33), events)),
+		stream("churning-vars-k8-v256", "wcp-tree", "aged", gen.Take(gen.ChurningVars(8, 256, 10, 33), events), treeclock.WithSummaryCap(256)),
+	}
+
+	// Identifier-name churn (text input: the interner is the leak).
+	sections := events / 4
+	capped, err := treeclock.RunStream("hb-tree", gen.NameChurnText(8, 16, sections, 11), treeclock.WithInternCap(1024))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcbench: intern-cap: %v\n", err)
+		os.Exit(1)
+	}
+	rows = append(rows, churnRow("name-churn-t8", "hb-tree", "intern-cap", capped))
+
+	for _, row := range rows {
+		report.Results = append(report.Results, row)
+		printChurnRow(row)
+	}
+	fmt.Println()
+}
+
+// churnRow builds a churn-section row from a stream result. A run
+// without any cap reports no MemStats — its slot count is the external
+// thread space itself (slots map to threads one-to-one).
+func churnRow(workload, engine, mode string, res *treeclock.StreamResult) memResult {
+	row := memResult{Workload: workload, Engine: engine, Mode: mode, Events: res.Events}
+	if res.Mem == nil {
+		row.ThreadSlots = res.Meta.Threads
+		return row
+	}
+	row.HasReporter = true
+	fillMem(&row, *res.Mem)
+	row.ThreadSlots = res.Mem.ThreadSlots
+	row.FreeSlots = res.Mem.FreeSlots
+	row.RetiredSlots = res.Mem.RetiredSlots
+	row.ReusedSlots = res.Mem.ReusedSlots
+	row.SummaryEvictions = res.Mem.SummaryEvictions
+	row.InternedNames = res.Mem.InternedNames
+	row.InternEvictions = res.Mem.InternEvictions
+	if row.ThreadSlots == 0 {
+		row.ThreadSlots = res.Meta.Threads
+	}
+	return row
+}
+
+// printChurnRow renders one churn measurement line.
+func printChurnRow(r memResult) {
+	line := fmt.Sprintf("  %-22s %-10s %-10s %9d ev   slots %6d (%d free, %d retired, %d reused)",
+		r.Workload, r.Engine, r.Mode, r.Events, r.ThreadSlots, r.FreeSlots, r.RetiredSlots, r.ReusedSlots)
+	if r.SummaryVectors > 0 || r.SummaryEvictions > 0 {
+		line += fmt.Sprintf("   %d summaries (%d evicted)", r.SummaryVectors, r.SummaryEvictions)
+	}
+	if r.InternedNames > 0 || r.InternEvictions > 0 {
+		line += fmt.Sprintf("   %d names live (%d evicted)", r.InternedNames, r.InternEvictions)
+	}
+	fmt.Println(line)
 }
 
 // fillMem copies reporter numbers into a row and derives the per-event

@@ -16,6 +16,9 @@
 //	tcrace -algo shb -clock vc < t.txt    # legacy flag spelling
 //	tcrace -checkpoint run.ckpt huge.txt  # crash-safe: periodic checkpoints
 //	tcrace -resume run.ckpt huge.txt      # continue an interrupted run
+//	tcrace -reclaim-slots churny.txt      # bounded clocks under thread churn
+//	tcrace -engine wcp-tree -summary-cap 4096 t.txt # age rule-(a) summaries
+//	tcrace -intern-cap 100000 month.txt   # evict cold identifier names
 //
 // Ingestion is batched by default; -scalar forces the per-event loop
 // and -pipeline N overlaps decoding with analysis through a ring of N
@@ -37,6 +40,20 @@
 // one. Both flags require a trace file or a restartable stdin; the
 // worker count and engine flags must match the checkpointed run's.
 //
+// Three flags bound the residual state that otherwise grows for the
+// lifetime of a long stream. -reclaim-slots retires a thread's clock
+// slot once it is fully joined, so thread-churn workloads keep clock
+// width proportional to the number of concurrently live threads
+// (non-predictive engines only; reported thread ids are then internal
+// slot numbers, not the trace's external ids). -summary-cap N ages out
+// wcp rule-(a) acquire summaries whose snapshots are dominated by the
+// lock's published release clock, holding live summaries near N with
+// results identical to the unbounded run. -intern-cap N evicts the
+// coldest interned identifier names above N per space (threads, locks,
+// vars) for text input; a name seen again after eviction becomes a
+// fresh identity, which is sound for race detection but makes reported
+// ids for such names differ from an uncapped run.
+//
 // Prints the race summary and up to 64 sample pairs, plus timing and —
 // with -work — the data-structure work counters. Engine names come
 // from the registry (see -list).
@@ -50,6 +67,7 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
@@ -95,22 +113,25 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tcrace", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		engineFlag = fs.String("engine", "", "registry engine name (see -list); overrides -algo/-clock")
-		algo       = fs.String("algo", "hb", "partial order: hb, shb, maz or wcp")
-		clock      = fs.String("clock", "tc", "clock data structure: tc (tree clock) or vc (vector clock)")
-		format     = fs.String("format", "text", "trace format: text or bin")
-		work       = fs.Bool("work", false, "also report data-structure work counters")
-		samples    = fs.Int("samples", 10, "sample races to print")
-		list       = fs.Bool("list", false, "list registered engines and exit")
-		noValidate = fs.Bool("no-validate", false, "skip incremental well-formedness checking (lock/fork/join discipline)")
-		pipeline   = fs.Int("pipeline", 0, "decode in a separate goroutine through a ring of N recycled batch buffers (0 = automatic, negative = off)")
-		scalar     = fs.Bool("scalar", false, "force the per-event streaming loop instead of batched ingestion")
-		workers    = fs.Int("workers", 1, "shard the analysis across N worker replicas (0 = GOMAXPROCS, 1 = sequential)")
-		flatWeak   = fs.Bool("flat-weak", false, "use the flat-vector weak-clock baseline for weak orders (wcp) instead of the sparse segment transport")
-		progress   = fs.Uint64("progress", 0, "print a progress line to stderr every N events (0 = off)")
-		checkpoint = fs.String("checkpoint", "", "write a crash-safe checkpoint to this file every -checkpoint-every events")
-		ckptEvery  = fs.Uint64("checkpoint-every", 1_000_000, "events between checkpoints (with -checkpoint)")
-		resume     = fs.String("resume", "", "restore analysis state from this checkpoint file before reading the trace")
+		engineFlag   = fs.String("engine", "", "registry engine name (see -list); overrides -algo/-clock")
+		algo         = fs.String("algo", "hb", "partial order: hb, shb, maz or wcp")
+		clock        = fs.String("clock", "tc", "clock data structure: tc (tree clock) or vc (vector clock)")
+		format       = fs.String("format", "text", "trace format: text or bin")
+		work         = fs.Bool("work", false, "also report data-structure work counters")
+		samples      = fs.Int("samples", 10, "sample races to print")
+		list         = fs.Bool("list", false, "list registered engines and exit")
+		noValidate   = fs.Bool("no-validate", false, "skip incremental well-formedness checking (lock/fork/join discipline)")
+		pipeline     = fs.Int("pipeline", 0, "decode in a separate goroutine through a ring of N recycled batch buffers (0 = automatic, negative = off)")
+		scalar       = fs.Bool("scalar", false, "force the per-event streaming loop instead of batched ingestion")
+		workers      = fs.Int("workers", 1, "shard the analysis across N worker replicas (0 = GOMAXPROCS, 1 = sequential)")
+		flatWeak     = fs.Bool("flat-weak", false, "use the flat-vector weak-clock baseline for weak orders (wcp) instead of the sparse segment transport")
+		progress     = fs.Uint64("progress", 0, "print a progress line to stderr every N events (0 = off)")
+		checkpoint   = fs.String("checkpoint", "", "write a crash-safe checkpoint to this file every -checkpoint-every events")
+		ckptEvery    = fs.Uint64("checkpoint-every", 1_000_000, "events between checkpoints (with -checkpoint)")
+		resume       = fs.String("resume", "", "restore analysis state from this checkpoint file before reading the trace")
+		reclaimSlots = fs.Bool("reclaim-slots", false, "reclaim fully-joined threads' clock slots so thread-churn streams keep bounded clock width (hb/shb/maz; reported thread ids become slot numbers)")
+		summaryCap   = fs.Int("summary-cap", 0, "age out dominated rule-(a) acquire summaries above roughly N live entries (wcp engines; 0 = unbounded)")
+		internCap    = fs.Int("intern-cap", 0, "evict the coldest interned identifier names above N per space (text input; evicted names reappear as fresh ids; 0 = unbounded)")
 	)
 	// flag reports parse errors to fs.Output on its own; Usage is
 	// rendered once, to stdout for -h and to stderr for usage errors.
@@ -173,6 +194,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if *flatWeak {
 		opts = append(opts, treeclock.WithFlatWeakClocks())
 	}
+	if *reclaimSlots {
+		opts = append(opts, treeclock.WithSlotReclaim())
+	}
+	if *summaryCap > 0 {
+		opts = append(opts, treeclock.WithSummaryCap(*summaryCap))
+	}
+	if *internCap > 0 {
+		opts = append(opts, treeclock.WithInternCap(*internCap))
+	}
 	if *progress > 0 {
 		opts = append(opts, treeclock.WithProgress(*progress, func(p treeclock.Progress) {
 			fmt.Fprintf(stderr, "progress: %d events (%.2fM ev/s)\n", p.Events, p.Rate/1e6)
@@ -194,13 +224,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		opts = append(opts, treeclock.WithCheckpoint(*ckptEvery, treeclock.FileCheckpointSink{Path: *checkpoint}))
 	}
 	if *resume != "" {
-		f, err := os.Open(*resume)
+		// Read the checkpoint fully up front rather than streaming from
+		// an open handle: with -checkpoint naming the same path (the
+		// natural spelling for "continue and keep checkpointing here"),
+		// the sink's first temp+rename would otherwise replace the file
+		// while the restore still holds it — on platforms where renaming
+		// over an open file fails, that aborts the run mid-restore.
+		data, err := os.ReadFile(*resume)
 		if err != nil {
 			fmt.Fprintf(stderr, "tcrace: %v\n", err)
 			return exitUsage
 		}
-		defer f.Close()
-		opts = append(opts, treeclock.ResumeFrom(f))
+		opts = append(opts, treeclock.ResumeFrom(bytes.NewReader(data)))
 	}
 
 	if *workers < 0 {

@@ -225,6 +225,48 @@ func TestCheckpointResumeCLI(t *testing.T) {
 	}
 }
 
+// TestResumeAndCheckpointSamePath resumes from a checkpoint while
+// writing new checkpoints to the same file — the natural way to
+// continue a long run crash-safely. The restore must read the old
+// bytes in full before the sink's first temp+rename replaces them,
+// and the resumed report must still match an uninterrupted run.
+func TestResumeAndCheckpointSamePath(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "t.txt")
+	var sb strings.Builder
+	for i := 0; i < 200; i++ {
+		sb.WriteString(racyTrace)
+	}
+	if err := os.WriteFile(trace, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, ref, _ := runCmd(t, "", trace)
+	if code != exitRaces {
+		t.Fatalf("reference run: exit %d", code)
+	}
+	ck := filepath.Join(dir, "run.ckpt")
+	if code, _, errOut := runCmd(t, "", "-checkpoint", ck, "-checkpoint-every", "64", trace); code != exitRaces {
+		t.Fatalf("checkpointed run: exit %d (stderr: %s)", code, errOut)
+	}
+	// Resume and checkpoint through the same path; the tight interval
+	// forces many rewrites of the file being resumed from.
+	code, out, errOut := runCmd(t, "", "-resume", ck, "-checkpoint", ck, "-checkpoint-every", "16", trace)
+	if code != exitRaces {
+		t.Fatalf("same-path resume: exit %d (stderr: %s)", code, errOut)
+	}
+	if got, want := stripTiming(out), stripTiming(ref); got != want {
+		t.Fatalf("same-path resumed report differs:\n--- resumed\n%s--- reference\n%s", got, want)
+	}
+	// The rewritten checkpoint must itself be resumable.
+	code, out, errOut = runCmd(t, "", "-resume", ck, trace)
+	if code != exitRaces {
+		t.Fatalf("resume from rewritten checkpoint: exit %d (stderr: %s)", code, errOut)
+	}
+	if got, want := stripTiming(out), stripTiming(ref); got != want {
+		t.Fatalf("rewritten-checkpoint report differs:\n--- resumed\n%s--- reference\n%s", got, want)
+	}
+}
+
 // stripTiming removes the elapsed duration from the summary line so
 // reports compare structurally.
 func stripTiming(out string) string {

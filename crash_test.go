@@ -16,6 +16,7 @@ import (
 	"reflect"
 	"testing"
 
+	"treeclock/internal/gen"
 	"treeclock/internal/trace"
 )
 
@@ -270,6 +271,121 @@ func TestCheckpointBytesCrashInvariant(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// materializeText drains src into a text-format trace for the crash
+// corpus.
+func materializeText(t testing.TB, src trace.EventSource, name string) []byte {
+	t.Helper()
+	var evs []trace.Event
+	for {
+		ev, ok := src.Next()
+		if !ok {
+			break
+		}
+		evs = append(evs, ev)
+	}
+	if err := src.Err(); err != nil {
+		t.Fatal(err)
+	}
+	tr := &trace.Trace{Meta: trace.Meta{Name: name}, Events: evs}
+	var b bytes.Buffer
+	if err := trace.WriteText(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// TestCrashResumeChurn extends the crash-equivalence matrix to the
+// residual-state caps: runs killed right after slot retirements,
+// summary-aging sweeps and interner evictions must resume from the
+// last checkpoint to a result deeply equal to the uninterrupted run's
+// — the caps' bookkeeping (free lists, sweep thresholds, recency
+// ticks) is part of the checkpointed state, not ephemeral.
+func TestCrashResumeChurn(t *testing.T) {
+	forkText := materializeText(t, gen.Take(gen.ForkChurn(6, 99), 4000), "churn-fork")
+	varsText := materializeText(t, gen.Take(gen.ChurningVars(6, 64, 8, 41), 4000), "churn-vars")
+	nameText, err := io.ReadAll(gen.NameChurnText(4, 6, 1000, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		engine string
+		opts   []StreamOption
+		text   []byte
+	}{
+		{"hb-tree-reclaim", "hb-tree", []StreamOption{WithSlotReclaim()}, forkText},
+		{"hb-vc-reclaim", "hb-vc", []StreamOption{WithSlotReclaim()}, forkText},
+		{"shb-tree-reclaim", "shb-tree", []StreamOption{WithSlotReclaim()}, forkText},
+		{"wcp-tree-sumcap", "wcp-tree", []StreamOption{WithSummaryCap(16)}, varsText},
+		{"hb-tree-interncap", "hb-tree", []StreamOption{WithInternCap(48)}, nameText},
+	}
+	for _, tc := range cases {
+		for _, mode := range crashModes {
+			tc, mode := tc, mode
+			t.Run(tc.name+"/"+mode.name, func(t *testing.T) {
+				n := bytes.Count(tc.text, []byte("\n"))
+				base := append([]StreamOption{StreamValidate()}, tc.opts...)
+				newSrc := func() EventSource { return trace.NewScanner(bytes.NewReader(tc.text)) }
+				ref, err := mode.run(tc.engine, newSrc(), base...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// The corpus must actually churn, or the kill points prove
+				// nothing about the caps' checkpointed bookkeeping.
+				if ref.Mem == nil || ref.Mem.RetiredSlots+ref.Mem.SummaryEvictions+ref.Mem.InternEvictions == 0 {
+					t.Fatalf("reference run saw no churn activity: %+v", ref.Mem)
+				}
+				for _, k := range killPoints(n, testing.Short()) {
+					got := crashAndResume(t, mode, tc.engine, base, newSrc, k)
+					if !reflect.DeepEqual(got, ref) {
+						t.Errorf("kill at %d: resumed result differs from uninterrupted run\nresumed:   %+v\nreference: %+v", k, got, ref)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCheckpointBytesChurnInvariant repeats the byte-level invariant
+// under slot reclamation: a resumed churn run's subsequent checkpoints
+// must continue the uninterrupted run's sequence byte for byte (free
+// lists, remap tables and retirement counters restore exactly).
+func TestCheckpointBytesChurnInvariant(t *testing.T) {
+	text := materializeText(t, gen.Take(gen.ForkChurn(5, 77), 3000), "churn-bytes")
+	newSrc := func() EventSource { return trace.NewScanner(bytes.NewReader(text)) }
+	base := []StreamOption{StreamValidate(), WithSlotReclaim()}
+	full := newArchiveSink()
+	if _, err := RunStreamSource("hb-tree", newSrc(), append(base, WithCheckpoint(1, full))...); err != nil {
+		t.Fatal(err)
+	}
+	k := uint64(2 * trace.DefaultBatchSize)
+	sink := &memSink{}
+	src := trace.NewCrashSource(newSrc(), k)
+	if _, err := RunStreamSource("hb-tree", src, append(base, WithCheckpoint(1, sink))...); !errors.Is(err, trace.ErrInjectedCrash) {
+		t.Fatalf("err = %v, want injected crash", err)
+	}
+	if want := full.all[k]; !bytes.Equal(sink.last, want) {
+		t.Errorf("checkpoint at %d under fault injection differs from uninterrupted run's", k)
+	}
+	resumed := newArchiveSink()
+	if _, err := RunStreamSource("hb-tree", newSrc(), append(base, ResumeFrom(bytes.NewReader(sink.last)), WithCheckpoint(1, resumed))...); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if len(resumed.all) == 0 {
+		t.Fatal("resumed run wrote no checkpoints")
+	}
+	for events, data := range resumed.all {
+		want, ok := full.all[events]
+		if !ok {
+			t.Errorf("resumed run checkpointed at %d, uninterrupted run did not", events)
+			continue
+		}
+		if !bytes.Equal(data, want) {
+			t.Errorf("resumed run's checkpoint at %d differs from uninterrupted run's", events)
+		}
 	}
 }
 

@@ -141,6 +141,47 @@
 // -experiment mem (BENCH_mem.json); cmd/traceinfo -wcp breaks the
 // numbers down per lock.
 //
+// "Proportional to the live identifier spaces" is still unbounded when
+// the spaces themselves churn: a month-long stream forks threads, then
+// touches variables, then spells identifier names that are never seen
+// again, and each leaves residue — a clock slot, a rule-(a) summary, an
+// interner entry — that outlives its subject. Three opt-in caps bound
+// those residues:
+//
+//   - WithSlotReclaim retires a thread's clock slot once the thread is
+//     fully joined: external thread ids are remapped to internal slots
+//     at dispatch, a retired slot's component is erased from the
+//     legacy clock (vt.Clock.ReleaseSlot), and the slot is reissued to
+//     a later fork only when the forking thread's clock already
+//     dominates the slot's final legacy time — the gate that makes
+//     reuse indistinguishable from a fresh slot. Clock width then tracks the peak number of
+//     concurrently live threads, not the number of threads the trace
+//     ever named. Race reports are unchanged except that reported
+//     thread ids are slot numbers. The predictive engines are excluded
+//     (WithSlotReclaim fails for wcp-*): rule-(a) summaries and
+//     rule-(b) cursors keep per-thread state that must survive the
+//     thread's join.
+//   - WithSummaryCap(n) ages out WCP rule-(a) summaries whose
+//     snapshots are dominated by the lock's latest published release
+//     clock (see internal/wcp's package comment for the soundness
+//     argument); live summaries plateau near n with reports identical
+//     to the unbounded run's.
+//   - WithInternCap(n) evicts the coldest interned identifier names
+//     above n per space from the text scanner. A name seen again after
+//     eviction becomes a fresh identity — sound for race detection
+//     (the analysis never unifies accesses across the gap it would
+//     otherwise have kept), but reported ids for such names differ
+//     from an uncapped run; text input only.
+//
+// All three surface their accounting through StreamResult.Mem
+// (ThreadSlots/RetiredSlots/ReusedSlots, SummaryEvictions,
+// InternedNames/InternEvictions), are preserved across
+// checkpoint/resume with byte-identical crash equivalence, and are
+// measured by the mem experiment's churn section and the churn soak
+// tests (churn_soak_test.go: a 50M-event fork churn holds clock
+// capacity at 9 slots). cmd/tcrace exposes them as -reclaim-slots,
+// -summary-cap and -intern-cap.
+//
 // # Weak clocks and why tree clocks don't apply
 //
 // WCP's per-thread state is a pair of clocks, and only one of them is

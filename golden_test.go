@@ -39,7 +39,7 @@ func TestCheckpointGolden(t *testing.T) {
 		t.Fatalf("no checkpoint at event 1024 (have %v)", keysOf(sink.all))
 	}
 
-	path := filepath.Join("testdata", "checkpoint_v1.golden")
+	path := filepath.Join("testdata", "checkpoint_v2.golden")
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)

@@ -39,7 +39,7 @@ var ErrCorrupt = errors.New("corrupt checkpoint")
 // Version is the current checkpoint format version, written by
 // Enc.Header and required by Dec.Header. Any change to what a section
 // contains is a format change and must bump it.
-const Version = 1
+const Version = 2
 
 const magic = "TCKP"
 

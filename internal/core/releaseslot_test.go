@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"treeclock/internal/vt"
+)
+
+// ReleaseSlot tests: erasing a dead thread's component must leave the
+// tree a valid tree clock whose vector time equals the mirror with
+// that entry zeroed, across every structural position of the released
+// node (leaf, interior, child of root). Releases happen only once a
+// clock will no longer join sources carrying the released thread —
+// the precondition the vt.Clock contract places on callers — so the
+// protocol below releases at quiescence.
+
+// buildRandom grows a tree clock (and its vector mirror) through a
+// random join protocol over k threads, returning clocks whose shapes
+// cover leaves, chains and bushy interiors.
+func buildRandom(t *testing.T, r *rand.Rand, k, steps int) ([]*TreeClock, []vt.Vector) {
+	t.Helper()
+	clocks := make([]*TreeClock, k)
+	mirror := make([]vt.Vector, k)
+	for i := range clocks {
+		clocks[i] = New(k, nil)
+		clocks[i].Init(vt.TID(i))
+		mirror[i] = vt.NewVector(k)
+	}
+	for s := 0; s < steps; s++ {
+		i := r.Intn(k)
+		clocks[i].Inc(vt.TID(i), 1)
+		mirror[i][i]++
+		if j := r.Intn(k); j != i {
+			clocks[i].Join(clocks[j])
+			mirror[i].Join(mirror[j])
+		}
+	}
+	for i := range clocks {
+		if err := clocks[i].Validate(); err != nil {
+			t.Fatalf("clock %d invalid after build: %v", i, err)
+		}
+		if got := clocks[i].Vector(vt.NewVector(k)); !got.Equal(mirror[i]) {
+			t.Fatalf("clock %d diverged from mirror before any release: %v vs %v", i, got, mirror[i])
+		}
+	}
+	return clocks, mirror
+}
+
+// TestReleaseSlotRandom releases every foreign slot of every clock in
+// random order, checking validity and vector equality after each
+// erasure — the random shapes exercise the leaf unlink and the
+// interior child-splice paths alike.
+func TestReleaseSlotRandom(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		k := 3 + r.Intn(10)
+		clocks, mirror := buildRandom(t, r, k, 40+r.Intn(200))
+		for i := range clocks {
+			order := r.Perm(k)
+			for _, x := range order {
+				if x == i {
+					continue
+				}
+				clocks[i].ReleaseSlot(vt.TID(x))
+				mirror[i][x] = 0
+				if err := clocks[i].Validate(); err != nil {
+					t.Fatalf("seed %d: clock %d invalid after releasing %d: %v", seed, i, x, err)
+				}
+				if got := clocks[i].Vector(vt.NewVector(k)); !got.Equal(mirror[i]) {
+					t.Fatalf("seed %d: clock %d after releasing %d: %v, want %v", seed, i, x, got, mirror[i])
+				}
+				if got := clocks[i].Get(vt.TID(x)); got != 0 {
+					t.Fatalf("seed %d: clock %d still reports %d for released %d", seed, i, got, x)
+				}
+			}
+		}
+	}
+}
+
+// TestReleaseSlotRepopulate pins the "capacity unchanged" clause: a
+// released slot joined back in from a clock that still carries it
+// reappears with the source's value.
+func TestReleaseSlotRepopulate(t *testing.T) {
+	const k = 4
+	a := New(k, nil)
+	a.Init(0)
+	b := New(k, nil)
+	b.Init(1)
+	b.Inc(1, 3)
+	a.Join(b)
+	a.ReleaseSlot(1)
+	if got := a.Get(1); got != 0 {
+		t.Fatalf("released entry reads %d", got)
+	}
+	b.Inc(1, 2)
+	a.Join(b)
+	if got := a.Get(1); got != 5 {
+		t.Fatalf("repopulated entry reads %d, want 5", got)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReleaseSlotNoop pins the no-op cases: absent, zero and
+// out-of-range slots.
+func TestReleaseSlotNoop(t *testing.T) {
+	c := New(3, nil)
+	c.Init(0)
+	c.Inc(0, 2)
+	before := c.Vector(vt.NewVector(3))
+	c.ReleaseSlot(1)          // never seen
+	c.ReleaseSlot(vt.TID(99)) // beyond capacity
+	c.ReleaseSlot(vt.TID(-1)) // negative
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Vector(vt.NewVector(3)); !got.Equal(before) {
+		t.Fatalf("no-op releases changed the clock: %v vs %v", got, before)
+	}
+}
+
+// TestReleaseSlotOwnPanics pins that erasing the owner's component is
+// a caller bug, not a silent corruption.
+func TestReleaseSlotOwnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("releasing the clock's own slot did not panic")
+		}
+	}()
+	c := New(2, nil)
+	c.Init(0)
+	c.Inc(0, 1)
+	c.ReleaseSlot(0)
+}

@@ -208,6 +208,55 @@ func (c *TreeClock) Inc(t vt.TID, d vt.Time) {
 	}
 }
 
+// ReleaseSlot implements vt.Clock: erase thread t's component, as if
+// t had never been seen. Structurally the node is spliced out of the
+// tree: its children are reattached to its parent, in place of t in
+// the child list, all at t's own attachment time. That preserves both
+// tree-clock invariants — the list stays in descending attachment
+// order (t's neighbours bracket aclk(t)), and the pruning property
+// holds inductively: any clock knowing t's parent at ≥ aclk(t) knew t
+// at ≥ clk(t) (the property for t), hence knew each child v at
+// ≥ clk(v) (the property for t's children, whose attachment times are
+// ≤ clk(t)). Releasing the root (the owning thread) panics; absent or
+// out-of-capacity slots are a no-op.
+func (c *TreeClock) ReleaseSlot(t vt.TID) {
+	if int(t) < 0 || int(t) >= int(c.k) || c.sh[t].par == notIn {
+		return
+	}
+	if t == c.root {
+		panic("core: ReleaseSlot on the clock's own thread")
+	}
+	st := c.sh[t]
+	last := st.head
+	for v := st.head; v != none; v = c.sh[v].nxt {
+		c.sh[v].par = st.par
+		c.sh[v].aclk = st.aclk
+		last = v
+	}
+	first := st.head
+	if first == none { // leaf: the splice degenerates to an unlink
+		first, last = st.nxt, st.prv
+	} else {
+		c.sh[first].prv = st.prv
+		c.sh[last].nxt = st.nxt
+		if st.nxt != none {
+			c.sh[st.nxt].prv = last
+		}
+	}
+	if st.prv != none {
+		c.sh[st.prv].nxt = first
+	} else {
+		c.sh[st.par].head = first
+	}
+	if st.head == none && st.nxt != none { // leaf unlink: fix the right link
+		c.sh[st.nxt].prv = st.prv
+	}
+	c.clk[t] = 0
+	c.sh[t] = shape{par: notIn, head: none, nxt: none, prv: none}
+	c.nodes--
+	c.rev++
+}
+
 // LessEqFast reports whether this clock's vector time is ⊑ o's using
 // only the root entry (O(1)). The test is valid for clocks maintained
 // by a partial-order engine, where direct monotonicity (Lemma 3) makes

@@ -18,6 +18,7 @@ package engine
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"treeclock/internal/ckpt"
 	"treeclock/internal/vt"
@@ -65,6 +66,26 @@ func (r *Runtime[C]) Snapshot(w io.Writer) error {
 		e.Bool(r.lockSet[l])
 		if r.lockSet[l] {
 			r.locks[l].Save(e)
+		}
+	}
+	e.Bool(r.slots != nil)
+	if s := r.slots; s != nil {
+		e.Uvarint(uint64(s.next))
+		e.U64(s.retired)
+		e.U64(s.reused)
+		e.Uvarint(uint64(len(s.free)))
+		for _, f := range s.free {
+			e.Uvarint(uint64(f))
+		}
+		ext := make([]vt.TID, 0, len(s.extern))
+		for u := range s.extern {
+			ext = append(ext, u)
+		}
+		sort.Slice(ext, func(i, j int) bool { return ext[i] < ext[j] })
+		e.Uvarint(uint64(len(ext)))
+		for _, u := range ext {
+			e.Uvarint(uint64(u))
+			e.Uvarint(uint64(s.extern[u]))
 		}
 	}
 	e.End()
@@ -126,6 +147,55 @@ func (r *Runtime[C]) Restore(rd io.Reader) error {
 			locks[l], lockSet[l] = c, true
 		}
 	}
+	hasSlots := d.Bool()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if hasSlots != (r.slots != nil) {
+		d.Corruptf("slot-reclamation configuration mismatch (checkpoint %v, engine %v)", hasSlots, r.slots != nil)
+		return d.Err()
+	}
+	var slots *slotTable
+	if hasSlots {
+		slots = &slotTable{extern: make(map[vt.TID]vt.TID)}
+		next := d.Uvarint()
+		if next > uint64(vt.MaxID) {
+			d.Corruptf("slot high-water mark %d out of range", next)
+			return d.Err()
+		}
+		slots.next = vt.TID(next)
+		slots.retired = d.U64()
+		slots.reused = d.U64()
+		nf := d.Len(1)
+		slots.free = make([]vt.TID, 0, nf)
+		prev := vt.None
+		for i := 0; i < nf; i++ {
+			f := d.Uvarint()
+			if d.Err() != nil {
+				return d.Err()
+			}
+			if f >= next || vt.TID(f) <= prev {
+				d.Corruptf("free slot list entry %d not ascending below %d", f, next)
+				return d.Err()
+			}
+			prev = vt.TID(f)
+			slots.free = append(slots.free, vt.TID(f))
+		}
+		ne := d.Len(2)
+		prev = vt.None
+		for i := 0; i < ne; i++ {
+			u, slot := d.Uvarint(), d.Uvarint()
+			if d.Err() != nil {
+				return d.Err()
+			}
+			if u > uint64(vt.MaxID) || vt.TID(u) <= prev || slot >= next {
+				d.Corruptf("external thread map entry (%d -> %d) invalid", u, slot)
+				return d.Err()
+			}
+			prev = vt.TID(u)
+			slots.extern[vt.TID(u)] = vt.TID(slot)
+		}
+	}
 	d.End()
 	d.Begin("analysis")
 	hasDet := d.Bool()
@@ -149,5 +219,8 @@ func (r *Runtime[C]) Restore(rd io.Reader) error {
 	}
 	r.name, r.vars, r.events = name, vars, events
 	r.threads, r.locks, r.lockSet = threads, locks, lockSet
+	if hasSlots {
+		r.slots = slots
+	}
 	return r.ckptSem.Restore(r, rd)
 }

@@ -98,6 +98,28 @@ type MemStats struct {
 	// FreeVectors is the number of recycled snapshot vectors parked in
 	// the plugin's free list awaiting reuse.
 	FreeVectors int
+	// SummaryEvictions counts rule-(a) summary vectors dropped by the
+	// aging sweep (internal/wcp, SetSummaryCap) over the run.
+	SummaryEvictions uint64
+
+	// ThreadSlots is the number of internal clock slots ever issued —
+	// the effective clock capacity k. With slot reclamation off it
+	// equals the number of threads the trace ever named; with it on it
+	// plateaus at the peak number of concurrently live threads (plus
+	// retired slots whose reuse the soundness gate rejected).
+	ThreadSlots int
+	// FreeSlots is the number of retired slots awaiting reuse.
+	FreeSlots int
+	// RetiredSlots / ReusedSlots count slot retirements and re-issues
+	// over the run (reclamation only; zero otherwise).
+	RetiredSlots uint64
+	ReusedSlots  uint64
+
+	// InternedNames / InternEvictions report the text scanner's
+	// identifier interner when an intern cap is set (RunStream fills
+	// them in; the runtime itself never sees the scanner).
+	InternedNames   int
+	InternEvictions uint64
 }
 
 // MemReporter is an optional extension of Semantics: plugins that
@@ -140,6 +162,7 @@ type Runtime[C vt.Clock[C]] struct {
 	threadSem ThreadSemantics[C]
 	memRep    MemReporter
 	ckptSem   CheckpointSemantics[C]
+	slots     *slotTable // non-nil when slot reclamation is on (slots.go)
 	factory   vt.Factory[C]
 	threads   []C
 	locks     []C
@@ -171,14 +194,22 @@ func New[C vt.Clock[C]](sem Semantics[C], factory vt.Factory[C]) *Runtime[C] {
 }
 
 // MemStats reports the semantics plugin's retained-state accounting,
-// when the plugin implements the MemReporter extension; ok is false
-// for plugins whose state is bounded by the live identifier spaces
-// alone (HB, SHB, MAZ) and have nothing to report.
+// when the plugin implements the MemReporter extension, plus the
+// runtime's own slot-reclamation accounting when that is enabled; ok
+// is false when neither has anything to report (HB, SHB, MAZ with
+// reclamation off: state bounded by the live identifier spaces alone).
 func (r *Runtime[C]) MemStats() (ms MemStats, ok bool) {
-	if r.memRep == nil {
-		return MemStats{}, false
+	if r.memRep != nil {
+		ms, ok = r.memRep.MemStats(), true
 	}
-	return r.memRep.MemStats(), true
+	if r.slots != nil {
+		ms.ThreadSlots = int(r.slots.next)
+		ms.FreeSlots = len(r.slots.free)
+		ms.RetiredSlots = r.slots.retired
+		ms.ReusedSlots = r.slots.reused
+		ok = true
+	}
+	return ms, ok
 }
 
 // NewWithMeta returns a runtime pre-sized for a known trace: thread
@@ -268,6 +299,11 @@ func (r *Runtime[C]) Analysis() *analysis.Accumulator { return r.acc }
 
 // Step processes one event.
 func (r *Runtime[C]) Step(ev trace.Event) {
+	var recycled bool
+	retire := vt.None
+	if r.slots != nil {
+		ev, recycled, retire = r.remap(ev)
+	}
 	t := ev.T
 	if int(t) >= len(r.threads) {
 		r.growThreads(int(t) + 1)
@@ -301,7 +337,11 @@ func (r *Runtime[C]) Step(ev trace.Event) {
 		if int(ev.Obj) >= len(r.threads) {
 			r.growThreads(int(ev.Obj) + 1)
 		}
-		r.threads[ev.Obj].Join(ct)
+		if recycled {
+			r.forkRecycled(ct, vt.TID(ev.Obj))
+		} else {
+			r.threads[ev.Obj].Join(ct)
+		}
 		if r.threadSem != nil {
 			r.threadSem.Fork(r, t, vt.TID(ev.Obj), ct)
 		}
@@ -315,6 +355,9 @@ func (r *Runtime[C]) Step(ev trace.Event) {
 		}
 	}
 	r.events++
+	if retire != vt.None {
+		r.retireSlot(retire)
+	}
 }
 
 // Process runs a whole event slice through Step.
@@ -400,7 +443,10 @@ func (r *Runtime[C]) ProcessBatchAt(base uint64, events []trace.Event) {
 // replicated, only per-variable analysis is sharded), so the additive
 // fields — live entries, drops, bytes, summaries, free-list slots —
 // sum to the run's true footprint, while PeakLockHist is a per-lock
-// high-water mark and takes the maximum.
+// high-water mark and takes the maximum. The slot-reclamation fields
+// also take the maximum: every replica runs the same deterministic
+// remapping over the full event stream, so the slot space is one
+// shared shape replicated per worker, not additional footprint.
 func MergeMemStats(stats []MemStats) MemStats {
 	var out MemStats
 	for _, ms := range stats {
@@ -409,8 +455,27 @@ func MergeMemStats(stats []MemStats) MemStats {
 		out.RetainedBytes += ms.RetainedBytes
 		out.SummaryVectors += ms.SummaryVectors
 		out.FreeVectors += ms.FreeVectors
+		out.SummaryEvictions += ms.SummaryEvictions
 		if ms.PeakLockHist > out.PeakLockHist {
 			out.PeakLockHist = ms.PeakLockHist
+		}
+		if ms.ThreadSlots > out.ThreadSlots {
+			out.ThreadSlots = ms.ThreadSlots
+		}
+		if ms.FreeSlots > out.FreeSlots {
+			out.FreeSlots = ms.FreeSlots
+		}
+		if ms.RetiredSlots > out.RetiredSlots {
+			out.RetiredSlots = ms.RetiredSlots
+		}
+		if ms.ReusedSlots > out.ReusedSlots {
+			out.ReusedSlots = ms.ReusedSlots
+		}
+		if ms.InternedNames > out.InternedNames {
+			out.InternedNames = ms.InternedNames
+		}
+		if ms.InternEvictions > out.InternEvictions {
+			out.InternEvictions = ms.InternEvictions
 		}
 	}
 	return out

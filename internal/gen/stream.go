@@ -1,7 +1,9 @@
 package gen
 
 import (
+	"io"
 	"math/rand"
+	"strconv"
 
 	"treeclock/internal/trace"
 	"treeclock/internal/vt"
@@ -205,6 +207,52 @@ func RotatingLocks(threads, locks, rotateEvery int, seed int64) *Stream {
 	return &Stream{plan: s.turn}
 }
 
+// ForkChurn returns an endless stream in which coordinator thread 0
+// cycles a ring of short-lived worker threads: each turn it joins the
+// oldest live worker (once the ring is full) and forks a fresh one,
+// which runs one locked critical section on a ring-slot variable,
+// sometimes followed by an unprotected write to one shared variable —
+// concurrently-live workers race on it. External thread ids grow
+// monotonically forever while at most ring+1 threads are ever live, so
+// the stream is the adversarial workload for thread-slot reclamation:
+// with it, clock width plateaus near the ring size; without it, k
+// grows with every fork. Variable and lock spaces are bounded (one
+// lock, ring+2 variables), so slots are the only unbounded axis.
+// Ring must be at least 2 for workers to overlap.
+func ForkChurn(ring int, seed int64) *Stream {
+	if ring < 2 {
+		panic("gen: fork churn needs a ring of at least 2")
+	}
+	const (
+		lock = int32(0)
+		racy = int32(0) // shared unprotected variable
+		// slot variables follow: 1..ring, then nothing else.
+	)
+	r := rand.New(rand.NewSource(seed))
+	var live []vt.TID // forked, not yet joined; oldest first
+	next := vt.TID(1) // 0 is the coordinator
+	return &Stream{plan: func(emit func(trace.Event)) {
+		if len(live) >= ring {
+			emit(trace.Event{T: 0, Obj: int32(live[0]), Kind: trace.Join})
+			live = live[1:]
+		}
+		t := next
+		next++
+		live = append(live, t)
+		emit(trace.Event{T: 0, Obj: int32(t), Kind: trace.Fork})
+		slot := 1 + int32(t)%int32(ring)
+		emit(trace.Event{T: t, Obj: lock, Kind: trace.Acquire})
+		if r.Intn(2) == 0 {
+			emit(trace.Event{T: t, Obj: slot, Kind: trace.Read})
+		}
+		emit(trace.Event{T: t, Obj: slot, Kind: trace.Write})
+		emit(trace.Event{T: t, Obj: lock, Kind: trace.Release})
+		if r.Intn(4) == 0 {
+			emit(trace.Event{T: t, Obj: racy, Kind: trace.Write})
+		}
+	}}
+}
+
 // ChurningVars is HotLock with the guarded shared variable churning
 // through vars 0..vars-1, switching every churnEvery sections, so the
 // per-(lock, variable) rule-(a) summary state is driven toward its
@@ -228,4 +276,96 @@ func ChurningVars(threads, vars, churnEvery int, seed int64) *Stream {
 		privBase: int32(vars),
 	}
 	return &Stream{plan: s.turn}
+}
+
+// NameChurnText returns a deterministic text-format trace stream whose
+// identifier names churn: a fixed set of thread names ("w_0"...) and
+// four lock names ("m_0".."m_3") stay hot forever, while the guarded
+// variable name advances every burst sections ("v_0", "v_1", ...) and
+// is never mentioned again once retired. Every name uses an underscore
+// spelling, so all of them take the tokenizer's map-interned path (the
+// canonical fast path is sidestepped on purpose) — the adversarial
+// workload for interner eviction: uncapped, the map grows by one name
+// per burst forever; capped, retired variable names are the coldest
+// entries and age out while the hot thread and lock names survive, so
+// capped and uncapped runs intern identical id sequences and report
+// identical results. Each section is one locked critical section plus
+// an occasional unprotected read of the same variable by the next
+// thread (a race while the name is still live). sections bounds the
+// stream; sections < 0 streams forever.
+func NameChurnText(threads, burst, sections int, seed int64) io.Reader {
+	if threads < 2 {
+		panic("gen: name churn needs at least 2 threads")
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &nameChurnText{
+		r:       rand.New(rand.NewSource(seed)),
+		threads: threads,
+		burst:   burst,
+		left:    sections,
+	}
+}
+
+// nameChurnText synthesizes the text trace chunk by chunk; sections
+// are emitted whole, so any cut the consumer sees falls on a line
+// boundary.
+type nameChurnText struct {
+	r       *rand.Rand
+	threads int
+	burst   int
+	left    int // sections remaining; < 0 = endless
+	sec     int
+	buf     []byte
+	pos     int
+}
+
+func (g *nameChurnText) Read(p []byte) (int, error) {
+	if g.pos >= len(g.buf) {
+		if g.left == 0 {
+			return 0, io.EOF
+		}
+		g.buf = g.buf[:0]
+		g.pos = 0
+		for i := 0; i < 64 && g.left != 0; i++ {
+			g.section()
+			if g.left > 0 {
+				g.left--
+			}
+		}
+	}
+	n := copy(p, g.buf[g.pos:])
+	g.pos += n
+	return n, nil
+}
+
+func (g *nameChurnText) section() {
+	t := g.sec % g.threads
+	t2 := (t + 1) % g.threads
+	l := g.sec % 4
+	v := g.sec / g.burst
+	g.line(t, "acq", 'm', l)
+	if g.r.Intn(2) == 0 {
+		g.line(t, "r", 'v', v)
+	}
+	g.line(t, "w", 'v', v)
+	g.line(t, "rel", 'm', l)
+	if g.r.Intn(3) == 0 {
+		g.line(t2, "r", 'v', v)
+	}
+	g.sec++
+}
+
+// line appends "w_<t> <op> <c>_<id>\n".
+func (g *nameChurnText) line(t int, op string, c byte, id int) {
+	b := g.buf
+	b = append(b, 'w', '_')
+	b = strconv.AppendInt(b, int64(t), 10)
+	b = append(b, ' ')
+	b = append(b, op...)
+	b = append(b, ' ', c, '_')
+	b = strconv.AppendInt(b, int64(id), 10)
+	b = append(b, '\n')
+	g.buf = b
 }

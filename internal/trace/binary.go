@@ -20,7 +20,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"math"
 
 	"treeclock/internal/vt"
 )
@@ -227,7 +226,7 @@ func (s *BinaryScanner) header() error {
 			s.err = fmt.Errorf("trace: reading binary header: %w", err)
 			return s.err
 		}
-		if i < 3 && fields[i] > math.MaxInt32 {
+		if i < 3 && fields[i] >= vt.MaxID {
 			s.err = fmt.Errorf("trace: binary header field %d out of range (%d)", i, fields[i])
 			return s.err
 		}
@@ -314,9 +313,11 @@ func (s *BinaryScanner) decodeSlow() (Event, bool) {
 		s.err = fmt.Errorf("trace: event %d: %w", s.read, err)
 		return Event{}, false
 	}
-	// Identifiers are int32-valued; reject anything larger so a
-	// corrupt stream surfaces as an error, not a negative id.
-	const maxID = math.MaxInt32
+	// Identifiers index dense per-identifier state downstream; reject
+	// anything at or above the global id bound so a corrupt or hostile
+	// stream surfaces as a decode error, not a negative id or a huge
+	// allocation in a grow path.
+	const maxID = vt.MaxID - 1
 	if t > maxID || obj > maxID {
 		s.err = fmt.Errorf("trace: event %d: identifier out of range (thread %d, operand %d)", s.read, t, obj)
 		return Event{}, false

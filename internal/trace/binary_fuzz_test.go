@@ -62,6 +62,18 @@ func FuzzBinaryScanner(f *testing.F) {
 	huge := []byte("TCT1")
 	huge = binary.AppendUvarint(huge, 1<<30) // absurd name length
 	f.Add(huge)
+	// Hostile near-MaxInt identifier: fits in int32 (so it once decoded
+	// cleanly) but indexes a dense grow path downstream — must now be
+	// rejected at decode against the global id bound.
+	hostile := []byte("TCT1")
+	hostile = binary.AppendUvarint(hostile, 0)
+	for _, v := range []uint64{1, 1, 1, 1} {
+		hostile = binary.AppendUvarint(hostile, v)
+	}
+	hostile = append(hostile, byte(Write))
+	hostile = binary.AppendUvarint(hostile, 1<<30) // thread id
+	hostile = binary.AppendUvarint(hostile, 0)
+	f.Add(hostile)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fast, fastErr := drainBinary(NewBinaryScanner(bytes.NewReader(data)))

@@ -90,6 +90,24 @@ func saveIntern(e *ckpt.Enc, in *intern) {
 			e.Int32(v)
 		}
 	}
+	// Eviction state (SetInternCap): the recency ticks are behavioural
+	// state — they steer future evictions — so a resumed run needs them
+	// to evict the same names the uninterrupted run would.
+	e.Bool(in.last != nil)
+	if in.last != nil {
+		e.Uvarint(in.tick)
+		e.U64(in.evictions)
+		ids := make([]int32, 0, len(in.last))
+		for id := range in.last {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		e.Uvarint(uint64(len(ids)))
+		for _, id := range ids {
+			e.Int32(id)
+			e.Uvarint(in.last[id])
+		}
+	}
 }
 
 // loadIntern restores one interner table, validating that every id is
@@ -150,6 +168,41 @@ func loadIntern(d *ckpt.Dec) *intern {
 		previ = idx
 		in.fast[idx] = v
 	}
+	if d.Bool() {
+		in.tick = d.Uvarint()
+		in.evictions = d.U64()
+		nr := d.Len(2)
+		if d.Err() != nil {
+			return nil
+		}
+		if nr != len(in.ids) {
+			d.Corruptf("recency table of %d entries for %d interned names", nr, len(in.ids))
+			return nil
+		}
+		in.last = make(map[int32]uint64, nr)
+		in.names = make(map[int32]string, nr)
+		prev = -1
+		for i := 0; i < nr; i++ {
+			id := d.Int32()
+			tk := d.Uvarint()
+			if d.Err() != nil {
+				return nil
+			}
+			if id <= prev || id >= in.count || tk > in.tick {
+				d.Corruptf("recency entry (%d, %d) out of range (count %d, tick %d)", id, tk, in.count, in.tick)
+				return nil
+			}
+			prev = id
+			in.last[id] = tk
+		}
+		for name, id := range in.ids {
+			if _, ok := in.last[id]; !ok {
+				d.Corruptf("interned id %d has no recency entry", id)
+				return nil
+			}
+			in.names[id] = name
+		}
+	}
 	return in
 }
 
@@ -182,6 +235,20 @@ func (s *Scanner) RestoreSource(d *ckpt.Dec) error {
 	d.End()
 	if err := d.Err(); err != nil {
 		return err
+	}
+	// The intern cap is scanner configuration, not checkpoint state: a
+	// checkpoint taken with eviction on carries recency tables and must
+	// resume with a cap (and vice versa), and the loaded tables inherit
+	// the configured cap.
+	for _, p := range [...]struct {
+		loaded *intern
+		cap    int
+	}{{threads, s.threads.cap}, {locks, s.locks.cap}, {vars, s.vars.cap}} {
+		if (p.loaded.last != nil) != (p.cap > 0) {
+			return fmt.Errorf("trace: resume: intern-cap configuration mismatch (checkpoint eviction %v, scanner cap %d): %w",
+				p.loaded.last != nil, p.cap, ckpt.ErrCorrupt)
+		}
+		p.loaded.cap = p.cap
 	}
 	if err := discardPrefix(s.r, off); err != nil {
 		return err
@@ -461,6 +528,23 @@ func (c *CrashSource) RestoreSource(d *ckpt.Dec) error {
 		return errNotCheckpointable(c.src)
 	}
 	return cs.RestoreSource(d)
+}
+
+// SetInternCap delegates InternCapable to the wrapped source (a no-op
+// when it has no interner), so fault-injected runs can bound the
+// interner exactly like uninjected ones.
+func (c *CrashSource) SetInternCap(n int) {
+	if ic, ok := c.src.(InternCapable); ok {
+		ic.SetInternCap(n)
+	}
+}
+
+// InternStats delegates InternCapable to the wrapped source.
+func (c *CrashSource) InternStats() (live int, evictions uint64) {
+	if ic, ok := c.src.(InternCapable); ok {
+		return ic.InternStats()
+	}
+	return 0, 0
 }
 
 var (

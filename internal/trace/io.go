@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"treeclock/internal/vt"
@@ -56,6 +57,23 @@ type intern struct {
 	count      int32
 	fastPrefix byte    // 0 until the first canonical name is seen
 	fast       []int32 // numeric suffix -> id+1; 0 = unseen
+
+	// Cold-name eviction (Scanner.SetInternCap): cap bounds the
+	// map-interned table only — the direct-index array is already
+	// bounded by fastLimit — and 0 (the default) disables eviction,
+	// leaving the hot path untouched except for a nil check. With a
+	// cap, every map hit stamps the name's recency tick, and an insert
+	// at the cap first evicts the coldest quarter of the table. An
+	// evicted name seen again gets a fresh id — ids are never reused,
+	// because downstream per-id analysis state would rebind — so
+	// consumers see it as a brand-new identifier, which is sound
+	// exactly when the old id's analysis state is dead (the caller's
+	// bargain: see the Scanner.SetInternCap contract).
+	cap       int
+	tick      uint64           // recency counter, bumped per map use
+	last      map[int32]uint64 // id -> tick of last use (cap > 0 only)
+	names     map[int32]string // id -> name, for map-key deletion
+	evictions uint64
 }
 
 // fastLimit bounds the numeric suffix served by the direct-index path
@@ -76,12 +94,76 @@ func (in *intern) idBytes(name []byte) int32 {
 		}
 	}
 	if id, ok := in.ids[string(name)]; ok {
+		if in.last != nil {
+			in.tick++
+			in.last[id] = in.tick
+		}
 		return id
 	}
+	if in.cap > 0 && len(in.ids) >= in.cap {
+		in.evict()
+	}
 	id := in.count
-	in.ids[string(name)] = id
+	s := string(name)
+	in.ids[s] = id
 	in.count++
+	if in.last != nil {
+		in.tick++
+		in.last[id] = in.tick
+		in.names[id] = s
+	}
 	return id
+}
+
+// setCap bounds the map-interned table to n names (0 disables).
+// Names already interned are backfilled with recency tick 0, so they
+// are the first eviction candidates.
+func (in *intern) setCap(n int) {
+	in.cap = n
+	if n <= 0 {
+		in.last, in.names = nil, nil
+		return
+	}
+	in.last = make(map[int32]uint64)
+	in.names = make(map[int32]string)
+	for name, id := range in.ids {
+		in.last[id] = 0
+		in.names[id] = name
+	}
+}
+
+// evict removes the coldest quarter (at least one) of the map-interned
+// names. Ties on the recency tick break by id, so the batch is
+// deterministic regardless of map iteration order.
+func (in *intern) evict() {
+	n := in.cap / 4
+	if n < 1 {
+		n = 1
+	}
+	type idTick struct {
+		id   int32
+		tick uint64
+	}
+	all := make([]idTick, 0, len(in.last))
+	for id, tk := range in.last {
+		all = append(all, idTick{id, tk})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].tick != all[j].tick {
+			return all[i].tick < all[j].tick
+		}
+		return all[i].id < all[j].id
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	for i := 0; i < n; i++ {
+		id := all[i].id
+		delete(in.ids, in.names[id])
+		delete(in.names, id)
+		delete(in.last, id)
+		in.evictions++
+	}
 }
 
 // fastID interns a canonical name given in decoded form — prefix

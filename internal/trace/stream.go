@@ -70,6 +70,48 @@ func NewScanner(r io.Reader) *Scanner {
 	}
 }
 
+// SetInternCap bounds each identifier space's map-interned name table
+// to n names (0, the default, keeps the tables unbounded). Once a
+// table is full, interning a new name first evicts the coldest quarter
+// of the table (least-recently-used); an evicted name seen again is a
+// brand-new identifier with a fresh id. The ids handed out stay
+// strictly monotone — no id is ever reused — so downstream engines
+// never see old per-id state rebound to a different name, but they do
+// see the identifier space keep growing, and any analysis state still
+// attached to an evicted id is permanently orphaned. The cap is
+// therefore only sound when cold names' analysis state is dead (e.g.
+// variables that are never accessed again, threads already joined);
+// a race between accesses that straddle an eviction is missed. The
+// canonical-name direct-index path is unaffected (already bounded by
+// its own fastLimit). Call before scanning begins.
+func (s *Scanner) SetInternCap(n int) {
+	s.threads.setCap(n)
+	s.locks.setCap(n)
+	s.vars.setCap(n)
+}
+
+// InternStats reports the map-interned name tables' total live size
+// and cumulative evictions across the three identifier spaces — the
+// quantity SetInternCap bounds (the direct-index fast tables are
+// bounded separately by fastLimit).
+func (s *Scanner) InternStats() (live int, evictions uint64) {
+	for _, in := range [...]*intern{s.threads, s.locks, s.vars} {
+		live += len(in.ids)
+		evictions += in.evictions
+	}
+	return live, evictions
+}
+
+// InternCapable is the optional EventSource extension behind interner
+// eviction: the text Scanner implements it, and transparent wrappers
+// (CrashSource) delegate it, so callers can bound the interner without
+// knowing the exact wrapping. Sources without interned names (binary,
+// pre-decoded) simply don't implement it.
+type InternCapable interface {
+	SetInternCap(n int)
+	InternStats() (live int, evictions uint64)
+}
+
 // Next returns the next event. It reports ok == false at end of input
 // or on error; check Err afterwards.
 //

@@ -86,6 +86,13 @@ func (v *Validator) check(e Event) error {
 	if e.T < 0 || e.Obj < 0 {
 		return fmt.Errorf("event %d (%v): negative identifier", v.idx, e)
 	}
+	// Identifiers index dense per-thread/per-lock state here and in
+	// every engine; a hostile near-MaxInt id must fail as a validation
+	// error before it reaches a grow call and turns into a huge
+	// allocation.
+	if int64(e.T) >= vt.MaxID || int64(e.Obj) >= vt.MaxID {
+		return fmt.Errorf("event %d (%v): identifier out of range (thread %d, operand %d, max %d)", v.idx, e, e.T, e.Obj, int64(vt.MaxID)-1)
+	}
 	if e.Kind >= numKinds {
 		return fmt.Errorf("event %d: invalid kind %d", v.idx, e.Kind)
 	}

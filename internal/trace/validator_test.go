@@ -71,6 +71,32 @@ func TestValidatorAgreesWithMaterialized(t *testing.T) {
 	}
 }
 
+// TestValidatorRejectsHostileIDs: an in-range-but-huge identifier
+// (delivered by a non-text source; the text scanner assigns sequential
+// ids) must fail validation before the validator's grow paths attempt
+// a multi-gigabyte allocation.
+func TestValidatorRejectsHostileIDs(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   Event
+	}{
+		{"thread", Event{T: 1 << 30, Kind: Write, Obj: 0}},
+		{"operand", Event{T: 0, Kind: Acquire, Obj: 1<<31 - 1}},
+		{"fork-target", Event{T: 0, Kind: Fork, Obj: 1 << 28}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			v := NewValidator(NewReplayer(&Trace{Events: []Event{c.ev}}))
+			if _, ok := v.Next(); ok {
+				t.Fatalf("hostile id %v accepted", c.ev)
+			}
+			if v.Err() == nil || !strings.Contains(v.Err().Error(), "out of range") {
+				t.Fatalf("Err() = %v, want out-of-range error", v.Err())
+			}
+		})
+	}
+}
+
 // TestBinaryRejectsOversizedIDs: a corrupt stream encoding an
 // identifier beyond int32 must error, not wrap to a negative id.
 func TestBinaryRejectsOversizedIDs(t *testing.T) {
@@ -89,6 +115,31 @@ func TestBinaryRejectsOversizedIDs(t *testing.T) {
 	s := NewBinaryScanner(&buf)
 	if _, ok := s.Next(); ok {
 		t.Fatal("oversized operand accepted")
+	}
+	if s.Err() == nil || !strings.Contains(s.Err().Error(), "out of range") {
+		t.Fatalf("Err() = %v, want out-of-range error", s.Err())
+	}
+}
+
+// TestBinaryRejectsHostileInRangeIDs: an identifier that fits in int32
+// but exceeds the global id bound must fail at decode, before it can
+// reach a dense grow path.
+func TestBinaryRejectsHostileInRangeIDs(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(binaryMagic[:])
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) { buf.Write(tmp[:binary.PutUvarint(tmp[:], v)]) }
+	put(0) // name length
+	put(1) // threads
+	put(0) // locks
+	put(1) // vars
+	put(1) // event count
+	buf.WriteByte(byte(Write))
+	put(1 << 30) // thread: in int32 range, beyond the id bound
+	put(0)       // operand
+	s := NewBinaryScanner(&buf)
+	if _, ok := s.Next(); ok {
+		t.Fatal("hostile in-range thread id accepted")
 	}
 	if s.Err() == nil || !strings.Contains(s.Err().Error(), "out of range") {
 		t.Fatalf("Err() = %v, want out-of-range error", s.Err())

@@ -66,6 +66,18 @@ func (c *VectorClock) Inc(t vt.TID, d vt.Time) {
 	}
 }
 
+// ReleaseSlot implements vt.Clock: erase thread t's component. The
+// vector clock does not know its owner, so the caller alone upholds
+// the never-the-own-slot contract (the engine's slot reclamation only
+// releases retired threads' entries).
+func (c *VectorClock) ReleaseSlot(t vt.TID) {
+	if int(t) < 0 || int(t) >= len(c.v) || c.v[t] == 0 {
+		return
+	}
+	c.v[t] = 0
+	c.rev++
+}
+
 // Join performs the pointwise-maximum update c ← c ⊔ o in Θ(k).
 func (c *VectorClock) Join(o *VectorClock) {
 	if c == o {

@@ -62,6 +62,18 @@ type Clock[C any] interface {
 	// materialize (documented per type). Callers must not write
 	// through or retain the view.
 	VectorView() []Time
+	// ReleaseSlot erases thread t's component: after the call the clock
+	// reports Get(t) == 0 and treats t as never seen, exactly as if the
+	// entry had not been written. The capacity is unchanged (the slot
+	// can be repopulated by later joins). Releasing a slot that is
+	// absent, zero or at/beyond the capacity is a no-op. Callers must
+	// not release the clock's own slot — the thread a clock was
+	// initialized for (implementations that know their owner panic) —
+	// and must guarantee that the erased component is genuinely dead:
+	// the engine's slot reclamation (internal/engine) only releases a
+	// thread's entry from clocks that can never again receive it via a
+	// join, so erasure cannot change any represented ordering.
+	ReleaseSlot(t TID)
 	// Rev returns a revision counter for the clock's foreign entries:
 	// it advances whenever an entry other than the owning thread's may
 	// have changed, so an unchanged Rev across two reads guarantees

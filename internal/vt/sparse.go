@@ -463,6 +463,26 @@ func (c *Sparse) Inc(t TID, d Time) {
 // Grow implements Clock.
 func (c *Sparse) Grow(k int) { c.grow(k) }
 
+// ReleaseSlot implements Clock: erase thread t's component, releasing
+// the whole segment back to the pool when it becomes all-zero.
+func (c *Sparse) ReleaseSlot(t TID) {
+	i := int(t) >> segShift
+	if int(t) < 0 || i >= len(c.segs) || c.segs[i] == 0 {
+		return
+	}
+	p := c.pl()
+	if p.at(c.segs[i]).vals[int(t)&segMask] == 0 {
+		return
+	}
+	w := c.writable(i)
+	w.vals[int(t)&segMask] = 0
+	if w.vals == ([SegSize]Time{}) {
+		p.release(c.segs[i])
+		c.segs[i] = 0
+	}
+	c.rev++
+}
+
 // MonotoneCopy implements Clock: with c ⊑ o, overwrite equals copy.
 func (c *Sparse) MonotoneCopy(o *Sparse) { c.CopyFrom(o) }
 
@@ -492,6 +512,16 @@ type SparseSnap struct {
 	n      int32
 	inline [snapInline]segRef
 	more   []segRef
+}
+
+// IsZero reports whether the snapshot is the zero value — dropped or
+// never assigned. A zero snapshot holds no segment references, so it
+// is always safe to overwrite without a Drop.
+func (s *SparseSnap) IsZero() bool {
+	if s.t != 0 || s.lt != 0 || s.n != 0 || s.more != nil {
+		return false
+	}
+	return s.inline == [snapInline]segRef{}
 }
 
 // seg returns block i's segment reference (0 for an absent block).

@@ -58,6 +58,8 @@ func (s *SemanticsOf[C, W, S, F]) Snapshot(rt *engine.Runtime[C], w io.Writer) e
 	e.Int(s.liveHist)
 	e.Int(s.peakLockHist)
 	e.U64(s.dropped)
+	e.U64(s.sumEvictions)
+	e.Int(s.sumSweepAt)
 	e.Uvarint(uint64(len(s.histFree)))
 	s.store.SaveState(e)
 	e.Uvarint(uint64(len(s.threads)))
@@ -107,13 +109,15 @@ func (s *SemanticsOf[C, W, S, F]) Restore(rt *engine.Runtime[C], r io.Reader) er
 	liveHist := d.Int()
 	peakLockHist := d.Int()
 	dropped := d.U64()
+	sumEvictions := d.U64()
+	sumSweepAt := d.Int()
 	nfree := d.Count()
 	if d.Err() != nil {
 		return d.Err()
 	}
-	if k < 0 || k > vt.MaxID || liveHist < 0 || peakLockHist < 0 {
-		d.Corruptf("plugin counters (k %d, live %d, peak %d) out of range",
-			k, liveHist, peakLockHist)
+	if k < 0 || k > vt.MaxID || liveHist < 0 || peakLockHist < 0 || sumSweepAt < 0 {
+		d.Corruptf("plugin counters (k %d, live %d, peak %d, sweep %d) out of range",
+			k, liveHist, peakLockHist, sumSweepAt)
 		return d.Err()
 	}
 	if nfree > maxFreeChunks {
@@ -187,11 +191,32 @@ func (s *SemanticsOf[C, W, S, F]) Restore(rt *engine.Runtime[C], r io.Reader) er
 	}
 	s.k, s.compact = k, compact
 	s.liveHist, s.peakLockHist, s.dropped = liveHist, peakLockHist, dropped
+	s.sumEvictions, s.sumSweepAt = sumEvictions, sumSweepAt
 	s.histFree = nil
 	for i := 0; i < nfree; i++ {
 		s.histFree = append(s.histFree, make([]csEntry[S], histLen))
 	}
 	s.threads, s.locks, s.vars = threads, locks, vars
+	// Derived aging state: the live contribution count and per-lock
+	// holder counts are recomputed from what was just loaded (cheaper
+	// and safer than trusting checkpoint bytes that must agree with the
+	// object graph anyway).
+	s.sumLive = 0
+	for l := range s.locks {
+		for _, sum := range s.locks[l].sums {
+			s.sumLive += len(sum.reads) + len(sum.writes)
+		}
+	}
+	for i := range s.threads {
+		for j := range s.threads[i].held {
+			l := s.threads[i].held[j].lock
+			if int(l) >= len(s.locks) {
+				d.Corruptf("open section lock %d beyond lock space %d", l, len(s.locks))
+				return d.Err()
+			}
+			s.locks[l].holders++
+		}
+	}
 	return nil
 }
 

@@ -124,6 +124,26 @@
 // is observable: the plugin implements engine.MemReporter, and
 // LockHistStats breaks the accounting down per lock.
 //
+// The rule-(a) summaries have a leak of their own on long streams:
+// "O(locks × vars × threads)" is a live-space bound, and a workload
+// that rotates its guarded variables through an ever-growing space
+// accretes one summary per (lock, var, thread) touched, forever.
+// SetSummaryCap bounds them by aging: once live contributions exceed
+// the cap, releases sweep out every contribution whose snapshot is
+// dominated pointwise by its lock's latest published weak clock.
+// Dropping those is a no-op by the publication-chain argument
+// (sweepSummaries documents it: any future absorber acquires the lock
+// first and joins a publication at or above today's, so the absorption
+// was already redundant); locks currently held are skipped because
+// their holders joined an older publication and are not yet covered.
+// The cap is therefore soft — irreducible summary state is never
+// dropped — and capped runs are observationally identical to
+// unbounded ones, pinned by the aging differential, a late-thread
+// oracle scenario and the churn-plateau soak (aging_test.go).
+// Evictions are counted in MemStats.SummaryEvictions, and the sweep
+// schedule (cap + cap/8 hysteresis) is checkpointed so resumed runs
+// sweep at the same points and stay byte-identical.
+//
 // # Event handling
 //
 //   - Acquire: join ℓ's weak clock into W_t (transport), open a
@@ -228,14 +248,20 @@ func (h *histBuf[S]) push(t vt.TID, acqLT vt.Time, free *[][]csEntry[S]) *csEntr
 
 // dropFront removes the d oldest entries — whose snapshots the caller
 // has already returned to the store — recycling fully vacated chunks.
-// Recycled chunks are not zeroed: every slot is overwritten before it
-// becomes live again, and the snapshots a stale slot appears to pin
-// were already dropped (the sparse representation's references are
-// integers, invisible to the collector anyway).
+// Chunks are cleared before they reach the free list. Store.Drop zeroes
+// each snapshot in place, but nothing else enforces that every slot of
+// a vacated chunk went through Drop; a stale rel surviving into the
+// free list would be re-issued by push (which deliberately leaves rel
+// for the caller to assign), where a stale flat snapshot is a live
+// slice header pinning a dropped vector against the collector — heap
+// bytes the store's accounting no longer counts — and a stale sparse
+// snapshot carries dangling segment refs that a later double Drop
+// would subtract from live accounting twice, driving it negative.
 func (h *histBuf[S]) dropFront(d int, free *[][]csEntry[S]) {
 	h.head += d
 	h.n -= d
 	for h.head >= histLen && len(h.chunks) > 0 {
+		clear(h.chunks[0])
 		*free = append(*free, h.chunks[0])
 		h.chunks[0] = nil
 		h.chunks = h.chunks[1:]
@@ -284,6 +310,12 @@ type lockState[W, S any] struct {
 	cmax1, cmax2 int
 	ctmax        vt.TID
 	sums         map[int32]*varSummary[S]
+	// holders counts threads currently inside a critical section of
+	// this lock. The aging sweep skips held locks: a holder joined an
+	// older publication of ls.w at its acquire, so domination by the
+	// current publication does not yet make its future rule-(a)
+	// absorbs no-ops. Recomputed from thread state on restore.
+	holders int
 	// Retained-state accounting: peak is the high-water mark of
 	// len(hist); dropped counts entries reclaimed by compaction.
 	peak    int
@@ -368,6 +400,20 @@ type SemanticsOf[C vt.Clock[C], W vt.WeakClock[W, S], S any, F vt.SnapStore[W, S
 	// hot-lock workloads compaction vacates chunks at the same rate
 	// pushes consume them, so the steady state allocates none.
 	histFree [][]csEntry[S]
+
+	// Rule-(a) summary aging (SetSummaryCap): sumCap bounds the live
+	// contribution count across all locks (0 = unbounded); sumLive
+	// tracks it incrementally; sumEvictions counts dropped
+	// contributions; sumSweepAt is the hysteresis threshold — the next
+	// sweep runs once sumLive reaches it, so a sweep that frees little
+	// is not immediately re-run on every release. sumSweepAt and
+	// sumEvictions are checkpointed (sweep timing is observable through
+	// MemStats, which crash equivalence pins); sumLive is recomputed on
+	// restore.
+	sumCap       int
+	sumLive      int
+	sumEvictions uint64
+	sumSweepAt   int
 }
 
 // Semantics is SemanticsOf with the default sparse weak-clock
@@ -576,6 +622,7 @@ func (s *SemanticsOf[C, W, S, F]) Acquire(rt *engine.Runtime[C], t vt.TID, l int
 		}
 	}
 	ts.held = append(ts.held, openCS{lock: l, acqLT: ct.Get(t)})
+	ls.holders++
 }
 
 // Release implements engine.LockSemantics: rule (b) against the lock's
@@ -650,6 +697,7 @@ func (s *SemanticsOf[C, W, S, F]) Release(rt *engine.Runtime[C], t vt.TID, l int
 		}
 
 		cs := ts.held[held]
+		ls.holders--
 		if held == len(ts.held)-1 {
 			// LIFO release (the overwhelmingly common discipline): a
 			// plain truncation, skipping append's typed-copy machinery
@@ -720,6 +768,96 @@ func (s *SemanticsOf[C, W, S, F]) Release(rt *engine.Runtime[C], t vt.TID, l int
 	// WCP one.
 	ls.w.CopyFrom(ts.w)
 	ls.wSet = true
+
+	// Rule-(a) summary aging: once the live contribution count exceeds
+	// the cap (and the hysteresis threshold — a sweep that freed little
+	// must not re-run on every release), drop every contribution the
+	// locks' published weak clocks have made redundant.
+	if s.sumCap > 0 && s.sumLive > s.sumCap && s.sumLive >= s.sumSweepAt {
+		s.sweepSummaries()
+		s.sumSweepAt = s.sumLive + s.sumCap>>3 + 1
+	}
+}
+
+// SetSummaryCap bounds the rule-(a) summary state: once more than n
+// contribution snapshots are live across all locks, releases run an
+// aging sweep that drops every contribution already dominated by its
+// lock's published weak clock (0, the default, disables aging). The
+// cap is soft — contributions that are not yet provably redundant are
+// never dropped, so a workload whose irreducible summary state exceeds
+// n keeps it all — and dropping never changes analysis results (see
+// sweepSummaries).
+func (s *SemanticsOf[C, W, S, F]) SetSummaryCap(n int) { s.sumCap = n }
+
+// sweepSummaries drops every rule-(a) contribution snapshot that its
+// lock's current published weak clock dominates pointwise.
+//
+// Soundness: a contribution of (ℓ, x, t) is only ever absorbed, at a
+// later access under ℓ, into the accessor's weak clock — and the
+// accessor's acquire of ℓ already joined ℓ's then-current publication
+// (rule c), which is at or above today's (publications along a lock's
+// release chain are monotone: every releaser first joined the previous
+// publication at its acquire). So if today's publication dominates the
+// snapshot, every future absorb of it is a no-op and dropping it
+// changes nothing. Locks currently held are skipped: the holder
+// joined an *older* publication at its acquire, so the monotone-chain
+// argument does not yet cover it; its release publishes first, and
+// the contribution becomes sweepable afterwards. The sweep visits
+// locks in id order and dropping is order-independent, so the result
+// is deterministic despite map iteration inside a lock.
+func (s *SemanticsOf[C, W, S, F]) sweepSummaries() {
+	for l := range s.locks {
+		ls := &s.locks[l]
+		if ls.holders > 0 || !ls.wSet || len(ls.sums) == 0 {
+			continue
+		}
+		for x, sum := range ls.sums {
+			sum.reads = s.dropDominated(sum.reads, ls)
+			sum.writes = s.dropDominated(sum.writes, ls)
+			if len(sum.reads)+len(sum.writes) == 0 {
+				delete(ls.sums, x)
+			}
+		}
+		if len(ls.sums) == 0 {
+			ls.sums = nil
+		}
+	}
+}
+
+// dropDominated filters one contribution list in place, dropping
+// snapshots dominated by the lock's published weak clock. Vacated
+// slots are zeroed: a snapshot is refcounted storage, and a stale
+// copy left in the tail would be double-released by a later
+// addContrib assignment into the same slot.
+func (s *SemanticsOf[C, W, S, F]) dropDominated(cs []contrib[S], ls *lockState[W, S]) []contrib[S] {
+	kept := 0
+	for i := range cs {
+		if s.snapDominated(&cs[i].s, ls) {
+			s.store.Drop(&cs[i].s)
+			s.sumLive--
+			s.sumEvictions++
+			continue
+		}
+		if kept != i {
+			cs[kept] = cs[i]
+			cs[i] = contrib[S]{}
+		}
+		kept++
+	}
+	return cs[:kept]
+}
+
+// snapDominated reports whether snap ⊑ the lock's published weak
+// clock, pointwise over the thread space. SnapGet reads the
+// snapshot's own slot from its out-of-band epoch, so the check is
+// exact.
+func (s *SemanticsOf[C, W, S, F]) snapDominated(snap *S, ls *lockState[W, S]) bool {
+	for u := 0; u < s.k; u++ {
+		if s.store.SnapGet(snap, vt.TID(u)) > ls.w.Get(vt.TID(u)) {
+			return false
+		}
+	}
+	return true
 }
 
 // addContrib installs thread t's newest release snapshot as its
@@ -734,6 +872,7 @@ func (s *SemanticsOf[C, W, S, F]) addContrib(cs []contrib[S], t vt.TID, snap *S)
 	}
 	cs = append(cs, contrib[S]{t: t})
 	s.store.Assign(&cs[len(cs)-1].s, snap)
+	s.sumLive++
 	return cs
 }
 
@@ -876,10 +1015,11 @@ func (s *SemanticsOf[C, W, S, F]) LockHistStats() []LockHistStat {
 // backbones by construction (the soak test asserts this).
 func (s *SemanticsOf[C, W, S, F]) MemStats() engine.MemStats {
 	ms := engine.MemStats{
-		HistEntries:    s.liveHist,
-		PeakLockHist:   s.peakLockHist,
-		DroppedEntries: s.dropped,
-		FreeVectors:    s.store.FreeCount(),
+		HistEntries:      s.liveHist,
+		PeakLockHist:     s.peakLockHist,
+		DroppedEntries:   s.dropped,
+		FreeVectors:      s.store.FreeCount(),
+		SummaryEvictions: s.sumEvictions,
 	}
 	// Deliberately NOT the sum of lockStat: that walks every retained
 	// history entry, which on rule-(b)-quiet workloads is the bulk of
@@ -1029,6 +1169,7 @@ func (*noClock) Init(vt.TID)                     {}
 func (*noClock) Get(vt.TID) vt.Time              { return 0 }
 func (*noClock) Inc(vt.TID, vt.Time)             {}
 func (*noClock) Grow(int)                        {}
+func (*noClock) ReleaseSlot(vt.TID)              {}
 func (*noClock) Join(*noClock)                   {}
 func (*noClock) MonotoneCopy(*noClock)           {}
 func (*noClock) CopyCheckMonotone(*noClock) bool { return true }

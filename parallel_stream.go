@@ -118,10 +118,14 @@ func runStreamParallel(info EngineInfo, src trace.EventSource, cfg streamConfig)
 			// still runs) but let every worker skip the gating closure.
 			owns = nil
 		}
+		var err error
 		if info.Clock == "tree" {
-			engines[w] = newStreamEngine[*core.TreeClock](info.Order, core.Factory(sink), cfg.analysis, owns, cfg.flatWeak)
+			engines[w], err = newStreamEngine[*core.TreeClock](info.Order, core.Factory(sink), &cfg, owns)
 		} else {
-			engines[w] = newStreamEngine[*vc.VectorClock](info.Order, vc.Factory(sink), cfg.analysis, owns, cfg.flatWeak)
+			engines[w], err = newStreamEngine[*vc.VectorClock](info.Order, vc.Factory(sink), &cfg, owns)
+		}
+		if err != nil {
+			return nil, err
 		}
 		replicas[w] = engines[w]
 	}

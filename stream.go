@@ -109,6 +109,9 @@ type streamConfig struct {
 	ckptEvery     uint64          // WithCheckpoint cadence; 0 = off
 	ckptSink      CheckpointSink  // WithCheckpoint destination
 	resume        io.Reader       // ResumeFrom checkpoint stream; nil = fresh run
+	slotReclaim   bool            // WithSlotReclaim: retire fully-joined thread slots
+	summaryCap    int             // WithSummaryCap: wcp rule-(a) summary budget; 0 = unbounded
+	internCap     int             // WithInternCap: text-interner name budget; 0 = unbounded
 }
 
 // StreamOption configures RunStream.
@@ -179,6 +182,51 @@ func WithWorkers(n int) StreamOption {
 // Engines whose order is not "wcp" ignore the option.
 func WithFlatWeakClocks() StreamOption {
 	return func(c *streamConfig) { c.flatWeak = true }
+}
+
+// WithSlotReclaim makes the engine reclaim thread slots: when a thread
+// has been joined and no live clock can still receive a component for
+// it, its slot is retired and becomes eligible for reuse by a later
+// fork, so thread-churn workloads hold clocks of width proportional to
+// the peak number of live threads instead of the total ever forked.
+// Reclamation changes no analysis result — race counts and samples are
+// identical to an unreclaimed run's — but reported thread ids are
+// internal slot numbers rather than first-appearance ordinals, and
+// StreamResult.Timestamps has one entry per slot. The "wcp-*" engines
+// reject the option (their rule-(a) summaries outlive joins; see the
+// engine.Runtime.EnableSlotReclaim contract).
+func WithSlotReclaim() StreamOption {
+	return func(c *streamConfig) { c.slotReclaim = true }
+}
+
+// WithSummaryCap bounds the "wcp-*" engines' per-(lock, variable,
+// thread) rule-(a) acquire summaries to roughly n live entries: when
+// the count exceeds n at a release boundary, summaries whose snapshots
+// are dominated by the lock's latest published release clock are
+// dropped (a sound no-op — joining them later could not move any weak
+// clock). The cap is a soft target: entries under locks currently held
+// are never dropped, so a pathological all-locks-held instant can
+// exceed it. n <= 0 (the default) disables aging. Engines whose order
+// is not "wcp" ignore the option, like WithFlatWeakClocks.
+func WithSummaryCap(n int) StreamOption {
+	return func(c *streamConfig) { c.summaryCap = n }
+}
+
+// WithInternCap bounds the text tokenizer's map-interned name table to
+// roughly n names, evicting the coldest when the budget is exceeded.
+// An evicted name seen again is treated as a brand-new identifier
+// (fresh id — ids are never reused), which is sound exactly when the
+// old identifier's analysis state is dead: a race between an access
+// before the eviction and one after it is missed. Use it for
+// month-long streams whose identifier names churn (thread names,
+// per-request variable names) and are never revisited once cold.
+// Canonical names ("t3", "x128") resolve through a bounded
+// direct-index array and are not subject to the cap. n <= 0 (the
+// default) disables eviction. The option requires text input: binary
+// traces and pre-decoded sources carry numeric ids, so there is
+// nothing to evict, and asking for a cap there fails the run.
+func WithInternCap(n int) StreamOption {
+	return func(c *streamConfig) { c.internCap = n }
 }
 
 // Progress is one WithProgress report.
@@ -312,7 +360,7 @@ func (a *runtimeAdapter[C]) Finish() (analysis.Summary, []analysis.Pair, []vt.Ve
 // access-history state — is gated, for the self-checking orders (MAZ,
 // WCP) the accumulator drops foreign reports; either way the retained
 // samples carry trace positions so shards merge back into trace order.
-func newStreamEngine[C vt.Clock[C]](order string, f vt.Factory[C], withAnalysis bool, owns func(int32) bool, flatWeak bool) streamEngine {
+func newStreamEngine[C vt.Clock[C]](order string, f vt.Factory[C], cfg *streamConfig, owns func(int32) bool) (streamEngine, error) {
 	var (
 		rt        *engine.Runtime[C]
 		timestamp func(t vt.TID, dst vt.Vector) vt.Vector
@@ -329,14 +377,16 @@ func newStreamEngine[C vt.Clock[C]](order string, f vt.Factory[C], withAnalysis 
 		// the runtime's HB scaffolding. The weak-clock transport is
 		// sparse by default; WithFlatWeakClocks selects the flat
 		// baseline.
-		if flatWeak {
+		if cfg.flatWeak {
 			sem := wcp.NewSemanticsFlat[C]()
+			sem.SetSummaryCap(cfg.summaryCap)
 			rt = engine.New[C](sem, f)
 			timestamp = func(t vt.TID, dst vt.Vector) vt.Vector {
 				return sem.Timestamp(t, rt.ThreadClock(t).Get(t), dst)
 			}
 		} else {
 			sem := wcp.NewSemantics[C]()
+			sem.SetSummaryCap(cfg.summaryCap)
 			rt = engine.New[C](sem, f)
 			timestamp = func(t vt.TID, dst vt.Vector) vt.Vector {
 				return sem.Timestamp(t, rt.ThreadClock(t).Get(t), dst)
@@ -345,8 +395,13 @@ func newStreamEngine[C vt.Clock[C]](order string, f vt.Factory[C], withAnalysis 
 	default:
 		panic("treeclock: unknown partial order " + order)
 	}
+	if cfg.slotReclaim {
+		if err := rt.EnableSlotReclaim(); err != nil {
+			return nil, fmt.Errorf("treeclock: WithSlotReclaim: %w", err)
+		}
+	}
 	var acc *analysis.Accumulator
-	if withAnalysis {
+	if cfg.analysis {
 		switch order {
 		case "maz", "wcp":
 			// These orders run their own pair checks and only need an
@@ -366,7 +421,7 @@ func newStreamEngine[C vt.Clock[C]](order string, f vt.Factory[C], withAnalysis 
 			acc.TrackPositions()
 		}
 	}
-	return &runtimeAdapter[C]{rt: rt, acc: acc, timestamp: timestamp}
+	return &runtimeAdapter[C]{rt: rt, acc: acc, timestamp: timestamp}, nil
 }
 
 // RunStream analyzes a trace read from r with the named engine in a
@@ -450,8 +505,23 @@ func runStream(engineName string, src trace.EventSource, cfg streamConfig) (*Str
 	if (cfg.ckptSink != nil || cfg.resume != nil) && cfg.pipeline > 0 {
 		return nil, fmt.Errorf("treeclock: WithCheckpoint/ResumeFrom and WithPipeline are mutually exclusive (the pipelined decoder is not checkpointable)")
 	}
+	// Interner eviction lives in the text tokenizer; the cap is applied
+	// to the unwrapped scanner before any input is consumed, and the
+	// scanner is remembered so the result can report the interner's
+	// retained-state accounting.
+	var scanner trace.InternCapable
+	if cfg.internCap > 0 {
+		sc, ok := src.(trace.InternCapable)
+		if !ok {
+			return nil, fmt.Errorf("treeclock: WithInternCap requires text input (source %T has no interned names)", src)
+		}
+		scanner = sc
+		scanner.SetInternCap(cfg.internCap)
+	}
 	if cfg.workers > 1 || cfg.forceParallel {
-		return runStreamParallel(info, src, cfg)
+		res, err := runStreamParallel(info, src, cfg)
+		foldInternStats(res, scanner)
+		return res, err
 	}
 	if cfg.validate {
 		src = trace.NewValidator(src)
@@ -469,11 +539,17 @@ func runStream(engineName string, src trace.EventSource, cfg streamConfig) (*Str
 	if cfg.pipeline <= 0 && cfg.scalar {
 		src = scalarSource{src}
 	}
-	var e streamEngine
+	var (
+		e   streamEngine
+		err error
+	)
 	if info.Clock == "tree" {
-		e = newStreamEngine[*core.TreeClock](info.Order, core.Factory(cfg.stats), cfg.analysis, nil, cfg.flatWeak)
+		e, err = newStreamEngine[*core.TreeClock](info.Order, core.Factory(cfg.stats), &cfg, nil)
 	} else {
-		e = newStreamEngine[*vc.VectorClock](info.Order, vc.Factory(cfg.stats), cfg.analysis, nil, cfg.flatWeak)
+		e, err = newStreamEngine[*vc.VectorClock](info.Order, vc.Factory(cfg.stats), &cfg, nil)
+	}
+	if err != nil {
+		return nil, err
 	}
 	if cfg.ckptSink != nil || cfg.resume != nil {
 		cs, err := asCheckpointable(src)
@@ -489,8 +565,9 @@ func runStream(engineName string, src trace.EventSource, cfg streamConfig) (*Str
 			}
 		}
 	}
-	err := driveSequential(e, src, &cfg, engineName)
+	err = driveSequential(e, src, &cfg, engineName)
 	res := finishResult(engineName, e)
+	foldInternStats(res, scanner)
 	if err != nil {
 		// The result still carries the consistent partial state (events
 		// processed, retained-state accounting) for callers that want it
@@ -569,6 +646,23 @@ func finishResult(engineName string, e streamEngine) *StreamResult {
 		res.Mem = &ms
 	}
 	return res
+}
+
+// foldInternStats adds the capped interner's retained-state accounting
+// to the result. The interner lives in the trace scanner, not the
+// engine, so the runtime cannot report it; a run without WithInternCap
+// passes a nil scanner and the result is untouched (Mem stays nil for
+// orders without a memory reporter).
+func foldInternStats(res *StreamResult, sc trace.InternCapable) {
+	if res == nil || sc == nil {
+		return
+	}
+	live, evictions := sc.InternStats()
+	if res.Mem == nil {
+		res.Mem = &MemStats{}
+	}
+	res.Mem.InternedNames = live
+	res.Mem.InternEvictions = evictions
 }
 
 // wrapProgress adapts the config's callback to the trace-level

@@ -292,6 +292,19 @@ var (
 	GenerateChurningVarsStream  = gen.ChurningVars
 )
 
+// GenerateForkChurnStream is the thread-churn workload: a coordinator
+// cycles a bounded ring of short-lived forked workers while external
+// thread ids grow forever — the adversarial shape for WithSlotReclaim
+// (see gen.ForkChurn).
+var GenerateForkChurnStream = gen.ForkChurn
+
+// GenerateNameChurnText is the identifier-churn workload in text form:
+// hot thread/lock names plus variable names that are used in a bounded
+// burst and then retired forever, all spelled so they take the
+// tokenizer's map-interned path — the adversarial shape for
+// WithInternCap (see gen.NameChurnText).
+var GenerateNameChurnText = gen.NameChurnText
+
 // LimitEvents bounds an event source at n events, after which it
 // reports clean exhaustion; batch delivery passes through.
 func LimitEvents(src EventSource, n int) BatchEventSource { return gen.Take(src, n) }
