@@ -274,6 +274,45 @@
 // documented exit-code contract: 0 clean, 1 races found, 2 usage or
 // I/O error, 3 corrupt checkpoint.
 //
+// # Static analysis
+//
+// The invariants above are enforced twice: dynamically by the
+// differential and fault-injection harnesses, and statically by
+// cmd/tcvet, a vet-style multichecker over the four custom analyzers
+// in internal/lint. Each analyzer encodes one documented contract and
+// names the harness that proves it dynamically:
+//
+//   - refpair: every snapshot reference acquired from a sparse-store
+//     Snapshot call must reach Drop, an Assign ownership transfer, or
+//     a documented hand-off on every path, and must never be Dropped
+//     twice — the refcount discipline of the copy-on-write segment
+//     arenas ("Weak clocks" above; dynamically audited by the
+//     FreeCount/Heap accounting in the vt and wcp tests).
+//   - ckptsym: paired save/load functions (Save/Load, Snapshot/Restore
+//     by naming convention) must Enc/Dec the same wire-kind sequence,
+//     counts before elements, sections by matching name — the
+//     checkpoint symmetry of "Checkpointing and crash equivalence"
+//     (dynamically pinned by the golden file and the round-trip
+//     harness, which once caught exactly this bug class as a
+//     zigzag-vs-uvarint count mismatch).
+//   - detrange: no unsorted map iteration may flow into checkpoint
+//     encoders, accumulator reports, or order-accumulated slices, and
+//     the engine/parallel/wcp/ckpt core must not touch time.Now or
+//     math/rand — the replica-determinism property that keeps sharded
+//     and resumed runs byte-identical ("Sharded parallel analysis";
+//     dynamically proven by the parallel and crash differential
+//     matrices).
+//   - clockgrow: no Inc on a freshly constructed vt.Clock slot without
+//     a dominating Grow/Init or capacity guard — the growth contract
+//     of "Architecture" (Get beyond capacity is defined, Inc is not).
+//
+// `go run ./cmd/tcvet ./...` exits 0 on a clean tree, 1 on findings,
+// 2 on load errors; a CI lint lane runs it (with staticcheck and
+// govulncheck alongside) on every push, and the analyzers' golden
+// corpora live under internal/lint/testdata. The analyzers fail open
+// by design: code the abstractions cannot model is skipped, never
+// flagged, so every diagnostic is actionable.
+//
 // # Layout
 //
 //   - The clock data structures: NewTreeClock (the contribution) and

@@ -1,0 +1,648 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// Ckptsym enforces checkpoint save/load symmetry: for every pair of
+// functions matched by naming convention (Save/Load, save/load,
+// Snapshot/Restore on the same receiver), the sequence of wire-level
+// reads must be compatible with the sequence of writes — same wire
+// kinds, in the same order, with counts before elements. This is the
+// static version of PR 7's byte-identical round-trip harness, and it
+// rejects the exact bug class that harness caught dynamically: a save
+// side writing a zigzag svarint (Enc.Int) while the load side reads a
+// plain uvarint (Dec.Len), which silently doubles every nonnegative
+// value on resume.
+//
+// Each side is abstracted into a sequence of wire tokens:
+//
+//	u8 u32 u64 uvar svar bool bytes string header begin:<name> end
+//
+// where Enc.Int/Int32/Svarint and Dec.Int/Int32/Svarint are one
+// equivalence class (zigzag), and Dec.Count/Len/Cap join Uvarint
+// (plain varint). Control flow folds into the sequence: loops become
+// repetition groups matched body-against-body, if/else becomes an
+// alternation, and an if whose body terminates (return/continue)
+// becomes an alternation with the rest of the block. Helper calls
+// that carry the encoder or decoder are inlined when their bodies are
+// in the loaded program, and otherwise paired opaquely by normalized
+// name (SaveWeak on the save side must face LoadWeak on the load
+// side). Functions using constructs the abstraction cannot model
+// (deferred or goroutine-spawned encoding, encoder-capturing
+// closures) are skipped entirely — the analyzer fails open, never
+// with a false positive.
+var Ckptsym = &Analyzer{
+	Name: "ckptsym",
+	Doc: "flag save/load function pairs whose Enc/Dec wire-token sequences disagree\n" +
+		"(wrong varint flavor, missing field, misordered count)",
+	Run: runCkptsym,
+}
+
+func runCkptsym(pass *Pass) error {
+	// Index this package's declarations by (receiver, name).
+	index := make(map[string]*ast.FuncDecl)
+	var saves []*ast.FuncDecl
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			index[recvBaseName(fd)+"\x00"+fd.Name.Name] = fd
+			if loadNameFor(fd.Name.Name) != "" && hasParamOf(pass, fd, "Enc") {
+				saves = append(saves, fd)
+			}
+		}
+	}
+	for _, save := range saves {
+		load := index[recvBaseName(save)+"\x00"+loadNameFor(save.Name.Name)]
+		if load == nil || !hasParamOf(pass, load, "Dec") {
+			continue
+		}
+		checkPair(pass, save, load)
+	}
+	return nil
+}
+
+// loadNameFor maps a save-side function name to its load-side
+// counterpart, or "" if the name is not save-shaped.
+func loadNameFor(name string) string {
+	for _, p := range [...][2]string{
+		{"Save", "Load"}, {"save", "load"},
+		{"Snapshot", "Restore"}, {"snapshot", "restore"},
+	} {
+		if rest, ok := strings.CutPrefix(name, p[0]); ok {
+			return p[1] + rest
+		}
+	}
+	return ""
+}
+
+// canonPairName normalizes a load-side name to its save-side form so
+// opaque calls pair up across the two functions.
+func canonPairName(name string) string {
+	for _, p := range [...][2]string{
+		{"Load", "Save"}, {"load", "save"},
+		{"Restore", "Snapshot"}, {"restore", "snapshot"},
+	} {
+		if rest, ok := strings.CutPrefix(name, p[0]); ok {
+			return p[1] + rest
+		}
+	}
+	return name
+}
+
+func recvBaseName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+func hasParamOf(pass *Pass, fd *ast.FuncDecl, typeName string) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, f := range fd.Type.Params.List {
+		if tv, ok := pass.Pkg.Info().Types[f.Type]; ok && namedIn(tv.Type, "ckpt", typeName) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- wire-token shapes ----
+
+type ckShape interface{ ckPos() token.Pos }
+
+type ckPrim struct {
+	kind string
+	pos  token.Pos
+}
+
+type ckLoop struct {
+	body []ckShape
+	pos  token.Pos
+}
+
+type ckAlt struct {
+	a, b []ckShape
+	pos  token.Pos
+}
+
+type ckOpaque struct {
+	key string
+	pos token.Pos
+}
+
+func (p *ckPrim) ckPos() token.Pos   { return p.pos }
+func (l *ckLoop) ckPos() token.Pos   { return l.pos }
+func (a *ckAlt) ckPos() token.Pos    { return a.pos }
+func (o *ckOpaque) ckPos() token.Pos { return o.pos }
+
+var ckKinds = map[string]string{
+	"U8": "u8", "U32": "u32", "U64": "u64",
+	"Uvarint": "uvar", "Count": "uvar", "Len": "uvar", "Cap": "uvar",
+	"Svarint": "svar", "Int": "svar", "Int32": "svar",
+	"Bool": "bool", "Bytes": "bytes", "String": "string",
+	"Header": "header", "End": "end",
+}
+
+// ckKindHuman names each wire kind for diagnostics.
+var ckKindHuman = map[string]string{
+	"u8": "a fixed byte (U8)", "u32": "a fixed uint32 (U32)", "u64": "a fixed uint64 (U64)",
+	"uvar": "a plain uvarint (Uvarint/Count/Len/Cap)",
+	"svar": "a zigzag svarint (Svarint/Int/Int32)",
+	"bool": "a bool byte", "bytes": "a length-prefixed byte slice",
+	"string": "a length-prefixed string", "header": "the file header",
+	"end": "a section end",
+}
+
+func ckKindName(k string) string {
+	if h, ok := ckKindHuman[k]; ok {
+		return h
+	}
+	if name, ok := strings.CutPrefix(k, "begin:"); ok {
+		return "section begin " + name
+	}
+	return k
+}
+
+// ---- extraction ----
+
+type ckExtract struct {
+	pass  *Pass
+	stack map[*ast.FuncDecl]bool // inlining recursion guard
+	depth int
+	bad   bool // function uses constructs the abstraction cannot model
+}
+
+func isEncDec(t types.Type) bool {
+	return namedIn(t, "ckpt", "Enc") || namedIn(t, "ckpt", "Dec")
+}
+
+func (x *ckExtract) stmts(list []ast.Stmt) []ckShape {
+	var out []ckShape
+	for i, s := range list {
+		if x.bad {
+			return nil
+		}
+		// An if with no else whose body cannot fall through splits the
+		// block: either the then-tokens happen, or the rest of the
+		// block does. This models early-error returns and the
+		// `if cond { e.Bool(false); continue }` encode idiom.
+		if ifs, ok := s.(*ast.IfStmt); ok && ifs.Else == nil && terminates(ifs.Body.List) {
+			if ifs.Init != nil {
+				out = append(out, x.stmt(ifs.Init)...)
+			}
+			out = append(out, x.expr(ifs.Cond)...)
+			thenT := x.stmts(ifs.Body.List)
+			restT := x.stmts(list[i+1:])
+			return append(out, mkAlt(thenT, restT, ifs.Pos())...)
+		}
+		out = append(out, x.stmt(s)...)
+	}
+	return out
+}
+
+// terminates reports whether a statement list always exits the
+// enclosing block (return, continue, break, goto, or panic).
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(last.List)
+	}
+	return false
+}
+
+func (x *ckExtract) stmt(s ast.Stmt) []ckShape {
+	if x.bad {
+		return nil
+	}
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		return x.expr(st.X)
+	case *ast.AssignStmt:
+		var out []ckShape
+		for _, r := range st.Rhs {
+			out = append(out, x.expr(r)...)
+		}
+		for _, l := range st.Lhs {
+			out = append(out, x.expr(l)...)
+		}
+		return out
+	case *ast.DeclStmt:
+		var out []ckShape
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						out = append(out, x.expr(v)...)
+					}
+				}
+			}
+		}
+		return out
+	case *ast.BlockStmt:
+		return x.stmts(st.List)
+	case *ast.IfStmt:
+		var out []ckShape
+		if st.Init != nil {
+			out = append(out, x.stmt(st.Init)...)
+		}
+		out = append(out, x.expr(st.Cond)...)
+		thenT := x.stmts(st.Body.List)
+		var elseT []ckShape
+		if st.Else != nil {
+			elseT = x.stmt(st.Else)
+		}
+		return append(out, mkAlt(thenT, elseT, st.Pos())...)
+	case *ast.ForStmt:
+		var out []ckShape
+		if st.Init != nil {
+			out = append(out, x.stmt(st.Init)...)
+		}
+		var body []ckShape
+		body = append(body, x.expr(st.Cond)...)
+		body = append(body, x.stmts(st.Body.List)...)
+		if st.Post != nil {
+			body = append(body, x.stmt(st.Post)...)
+		}
+		return append(out, mkLoop(body, st.Pos())...)
+	case *ast.RangeStmt:
+		out := x.expr(st.X)
+		return append(out, mkLoop(x.stmts(st.Body.List), st.Pos())...)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var out []ckShape
+		var clauses []ast.Stmt
+		if sw, ok := st.(*ast.SwitchStmt); ok {
+			if sw.Init != nil {
+				out = append(out, x.stmt(sw.Init)...)
+			}
+			out = append(out, x.expr(sw.Tag)...)
+			clauses = sw.Body.List
+		} else {
+			ts := st.(*ast.TypeSwitchStmt)
+			if ts.Init != nil {
+				out = append(out, x.stmt(ts.Init)...)
+			}
+			clauses = ts.Body.List
+		}
+		// Fold the cases into nested alternations; without a default,
+		// the empty path is possible too.
+		alt := []ckShape(nil)
+		hasDefault := false
+		for i := len(clauses) - 1; i >= 0; i-- {
+			cc := clauses[i].(*ast.CaseClause)
+			var arm []ckShape
+			for _, v := range cc.List {
+				arm = append(arm, x.expr(v)...)
+			}
+			arm = append(arm, x.stmts(cc.Body)...)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			alt = mkAlt(arm, alt, cc.Pos())
+		}
+		if !hasDefault {
+			alt = mkAlt(alt, nil, st.Pos())
+		}
+		return append(out, alt...)
+	case *ast.ReturnStmt:
+		var out []ckShape
+		for _, r := range st.Results {
+			out = append(out, x.expr(r)...)
+		}
+		return out
+	case *ast.IncDecStmt:
+		return x.expr(st.X)
+	case *ast.LabeledStmt:
+		return x.stmt(st.Stmt)
+	case *ast.SendStmt:
+		return append(x.expr(st.Chan), x.expr(st.Value)...)
+	case *ast.DeferStmt, *ast.GoStmt:
+		var call *ast.CallExpr
+		if d, ok := st.(*ast.DeferStmt); ok {
+			call = d.Call
+		} else {
+			call = st.(*ast.GoStmt).Call
+		}
+		if x.touchesEncDec(call) {
+			x.bad = true
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+func (x *ckExtract) expr(e ast.Expr) []ckShape {
+	if e == nil || x.bad {
+		return nil
+	}
+	switch ex := e.(type) {
+	case *ast.CallExpr:
+		return x.call(ex)
+	case *ast.ParenExpr:
+		return x.expr(ex.X)
+	case *ast.UnaryExpr:
+		return x.expr(ex.X)
+	case *ast.StarExpr:
+		return x.expr(ex.X)
+	case *ast.BinaryExpr:
+		return append(x.expr(ex.X), x.expr(ex.Y)...)
+	case *ast.IndexExpr:
+		return append(x.expr(ex.X), x.expr(ex.Index)...)
+	case *ast.IndexListExpr:
+		return x.expr(ex.X)
+	case *ast.SliceExpr:
+		out := x.expr(ex.X)
+		out = append(out, x.expr(ex.Low)...)
+		out = append(out, x.expr(ex.High)...)
+		return append(out, x.expr(ex.Max)...)
+	case *ast.SelectorExpr:
+		return x.expr(ex.X)
+	case *ast.CompositeLit:
+		var out []ckShape
+		for _, el := range ex.Elts {
+			out = append(out, x.expr(el)...)
+		}
+		return out
+	case *ast.KeyValueExpr:
+		return append(x.expr(ex.Key), x.expr(ex.Value)...)
+	case *ast.TypeAssertExpr:
+		return x.expr(ex.X)
+	case *ast.FuncLit:
+		if x.touchesEncDec(ex.Body) {
+			x.bad = true
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// touchesEncDec reports whether the subtree mentions any value of
+// type *ckpt.Enc or *ckpt.Dec.
+func (x *ckExtract) touchesEncDec(n ast.Node) bool {
+	info := x.pass.Pkg.Info()
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if id, ok := c.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && isEncDec(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func (x *ckExtract) call(call *ast.CallExpr) []ckShape {
+	info := x.pass.Pkg.Info()
+	var out []ckShape
+	recv := recvExpr(call)
+	if recv != nil {
+		out = append(out, x.expr(recv)...)
+	}
+	for _, a := range call.Args {
+		out = append(out, x.expr(a)...)
+	}
+
+	// Direct Enc/Dec method call: emit a wire token.
+	if recv != nil && isEncDec(info.Types[recv].Type) {
+		fn := calleeOf(info, call)
+		if fn == nil {
+			return out
+		}
+		switch name := fn.Name(); name {
+		case "Begin":
+			k := "begin:*"
+			if len(call.Args) > 0 {
+				if lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					k = "begin:" + strings.Trim(lit.Value, `"`)
+				}
+			}
+			return append(out, &ckPrim{kind: k, pos: call.Pos()})
+		default:
+			if k, ok := ckKinds[name]; ok {
+				return append(out, &ckPrim{kind: k, pos: call.Pos()})
+			}
+			return out // Err, Corruptf, Remaining...: no wire traffic
+		}
+	}
+
+	// A helper call carrying the encoder/decoder: inline if we have
+	// its body, otherwise pair it opaquely by normalized name.
+	carries := false
+	for _, a := range call.Args {
+		if tv, ok := info.Types[a]; ok && isEncDec(tv.Type) {
+			carries = true
+		}
+	}
+	if !carries {
+		return out
+	}
+	fn := calleeOf(info, call)
+	if fn == nil {
+		x.bad = true // encoder passed through a function value
+		return out
+	}
+	if fd := x.pass.Prog.FuncDecl(fn); fd != nil && fd.Body != nil && !x.stack[fd] && x.depth < 12 {
+		x.stack[fd] = true
+		x.depth++
+		out = append(out, x.stmts(fd.Body.List)...)
+		x.depth--
+		delete(x.stack, fd)
+		return out
+	}
+	return append(out, &ckOpaque{key: canonPairName(fn.Name()), pos: call.Pos()})
+}
+
+// mkAlt builds an alternation, dropping it when both arms carry no
+// tokens and splicing when the arms are identical singletons.
+func mkAlt(a, b []ckShape, pos token.Pos) []ckShape {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	return []ckShape{&ckAlt{a: a, b: b, pos: pos}}
+}
+
+func mkLoop(body []ckShape, pos token.Pos) []ckShape {
+	if len(body) == 0 {
+		return nil
+	}
+	return []ckShape{&ckLoop{body: body, pos: pos}}
+}
+
+// ---- matching ----
+
+type ckMatcher struct {
+	steps    int
+	overflow bool
+	// Furthest mismatch seen, for the diagnostic.
+	bestDepth  int
+	bestSave   ckShape
+	bestLoad   ckShape
+	bestSaveAt token.Pos
+	bestLoadAt token.Pos
+}
+
+const ckMaxSteps = 200000
+
+func concatShapes(a, b []ckShape) []ckShape {
+	out := make([]ckShape, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+func (m *ckMatcher) match(save, load []ckShape, depth int) bool {
+	if m.steps++; m.steps > ckMaxSteps {
+		m.overflow = true
+		return true // fail open
+	}
+	if len(save) > 0 {
+		if alt, ok := save[0].(*ckAlt); ok {
+			return m.match(concatShapes(alt.a, save[1:]), load, depth) ||
+				m.match(concatShapes(alt.b, save[1:]), load, depth)
+		}
+	}
+	if len(load) > 0 {
+		if alt, ok := load[0].(*ckAlt); ok {
+			return m.match(save, concatShapes(alt.a, load[1:]), depth) ||
+				m.match(save, concatShapes(alt.b, load[1:]), depth)
+		}
+	}
+	if len(save) == 0 && len(load) == 0 {
+		return true
+	}
+	if len(save) == 0 || len(load) == 0 {
+		m.note(depth, first(save), first(load))
+		return false
+	}
+	switch s := save[0].(type) {
+	case *ckPrim:
+		if l, ok := load[0].(*ckPrim); ok && kindsMatch(s.kind, l.kind) {
+			return m.match(save[1:], load[1:], depth+1)
+		}
+	case *ckLoop:
+		if l, ok := load[0].(*ckLoop); ok && m.match(s.body, l.body, depth+1) {
+			return m.match(save[1:], load[1:], depth+1)
+		}
+	case *ckOpaque:
+		if l, ok := load[0].(*ckOpaque); ok && s.key == l.key {
+			return m.match(save[1:], load[1:], depth+1)
+		}
+	}
+	m.note(depth, save[0], load[0])
+	return false
+}
+
+func first(s []ckShape) ckShape {
+	if len(s) == 0 {
+		return nil
+	}
+	return s[0]
+}
+
+func kindsMatch(a, b string) bool {
+	if a == b {
+		return true
+	}
+	// A begin with a non-literal name matches any begin.
+	aBegin, bBegin := strings.HasPrefix(a, "begin:"), strings.HasPrefix(b, "begin:")
+	return aBegin && bBegin && (a == "begin:*" || b == "begin:*")
+}
+
+func (m *ckMatcher) note(depth int, s, l ckShape) {
+	if depth < m.bestDepth || (m.bestSave != nil && depth == m.bestDepth) {
+		return
+	}
+	m.bestDepth = depth
+	m.bestSave, m.bestLoad = s, l
+	if s != nil {
+		m.bestSaveAt = s.ckPos()
+	}
+	if l != nil {
+		m.bestLoadAt = l.ckPos()
+	}
+}
+
+func describeShape(s ckShape) string {
+	switch x := s.(type) {
+	case nil:
+		return "nothing (sequence ends)"
+	case *ckPrim:
+		return ckKindName(x.kind)
+	case *ckLoop:
+		return "a repeated group (loop)"
+	case *ckOpaque:
+		return "a nested " + x.key + "-class call"
+	case *ckAlt:
+		return "a branch"
+	}
+	return "?"
+}
+
+func checkPair(pass *Pass, save, load *ast.FuncDecl) {
+	xs := &ckExtract{pass: pass, stack: map[*ast.FuncDecl]bool{save: true}}
+	saveSeq := xs.stmts(save.Body.List)
+	xl := &ckExtract{pass: pass, stack: map[*ast.FuncDecl]bool{load: true}}
+	loadSeq := xl.stmts(load.Body.List)
+	if xs.bad || xl.bad {
+		return // fail open: the abstraction cannot model this pair
+	}
+	m := &ckMatcher{bestDepth: -1}
+	if m.match(saveSeq, loadSeq, 0) || m.overflow {
+		return
+	}
+	fset := pass.Pkg.Fset()
+	name := save.Name.Name
+	if r := recvBaseName(save); r != "" {
+		name = r + "." + name
+	}
+	loadName := load.Name.Name
+	saveDesc, loadDesc := describeShape(m.bestSave), describeShape(m.bestLoad)
+	var at string
+	if m.bestSaveAt.IsValid() && m.bestLoadAt.IsValid() {
+		at = " (save side line " + strconv.Itoa(fset.Position(m.bestSaveAt).Line) +
+			", load side line " + strconv.Itoa(fset.Position(m.bestLoadAt).Line) + ")"
+	}
+	pos := save.Pos()
+	if m.bestSaveAt.IsValid() {
+		pos = m.bestSaveAt
+	}
+	pass.Reportf(pos,
+		"checkpoint symmetry broken in %s/%s: save writes %s where load reads %s%s; a resumed run would decode garbage",
+		name, loadName, saveDesc, loadDesc, at)
+}

@@ -1,0 +1,30 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"treeclock/internal/lint"
+	"treeclock/internal/lint/linttest"
+)
+
+func TestCkptsymCorpus(t *testing.T) {
+	linttest.Run(t, "testdata", lint.Ckptsym, "ckptsym")
+}
+
+// TestCkptsymCatchesPR7Mismatch pins the historical regression the
+// analyzer exists for: PR 7's checkpoint round-trip harness caught a
+// save side writing a count as a zigzag svarint (Enc.Int) while the
+// load side read a plain uvarint (Dec.Len), doubling every
+// nonnegative value on resume. The corpus reproduces that pair
+// verbatim; the analyzer must flag it with both wire kinds named.
+func TestCkptsymCatchesPR7Mismatch(t *testing.T) {
+	diags := linttest.Diagnose(t, "testdata", lint.Ckptsym, "ckptsym")
+	for _, d := range diags {
+		if strings.Contains(d, "zigzag svarint") && strings.Contains(d, "plain uvarint") {
+			return
+		}
+	}
+	t.Fatalf("ckptsym did not flag the PR 7 zigzag-vs-uvarint pattern; diagnostics:\n%s",
+		strings.Join(diags, "\n"))
+}

@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Clockgrow enforces the vt.Clock growth contract: Get beyond the
+// current capacity is defined (returns zero), but Inc is not — the
+// tree-clock backbone indexes its per-thread slot directly, so every
+// Inc on a slot must be dominated by an Init, a Grow, or a capacity
+// guard. The engine's canonical pattern is
+//
+//	if int(t) >= len(r.threads) { r.growThreads(int(t) + 1) }
+//	ct := r.threads[t]
+//	ct.Inc(t, 1)
+//
+// The analyzer tracks clocks *created in the current function* (a
+// local assigned from a constructor call) and flags Inc calls on them
+// unless one of the dominating facts holds:
+//
+//   - an intervening Grow/Init/Load call on the same clock;
+//   - the constructor's capacity argument mentions the same index
+//     expression (e.g. New(int(t)+1) ... Inc(t, 1));
+//   - an enclosing if-guard mentions the index together with len, cap,
+//     or a Cap/Len method — the grow-on-demand idiom;
+//   - both capacity and index are constants with index < capacity.
+//
+// Clocks obtained any other way (fields, slice elements, parameters)
+// are owned elsewhere; their Init happened at registration time and
+// flagging them would be noise.
+var Clockgrow = &Analyzer{
+	Name: "clockgrow",
+	Doc: "flag Inc on a locally constructed vt.Clock slot without a dominating\n" +
+		"Grow/Init call or capacity guard",
+	Run: runClockgrow,
+}
+
+func runClockgrow(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			clockgrowFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+type clockSite struct {
+	obj  types.Object  // the local clock variable
+	call *ast.CallExpr // its constructor call
+}
+
+func clockgrowFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info()
+	fset := pass.Pkg.Fset()
+
+	// Pass 1: collect constructor sites, grow-class calls, Inc calls,
+	// and enclosing-if extents, all in one walk.
+	var created []clockSite
+	type growCall struct {
+		obj types.Object
+		pos ast.Node
+	}
+	var grows []growCall
+	type incCall struct {
+		obj  types.Object
+		call *ast.CallExpr
+		idx  ast.Expr
+	}
+	var incs []incCall
+	var ifs []*ast.IfStmt
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.IfStmt:
+			ifs = append(ifs, s)
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return true
+			}
+			id := identOf(s.Lhs[0])
+			call, okc := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+			if id == nil || !okc {
+				return true
+			}
+			if obj := objectOf(info, id); obj != nil && isClock(obj.Type()) {
+				// A method call on the clock itself (c := c.MonotoneCopy())
+				// still counts as a construction of a fresh value.
+				created = append(created, clockSite{obj: obj, call: call})
+			}
+		case *ast.CallExpr:
+			recv := recvExpr(s)
+			if recv == nil {
+				return true
+			}
+			id := identOf(recv)
+			if id == nil {
+				return true
+			}
+			obj := objectOf(info, id)
+			if obj == nil || !isClock(obj.Type()) {
+				return true
+			}
+			fn := calleeOf(info, s)
+			if fn == nil {
+				return true
+			}
+			switch fn.Name() {
+			case "Grow", "Init", "Load", "Join":
+				// Join grows the receiver to the source's width by
+				// contract; Load replaces the backbone wholesale.
+				grows = append(grows, growCall{obj: obj, pos: s})
+			case "Inc":
+				if len(s.Args) > 0 {
+					incs = append(incs, incCall{obj: obj, call: s, idx: s.Args[0]})
+				}
+			}
+		}
+		return true
+	})
+
+	for _, inc := range incs {
+		var site *clockSite
+		for i := range created {
+			if created[i].obj == inc.obj && created[i].call.Pos() < inc.call.Pos() {
+				site = &created[i]
+			}
+		}
+		if site == nil {
+			continue // not locally constructed: owned and Init'ed elsewhere
+		}
+		grown := false
+		for _, g := range grows {
+			if g.obj == inc.obj && g.pos.Pos() > site.call.Pos() && g.pos.Pos() < inc.call.Pos() {
+				grown = true
+				break
+			}
+		}
+		if grown {
+			continue
+		}
+		if capacityCoversIndex(pass, site.call, inc.idx) {
+			continue
+		}
+		if guardedBy(info, ifs, inc.call, inc.idx) {
+			continue
+		}
+		pass.Reportf(inc.call.Pos(),
+			"%s.Inc(%s, ...) on a clock constructed at line %d without a dominating Grow/Init or capacity guard: Inc beyond capacity is undefined by the vt.Clock contract",
+			inc.obj.Name(), exprString(fset, inc.idx),
+			fset.Position(site.call.Pos()).Line)
+	}
+}
+
+// capacityCoversIndex reports whether the constructor call's arguments
+// visibly cover the index: either an argument mentions the index's
+// root variable (New(int(t)+1) ... Inc(t)), or a constant capacity
+// exceeds a constant index.
+func capacityCoversIndex(pass *Pass, ctor *ast.CallExpr, idx ast.Expr) bool {
+	info := pass.Pkg.Info()
+	var idxObj types.Object
+	if root := rootIdent(idx); root != nil {
+		idxObj = objectOf(info, root)
+	}
+	var idxVal constant.Value
+	if tv, ok := info.Types[idx]; ok && tv.Value != nil {
+		idxVal = tv.Value
+	}
+	for _, arg := range ctor.Args {
+		if idxObj != nil && usesObject(info, arg, idxObj) {
+			return true
+		}
+		if idxVal != nil {
+			if tv, ok := info.Types[arg]; ok && tv.Value != nil &&
+				constant.Compare(idxVal, token.LSS, tv.Value) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// guardedBy reports whether the Inc call sits inside an if whose
+// condition mentions the index variable together with a len/cap/Cap
+// capacity probe — the grow-on-demand guard idiom.
+func guardedBy(info *types.Info, ifs []*ast.IfStmt, call *ast.CallExpr, idx ast.Expr) bool {
+	root := rootIdent(idx)
+	if root == nil {
+		return false
+	}
+	idxObj := objectOf(info, root)
+	if idxObj == nil {
+		return false
+	}
+	for _, s := range ifs {
+		if call.Pos() < s.Body.Pos() || call.End() > s.Body.End() {
+			continue
+		}
+		if !usesObject(info, s.Cond, idxObj) {
+			continue
+		}
+		probe := false
+		ast.Inspect(s.Cond, func(n ast.Node) bool {
+			c, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+				probe = true
+			}
+			if fn := calleeOf(info, c); fn != nil && (fn.Name() == "Cap" || fn.Name() == "Len" || fn.Name() == "Threads") {
+				probe = true
+			}
+			return !probe
+		})
+		if probe {
+			return true
+		}
+	}
+	return false
+}

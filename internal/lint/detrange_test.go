@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"treeclock/internal/lint"
+	"treeclock/internal/lint/linttest"
+)
+
+func TestDetrangeCorpus(t *testing.T) {
+	linttest.Run(t, "testdata", lint.Detrange, "detrange", "engine")
+}

@@ -1,0 +1,147 @@
+// Package linttest runs lint analyzers over golden corpora under
+// testdata/src, in the style of golang.org/x/tools/go/analysis/analysistest.
+//
+// Expectations are written as comments in the corpus source:
+//
+//	s := store.Snapshot(1) // want `not Dropped`
+//
+// Each `want` comment holds one or more Go-quoted regular expressions;
+// every diagnostic the analyzer reports must match a want on the same
+// file and line, and every want must be matched by some diagnostic.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"treeclock/internal/lint"
+)
+
+// Run loads the given corpus packages rooted at testdataDir/src,
+// applies the analyzer to them (not to their imports), and checks the
+// diagnostics against the `// want` comments.
+func Run(t *testing.T, testdataDir string, a *lint.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	prog, err := lint.Load(lint.LoadConfig{
+		Roots: []lint.Root{{Prefix: "", Dir: testdataDir + "/src"}},
+	}, pkgPaths...)
+	if err != nil {
+		t.Fatalf("loading corpus %v: %v", pkgPaths, err)
+	}
+	var pkgs []*lint.Package
+	for _, p := range pkgPaths {
+		pkg := prog.Package(p)
+		if pkg == nil {
+			t.Fatalf("corpus package %q did not load", p)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := lint.Run(prog, []*lint.Analyzer{a}, pkgs)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type want struct {
+		file string
+		line int
+		re   *regexp.Regexp
+		raw  string
+		hit  bool
+	}
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					for _, raw := range parseWants(t, c.Text) {
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", prog.Fset.Position(c.Pos()), raw, err)
+						}
+						pos := prog.Fset.Position(c.Pos())
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected %s diagnostic: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no %s diagnostic matched want %q", w.file, w.line, a.Name, w.raw)
+		}
+	}
+}
+
+// parseWants extracts the quoted regexps from a `// want "..." `...“
+// comment, or nil if the comment has no want clause.
+func parseWants(t *testing.T, text string) []string {
+	t.Helper()
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, "want ")
+	if !ok {
+		return nil
+	}
+	var out []string
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			t.Fatalf("malformed want clause %q: %v", text, err)
+		}
+		s, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("malformed want string %s: %v", q, err)
+		}
+		out = append(out, s)
+		rest = strings.TrimSpace(rest[len(q):])
+	}
+	if len(out) == 0 {
+		t.Fatalf("want clause with no patterns: %q", text)
+	}
+	return out
+}
+
+// Diagnose runs the analyzer over corpus packages and returns the
+// formatted diagnostics, for tests that assert on counts or content
+// directly rather than via want comments.
+func Diagnose(t *testing.T, testdataDir string, a *lint.Analyzer, pkgPaths ...string) []string {
+	t.Helper()
+	prog, err := lint.Load(lint.LoadConfig{
+		Roots: []lint.Root{{Prefix: "", Dir: testdataDir + "/src"}},
+	}, pkgPaths...)
+	if err != nil {
+		t.Fatalf("loading corpus %v: %v", pkgPaths, err)
+	}
+	var pkgs []*lint.Package
+	for _, p := range pkgPaths {
+		pkgs = append(pkgs, prog.Package(p))
+	}
+	diags, err := lint.Run(prog, []*lint.Analyzer{a}, pkgs)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	var out []string
+	for _, d := range diags {
+		out = append(out, fmt.Sprintf("%s: %s", prog.Fset.Position(d.Pos), d.Message))
+	}
+	return out
+}

@@ -1,0 +1,301 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Root maps an import-path prefix to a directory tree. A prefix of
+// "treeclock" with dir /repo resolves "treeclock/internal/vt" to
+// /repo/internal/vt. The empty prefix matches any path whose resolved
+// directory exists under dir — that is how analysistest-style corpora
+// under testdata/src import their stub packages by bare name.
+type Root struct {
+	Prefix string
+	Dir    string
+}
+
+// LoadConfig configures Load.
+type LoadConfig struct {
+	Roots        []Root // tried in order; first root whose directory exists wins
+	IncludeTests bool   // parse in-package _test.go files too
+}
+
+// Load parses and type-checks the packages named by importPaths, plus
+// everything they transitively import from the configured roots.
+// Standard-library imports are type-checked from GOROOT source, so no
+// network, module cache, or export data is needed.
+func Load(cfg LoadConfig, importPaths ...string) (*Program, error) {
+	fset := token.NewFileSet()
+	prog := &Program{
+		Fset: fset,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Implicits:  make(map[ast.Node]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Instances:  make(map[*ast.Ident]types.Instance),
+		},
+		pkgs: make(map[string]*Package),
+	}
+	l := &loader{
+		cfg:     cfg,
+		prog:    prog,
+		std:     importer.ForCompiler(fset, "source", nil),
+		loading: make(map[string]bool),
+	}
+	for _, path := range importPaths {
+		if _, err := l.load(path); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+type loader struct {
+	cfg     LoadConfig
+	prog    *Program
+	std     types.Importer
+	loading map[string]bool // import-cycle guard
+}
+
+// Import implements types.Importer for the type checker's callbacks.
+func (l *loader) Import(path string) (*types.Package, error) {
+	return l.load(path)
+}
+
+func (l *loader) load(path string) (*types.Package, error) {
+	if pkg, ok := l.prog.pkgs[path]; ok {
+		return pkg.Types, nil
+	}
+	dir, local := l.resolve(path)
+	if !local {
+		return l.std.Import(path)
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s (package %q)", dir, path)
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, l.prog.Fset, files, l.prog.Info)
+	if len(typeErrs) > 0 {
+		msgs := make([]string, 0, len(typeErrs))
+		for _, e := range typeErrs {
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("type errors in %q:\n  %s", path, strings.Join(msgs, "\n  "))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %q: %v", path, err)
+	}
+	l.prog.pkgs[path] = &Package{Path: path, Files: files, Types: tpkg, prog: l.prog}
+	return tpkg, nil
+}
+
+// resolve maps an import path to a directory via the roots. Returns
+// local=false for paths no root covers (the standard library).
+func (l *loader) resolve(path string) (dir string, local bool) {
+	for _, r := range l.cfg.Roots {
+		var rel string
+		switch {
+		case r.Prefix == "":
+			rel = path
+		case path == r.Prefix:
+			rel = "."
+		case strings.HasPrefix(path, r.Prefix+"/"):
+			rel = path[len(r.Prefix)+1:]
+		default:
+			continue
+		}
+		d := filepath.Join(r.Dir, filepath.FromSlash(rel))
+		if hasGoFiles(d) {
+			return d, true
+		}
+	}
+	return "", false
+}
+
+func (l *loader) parseDir(dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") && !l.cfg.IncludeTests {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	pkgName := ""
+	for _, name := range names {
+		f, err := parser.ParseFile(l.prog.Fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		if pkgName == "" && !strings.HasSuffix(name, "_test.go") {
+			pkgName = f.Name.Name
+		}
+		files = append(files, f)
+	}
+	// Drop external-test-package files (package foo_test): they cannot
+	// be type-checked together with the package under test.
+	if pkgName != "" {
+		kept := files[:0]
+		for _, f := range files {
+			if f.Name.Name == pkgName {
+				kept = append(kept, f)
+			}
+		}
+		files = kept
+	}
+	return files, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasPrefix(name, "_") && !strings.HasPrefix(name, ".") &&
+			!strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// FindModuleRoot walks up from dir to the enclosing go.mod and returns
+// the module directory and module path.
+func FindModuleRoot(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod: no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// ExpandPatterns turns command-line package patterns ("./...",
+// "./internal/vt", "treeclock/internal/vt") into import paths under
+// the module. Relative patterns resolve against dir — the caller's
+// working directory, which must lie inside root — matching go vet's
+// behavior when invoked from a subdirectory. Module-qualified and
+// absolute patterns resolve independently of dir. testdata, vendor,
+// and hidden directories are skipped.
+func ExpandPatterns(root, modPath, dir string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, orig := range patterns {
+		pat := strings.TrimSuffix(filepath.ToSlash(orig), "/")
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive, pat = true, rest
+		} else if pat == "..." {
+			recursive, pat = true, "."
+		}
+		var pdir string
+		switch rest, ok := strings.CutPrefix(pat, modPath); {
+		case ok && (rest == "" || strings.HasPrefix(rest, "/")):
+			pdir = filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(rest, "/")))
+		case filepath.IsAbs(pat):
+			pdir = filepath.Clean(pat)
+		default:
+			pdir = filepath.Join(dir, filepath.FromSlash(pat))
+		}
+		if r, err := filepath.Rel(root, pdir); err != nil || r == ".." || strings.HasPrefix(r, ".."+string(filepath.Separator)) {
+			return nil, fmt.Errorf("pattern %q resolves outside the module root %s", orig, root)
+		}
+		toImport := func(d string) string {
+			r, _ := filepath.Rel(root, d)
+			r = filepath.ToSlash(r)
+			if r == "." {
+				return modPath
+			}
+			return modPath + "/" + r
+		}
+		if !recursive {
+			if !hasGoFiles(pdir) {
+				return nil, fmt.Errorf("no Go package in %s", pdir)
+			}
+			add(toImport(pdir))
+			continue
+		}
+		err := filepath.WalkDir(pdir, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != pdir && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(p) {
+				add(toImport(p))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,394 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Refpair enforces the copy-on-write snapshot refcount protocol from
+// the sparse weak-clock transport (PR 6): a reference acquired from a
+// SnapStore via Snapshot is owned by the acquiring function and must
+// reach, on every path, exactly one of
+//
+//   - store.Drop(s) — explicit release;
+//   - store.Assign(&slot, s) with s as *source* — ownership moves into
+//     the slot, whose owner releases it later;
+//   - a return of s, or s passed to / stored into anything the
+//     analyzer cannot see through — a documented ownership transfer.
+//
+// Leaks (a path reaches return or function end with the reference
+// still live) and double-drops (a path Drops a reference already
+// Dropped) are both flagged. The walk is path-sensitive across
+// if/else and switch, treats loop bodies as run 0-or-1 times, and
+// honors `defer store.Drop(s)`. Any use the analyzer cannot classify
+// (aliasing, closures, address-taking) conservatively ends tracking
+// with no finding — ownership transfer is legal, so silence there is
+// the correct default for a vet pass.
+//
+// Store and snapshot types are identified by shape: any receiver
+// whose method set includes Snapshot, Assign, Drop, and SnapGet.
+var Refpair = &Analyzer{
+	Name: "refpair",
+	Doc: "flag snapshot references acquired from a SnapStore that are not Dropped\n" +
+		"(or ownership-transferred) on every path, and Drops of already-dropped refs",
+	Run: runRefpair,
+}
+
+func runRefpair(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			refpairFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// refpairFunc finds each acquire site (s := store.Snapshot(...)) with
+// a plain local on the left and runs one tracked walk per site.
+func refpairFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info()
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id := identOf(as.Lhs[0])
+		call, okc := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if id == nil || !okc || id.Name == "_" {
+			return true
+		}
+		fn := calleeOf(info, call)
+		recv := recvExpr(call)
+		if fn == nil || fn.Name() != "Snapshot" || recv == nil {
+			return true
+		}
+		if rt := info.Types[recv].Type; !isSnapStore(rt) {
+			return true
+		}
+		obj := objectOf(info, id)
+		if obj == nil {
+			return true
+		}
+		t := &rpTracker{pass: pass, info: info, obj: obj, acquire: as}
+		state, fellThrough := t.execList(fd.Body.List, 0)
+		if !t.escaped {
+			if fellThrough && state&rpLive != 0 && !t.deferDrop {
+				t.reportf(as.Pos(), "snapshot %s acquired here is not Dropped before the end of %s: the store slot leaks", obj.Name(), fd.Name.Name)
+			}
+			for _, d := range t.pending {
+				pass.Report(d)
+			}
+		}
+		return true
+	})
+}
+
+const (
+	rpLive     = 1 << iota // reference held, not yet released
+	rpReleased             // Dropped or ownership transferred
+)
+
+type rpTracker struct {
+	pass      *Pass
+	info      *types.Info
+	obj       types.Object // the tracked snapshot variable
+	acquire   *ast.AssignStmt
+	escaped   bool // hit an unclassifiable use: suppress all findings
+	deferDrop bool
+	pending   []Diagnostic
+}
+
+func (t *rpTracker) reportf(pos token.Pos, format string, args ...any) {
+	d := Diagnostic{Pos: pos, Analyzer: t.pass.Analyzer.Name}
+	d.Message = fmt.Sprintf(format, args...)
+	t.pending = append(t.pending, d)
+}
+
+// execList walks a statement list, threading the state bitmask.
+// The second result is false if every path out of the list terminates
+// (returns) before falling through.
+func (t *rpTracker) execList(list []ast.Stmt, in int) (out int, fellThrough bool) {
+	state, alive := in, true
+	for _, s := range list {
+		if !alive || t.escaped {
+			return state, alive
+		}
+		state, alive = t.exec(s, state)
+	}
+	return state, alive
+}
+
+func (t *rpTracker) exec(s ast.Stmt, in int) (out int, fellThrough bool) {
+	if s == ast.Stmt(t.acquire) {
+		return rpLive, true
+	}
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		return t.execList(st.List, in)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			in, _ = t.exec(st.Init, in)
+		}
+		if t.useEscapes(st.Cond, in) {
+			return in, true
+		}
+		thenOut, thenFT := t.execList(st.Body.List, in)
+		elseOut, elseFT := in, true
+		if st.Else != nil {
+			elseOut, elseFT = t.exec(st.Else, in)
+		}
+		out, fellThrough = 0, thenFT || elseFT
+		if thenFT {
+			out |= thenOut
+		}
+		if elseFT {
+			out |= elseOut
+		}
+		return out, fellThrough
+	case *ast.ForStmt, *ast.RangeStmt:
+		var body *ast.BlockStmt
+		if f, ok := st.(*ast.ForStmt); ok {
+			body = f.Body
+			if f.Init != nil {
+				in, _ = t.exec(f.Init, in)
+			}
+		} else {
+			r := st.(*ast.RangeStmt)
+			body = r.Body
+			if t.useEscapes(r.X, in) {
+				return in, true
+			}
+		}
+		bodyOut, _ := t.execList(body.List, in)
+		return in | bodyOut, true
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var clauses []ast.Stmt
+		hasDefault := false
+		if sw, ok := st.(*ast.SwitchStmt); ok {
+			if sw.Init != nil {
+				in, _ = t.exec(sw.Init, in)
+			}
+			clauses = sw.Body.List
+		} else {
+			clauses = st.(*ast.TypeSwitchStmt).Body.List
+		}
+		out, fellThrough = 0, false
+		for _, c := range clauses {
+			cc := c.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			co, cft := t.execList(cc.Body, in)
+			if cft {
+				out |= co
+				fellThrough = true
+			}
+		}
+		if !hasDefault {
+			out |= in
+			fellThrough = true
+		}
+		return out, fellThrough
+	case *ast.ReturnStmt:
+		returnsVar := false
+		for _, r := range st.Results {
+			if usesObject(t.info, r, t.obj) {
+				returnsVar = true
+			}
+		}
+		if returnsVar {
+			return rpReleased, false // ownership transfers to the caller
+		}
+		if in&rpLive != 0 && !t.deferDrop {
+			t.reportf(st.Pos(), "return with snapshot %s still live: Drop it (or transfer ownership) before returning", t.obj.Name())
+		}
+		return in, false
+	case *ast.DeferStmt:
+		switch t.classifyCall(st.Call) {
+		case rpDrop:
+			t.deferDrop = true
+			return in, true
+		case rpUnrelated, rpRead:
+			return in, true
+		default:
+			t.escaped = true
+			return in, true
+		}
+	case *ast.BranchStmt: // break/continue/goto: approximate as fallthrough
+		return in, true
+	default:
+		return t.execGeneric(s, in)
+	}
+}
+
+// execGeneric handles straight-line statements: classify every call
+// that touches the tracked variable, and escape on any touch the
+// classifier does not understand.
+func (t *rpTracker) execGeneric(s ast.Stmt, in int) (int, bool) {
+	if !usesObject(t.info, s, t.obj) {
+		return in, true
+	}
+	// Reassignment of the variable itself while live loses the ref.
+	if as, ok := s.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id := identOf(lhs); id != nil && objectOf(t.info, id) == t.obj {
+				rhsAcquires := false
+				for _, r := range as.Rhs {
+					if c, ok := ast.Unparen(r).(*ast.CallExpr); ok {
+						if fn := calleeOf(t.info, c); fn != nil && fn.Name() == "Snapshot" {
+							if rt := t.info.Types[recvExpr(c)].Type; recvExpr(c) != nil && isSnapStore(rt) {
+								rhsAcquires = true
+							}
+						}
+					}
+				}
+				if in&rpLive != 0 {
+					t.reportf(as.Pos(), "snapshot %s reassigned while still live: the previous reference is never Dropped", t.obj.Name())
+				}
+				if rhsAcquires {
+					return rpLive, true
+				}
+				t.escaped = true // now aliased to something we don't model
+				return in, true
+			}
+		}
+	}
+	state := in
+	covered := make(map[*ast.CallExpr]bool)
+	var calls []*ast.CallExpr
+	ast.Inspect(s, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && usesObject(t.info, c, t.obj) {
+			calls = append(calls, c)
+			return false // classify outermost var-using call only
+		}
+		return true
+	})
+	for _, c := range calls {
+		switch t.classifyCall(c) {
+		case rpDrop:
+			if state&rpLive == 0 && state&rpReleased != 0 {
+				t.reportf(c.Pos(), "Drop of snapshot %s which was already Dropped: double release corrupts the store refcount", t.obj.Name())
+			} else if state&rpReleased != 0 {
+				t.reportf(c.Pos(), "Drop of snapshot %s which may already be Dropped on some path", t.obj.Name())
+			}
+			state = rpReleased
+			covered[c] = true
+		case rpTransferSrc:
+			state = rpReleased
+			covered[c] = true
+		case rpReacquire:
+			state = rpLive
+			covered[c] = true
+		case rpRead:
+			covered[c] = true
+		case rpUnrelated:
+			covered[c] = true
+		default:
+			t.escaped = true
+			return in, true
+		}
+	}
+	// Any use of the variable outside a classified call is an alias or
+	// address-take we don't model.
+	ast.Inspect(s, func(n ast.Node) bool {
+		for _, c := range calls {
+			if covered[c] && n != nil && n.Pos() >= c.Pos() && n.End() <= c.End() {
+				return false
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok && objectOf(t.info, id) == t.obj {
+			if as, isAssign := s.(*ast.AssignStmt); !isAssign || !containsNode(as.Lhs, id) {
+				t.escaped = true
+			}
+		}
+		return !t.escaped
+	})
+	return state, true
+}
+
+// useEscapes marks the tracker escaped if expr uses the variable in a
+// position we cannot classify (conditions, range operands).
+func (t *rpTracker) useEscapes(expr ast.Expr, in int) bool {
+	if expr == nil || !usesObject(t.info, expr, t.obj) {
+		return false
+	}
+	// Comparisons and reads in conditions are harmless; calls are not.
+	esc := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && usesObject(t.info, c, t.obj) {
+			switch t.classifyCall(c) {
+			case rpRead, rpUnrelated:
+			default:
+				esc = true
+			}
+			return false
+		}
+		return !esc
+	})
+	if esc {
+		t.escaped = true
+	}
+	return esc
+}
+
+type rpCallKind int
+
+const (
+	rpUnrelated   rpCallKind = iota // does not involve the variable
+	rpDrop                          // store.Drop(s)
+	rpTransferSrc                   // store.Assign(&slot, s): ownership moves
+	rpReacquire                     // store.Assign(&s, src): slot refreshed
+	rpRead                          // SnapGet / heap accounting: no refcount effect
+	rpEscape                        // anything else touching the variable
+)
+
+func (t *rpTracker) classifyCall(call *ast.CallExpr) rpCallKind {
+	if !usesObject(t.info, call, t.obj) {
+		return rpUnrelated
+	}
+	fn := calleeOf(t.info, call)
+	recv := recvExpr(call)
+	if fn != nil && recv != nil && isSnapStore(t.info.Types[recv].Type) {
+		argIsVar := func(a ast.Expr) bool {
+			id := identOf(a)
+			return id != nil && objectOf(t.info, id) == t.obj
+		}
+		switch fn.Name() {
+		case "Drop":
+			for _, a := range call.Args {
+				if argIsVar(a) {
+					return rpDrop
+				}
+			}
+		case "Assign":
+			if len(call.Args) >= 2 {
+				if u, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr); ok && u.Op == token.AND && argIsVar(u.X) {
+					return rpReacquire
+				}
+				if argIsVar(call.Args[len(call.Args)-1]) {
+					return rpTransferSrc
+				}
+			}
+		case "SnapGet", "SnapHeap", "Heap", "LiveHeap", "FreeCount":
+			return rpRead
+		}
+	}
+	return rpEscape
+}
+
+// containsNode reports whether any expression in list is (or
+// contains) the given node.
+func containsNode(list []ast.Expr, n ast.Node) bool {
+	for _, e := range list {
+		if n.Pos() >= e.Pos() && n.End() <= e.End() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,8 @@
+// Package analysis is a corpus stub of the real internal/analysis
+// Accumulator: detrange identifies the Report sink by receiver type
+// name and package name.
+package analysis
+
+type Accumulator struct{ n int }
+
+func (a *Accumulator) Report(kind int, x, prior, access uint64) { a.n++ }

@@ -1,0 +1,133 @@
+// Package ckptsym is the golden corpus for the ckptsym analyzer.
+// The first pair reproduces the historical PR 7 regression verbatim:
+// a save side writing a count with Int (zigzag svarint) while the
+// load side reads it with Len (plain uvarint), which silently doubles
+// every nonnegative counter on resume. The dynamic round-trip harness
+// caught it then; the analyzer must reject it statically now.
+package ckptsym
+
+import "ckpt"
+
+// --- True positive: the PR 7 zigzag-vs-uvarint mismatch. ---
+
+type Sparse struct {
+	n   int
+	rev uint64
+	v   []uint32
+}
+
+func (c *Sparse) Save(e *ckpt.Enc) {
+	e.Int(c.n) // want `save writes a zigzag svarint .* load reads a plain uvarint`
+	e.U64(c.rev)
+	for t := 0; t < c.n; t++ {
+		e.Svarint(int64(c.v[t]))
+	}
+}
+
+func (c *Sparse) Load(d *ckpt.Dec) {
+	n := d.Len(1)
+	c.rev = d.U64()
+	c.v = make([]uint32, n)
+	for i := 0; i < n; i++ {
+		c.v[i] = uint32(d.Svarint())
+	}
+	c.n = n
+}
+
+// --- True positive: the load side forgets a field. ---
+
+type Missing struct {
+	n   int
+	rev uint64
+}
+
+func (m *Missing) SaveState(e *ckpt.Enc) {
+	e.Uvarint(uint64(m.n))
+	e.U64(m.rev) // want `save writes a fixed uint64 .* load reads nothing`
+}
+
+func (m *Missing) LoadState(d *ckpt.Dec) {
+	m.n = d.Count()
+}
+
+// --- True positive: section names out of sync. ---
+
+type Section struct{ x uint32 }
+
+func (s *Section) SaveSnap(e *ckpt.Enc) {
+	e.Begin("snap") // want `section begin snap .* section begin snapshot`
+	e.U32(s.x)
+	e.End()
+}
+
+func (s *Section) LoadSnap(d *ckpt.Dec) {
+	d.Begin("snapshot")
+	s.x = d.U32()
+	d.End()
+}
+
+// --- Near-miss: a fully symmetric pair exercising sections, the
+// early-exit flag idiom, counts-before-elements, and helper inlining.
+
+type OK struct {
+	vals   []int32
+	shared bool
+	name   string
+}
+
+func (o *OK) Save(e *ckpt.Enc) {
+	e.Begin("ok")
+	if !o.shared {
+		e.Bool(false)
+		e.End()
+		return
+	}
+	e.Bool(true)
+	e.Uvarint(uint64(len(o.vals)))
+	for _, v := range o.vals {
+		e.Int32(v)
+	}
+	saveName(e, o.name)
+	e.End()
+}
+
+func (o *OK) Load(d *ckpt.Dec) {
+	d.Begin("ok")
+	if !d.Bool() {
+		d.End()
+		return
+	}
+	n := d.Len(1)
+	o.vals = make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		o.vals = append(o.vals, d.Int32())
+	}
+	o.name = loadName(d)
+	d.End()
+}
+
+func saveName(e *ckpt.Enc, s string) { e.String(s) }
+func loadName(d *ckpt.Dec) string    { return d.String() }
+
+// --- Near-miss: opaque nested pair through an interface method; the
+// analyzer pairs SaveWeak against LoadWeak by normalized name.
+
+type inner interface {
+	SaveWeak(e *ckpt.Enc)
+	LoadWeak(d *ckpt.Dec)
+}
+
+type Wrap struct {
+	w inner
+	n int
+}
+
+func (w *Wrap) Save(e *ckpt.Enc) {
+	e.Uvarint(uint64(w.n))
+	w.w.SaveWeak(e)
+}
+
+func (w *Wrap) Load(d *ckpt.Dec) {
+	w.n = d.Count()
+	w.w.LoadWeak(d)
+}

@@ -1,0 +1,84 @@
+// Package clockgrow is the golden corpus for the clockgrow analyzer:
+// a Clock-shaped stub plus Inc patterns with and without a dominating
+// Grow/Init or capacity guard.
+package clockgrow
+
+type TID int32
+
+type Clock struct {
+	v []uint32
+}
+
+func New(n int) *Clock { return &Clock{v: make([]uint32, n)} }
+
+func (c *Clock) Init(t TID) {}
+
+func (c *Clock) Get(t TID) uint32 {
+	if int(t) < len(c.v) {
+		return c.v[t]
+	}
+	return 0
+}
+
+func (c *Clock) Inc(t TID, d uint32) { c.v[t] += d }
+
+func (c *Clock) Grow(n int) {
+	if n > len(c.v) {
+		nv := make([]uint32, n)
+		copy(nv, c.v)
+		c.v = nv
+	}
+}
+
+func (c *Clock) Join(o *Clock) {}
+
+// True positive: Inc on a fresh one-slot clock with an arbitrary tid.
+func fresh(t TID) *Clock {
+	c := New(1)
+	c.Inc(t, 1) // want `without a dominating Grow/Init or capacity guard`
+	return c
+}
+
+// True positive: constant index beyond the constant capacity.
+func constOver() *Clock {
+	c := New(2)
+	c.Inc(4, 1) // want `without a dominating Grow/Init`
+	return c
+}
+
+// Near-miss: capacity derived from the same index expression.
+func sized(t TID) *Clock {
+	c := New(int(t) + 1)
+	c.Inc(t, 1)
+	return c
+}
+
+// Near-miss: explicit Grow dominates the Inc.
+func grown(t TID) *Clock {
+	c := New(1)
+	c.Grow(int(t) + 1)
+	c.Inc(t, 1)
+	return c
+}
+
+// Near-miss: Inc under the capacity-guard idiom.
+func guardedInc(t TID) uint32 {
+	c := New(4)
+	if int(t) < len(c.v) {
+		c.Inc(t, 1)
+	}
+	return c.Get(t)
+}
+
+// Near-miss: constant index within the constant capacity.
+func constUnder() *Clock {
+	c := New(2)
+	c.Inc(1, 1)
+	return c
+}
+
+// Near-miss: a clock owned elsewhere (parameter) was Init'ed at
+// registration time; flagging it would be noise.
+func owned(c *Clock, t TID) {
+	c.Inc(t, 1)
+}

@@ -1,0 +1,19 @@
+// Package engine is the corpus for detrange's deterministic-core
+// rules: the directory name puts it in the restricted package set
+// (engine, parallel, wcp, ckpt), exactly like internal/engine.
+package engine
+
+import (
+	"math/rand" // want `import of math/rand is forbidden`
+	"time"
+)
+
+// True positive: wall-clock in the deterministic core.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now makes resumed and live runs diverge`
+}
+
+func jitter() int { return rand.Intn(3) }
+
+// Near-miss: duration arithmetic is deterministic; only Now is not.
+func double(d time.Duration) time.Duration { return d * 2 }

@@ -1,0 +1,97 @@
+// Package refpair is the golden corpus for the refpair analyzer: a
+// self-contained SnapStore-shaped stub plus the acquire/release
+// patterns the analyzer must flag and the legal ones it must not.
+package refpair
+
+type Snap int
+
+type Store struct{ live int }
+
+func (s *Store) Snapshot(t int) Snap           { s.live++; return Snap(t) }
+func (s *Store) Assign(dst *Snap, src Snap)    {}
+func (s *Store) Drop(sn Snap)                  { s.live-- }
+func (s *Store) SnapGet(sn Snap, t int) uint32 { return 0 }
+
+type failErr struct{}
+
+func (failErr) Error() string { return "fail" }
+
+// True positive: the snapshot leaks on the early-error path.
+func leakOnErrorPath(st *Store, fail bool) error {
+	s := st.Snapshot(1)
+	if fail {
+		return failErr{} // want `still live`
+	}
+	st.Drop(s)
+	return nil
+}
+
+// True positive: never dropped at all (leak reported at the acquire).
+func leakAtEnd(st *Store) {
+	s := st.Snapshot(2) // want `not Dropped`
+	_ = st.SnapGet(s, 0)
+}
+
+// True positive: released twice on the same path.
+func doubleDrop(st *Store) {
+	s := st.Snapshot(3)
+	st.Drop(s)
+	st.Drop(s) // want `already Dropped`
+}
+
+// True positive: the second Drop double-releases when c is true.
+func maybeDoubleDrop(st *Store, c bool) {
+	s := st.Snapshot(4)
+	if c {
+		st.Drop(s)
+	}
+	st.Drop(s) // want `may already be Dropped`
+}
+
+// Near-miss: dropped on every path, including the early return.
+func dropBothPaths(st *Store, c bool) {
+	s := st.Snapshot(5)
+	if c {
+		st.Drop(s)
+		return
+	}
+	st.Drop(s)
+}
+
+// Near-miss: deferred release covers every exit.
+func deferDrop(st *Store, c bool) uint32 {
+	s := st.Snapshot(6)
+	defer st.Drop(s)
+	if c {
+		return 0
+	}
+	w := st.SnapGet(s, 1)
+	return w
+}
+
+// Near-miss: ownership moves into the slot; the slot's owner releases.
+func transfer(st *Store, slot *Snap) {
+	s := st.Snapshot(7)
+	st.Assign(slot, s)
+}
+
+// Near-miss: returning the snapshot transfers ownership to the caller.
+func acquireFor(st *Store) Snap {
+	s := st.Snapshot(8)
+	return s
+}
+
+// Near-miss: handing the reference to an unknown function is a
+// documented ownership transfer; the analyzer stays silent.
+func handOff(st *Store, sink func(Snap)) {
+	s := st.Snapshot(9)
+	sink(s)
+}
+
+// Near-miss: Assign into the tracked variable refreshes the slot; the
+// final Drop releases the refreshed reference.
+func reacquire(st *Store, src Snap) {
+	s := st.Snapshot(10)
+	st.Assign(&s, src)
+	st.Drop(s)
+}

@@ -1,0 +1,44 @@
+package lint_test
+
+import (
+	"testing"
+
+	"treeclock/internal/lint"
+)
+
+// TestTreeIsClean runs all four analyzers over the whole module —
+// the same pass CI runs via `go run ./cmd/tcvet ./...` — and requires
+// zero findings. Any invariant violation introduced anywhere in the
+// tree fails this test locally before it fails the CI lint lane.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module source type-check is slow in -short mode")
+	}
+	root, modPath, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := lint.ExpandPatterns(root, modPath, root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lint.Load(lint.LoadConfig{
+		Roots: []lint.Root{{Prefix: modPath, Dir: root}},
+	}, paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*lint.Package
+	for _, p := range paths {
+		if pkg := prog.Package(p); pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	diags, err := lint.Run(prog, lint.All(), pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s: %s", prog.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+}

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The analyzers identify the runtime's contract types by *shape*
+// (method sets) and by package name, never by full import path. That
+// keeps the testdata corpora self-contained: a corpus package can
+// declare its own four-method store stub and be analyzed exactly like
+// internal/vt's real one.
+
+// hasMethods reports whether t's (pointer) method set contains every
+// name. Type parameters are checked against their constraint.
+func hasMethods(t types.Type, names ...string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if tp, ok := t.(*types.TypeParam); ok {
+		t = tp.Constraint()
+	}
+	if _, ok := t.Underlying().(*types.Interface); !ok {
+		t = types.NewPointer(t)
+	}
+	ms := types.NewMethodSet(t)
+	have := make(map[string]bool, ms.Len())
+	for i := 0; i < ms.Len(); i++ {
+		have[ms.At(i).Obj().Name()] = true
+	}
+	for _, n := range names {
+		if !have[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// isSnapStore reports whether t looks like a vt.SnapStore: the
+// copy-on-write snapshot arena with explicit refcount management.
+func isSnapStore(t types.Type) bool {
+	return hasMethods(t, "Snapshot", "Assign", "Drop", "SnapGet")
+}
+
+// isClock reports whether t looks like a vt.Clock implementation.
+func isClock(t types.Type) bool {
+	return hasMethods(t, "Inc", "Grow", "Join", "Get")
+}
+
+// namedIn reports whether t (pointer-stripped) is a named type with
+// the given type name declared in a package with the given name.
+func namedIn(t types.Type, pkgName, typeName string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Name() == pkgName
+}
+
+// calleeOf resolves a call expression to the called *types.Func, or
+// nil for calls through function values, builtins, and conversions.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		} else if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		}
+	case *ast.IndexListExpr: // f[T1, T2](...)
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		} else if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		}
+	}
+	if id == nil {
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// recvExpr returns the receiver expression of a method-style call
+// (x in x.M(...)), or nil for plain function calls.
+func recvExpr(call *ast.CallExpr) ast.Expr {
+	fun := ast.Unparen(call.Fun)
+	if ix, ok := fun.(*ast.IndexExpr); ok {
+		fun = ast.Unparen(ix.X)
+	}
+	if ixl, ok := fun.(*ast.IndexListExpr); ok {
+		fun = ast.Unparen(ixl.X)
+	}
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return nil
+}
+
+// identOf unwraps parens and returns e as a plain identifier, or nil.
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}
+
+// rootIdent returns the leftmost identifier of a selector/index chain
+// (r in r.a.b[i].c), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprString renders an expression for use in diagnostics and for
+// syntactic containment checks.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}
+
+// inTestFile reports whether pos lies in a _test.go file.
+func inTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// usesIdentNamed reports whether the subtree mentions an identifier
+// that resolves to the same object as want.
+func usesObject(info *types.Info, n ast.Node, want types.Object) bool {
+	if want == nil || n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if id, ok := c.(*ast.Ident); ok && info.Uses[id] == want {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// objectOf returns the object an identifier denotes (use or def).
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}

@@ -7,6 +7,8 @@
 package oracle
 
 import (
+	"sort"
+
 	"treeclock/internal/trace"
 	"treeclock/internal/vt"
 )
@@ -177,7 +179,15 @@ func (r *Result) Races(tr *trace.Trace) []RacePair {
 			byVar[e.Obj] = append(byVar[e.Obj], i)
 		}
 	}
-	for _, idxs := range byVar {
+	// Iterate variables in sorted order so the oracle's pair list is
+	// deterministic: differential failures diff cleanly across runs.
+	vars := make([]int32, 0, len(byVar))
+	for v := range byVar {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(a, b int) bool { return vars[a] < vars[b] })
+	for _, v := range vars {
+		idxs := byVar[v]
 		for a := 0; a < len(idxs); a++ {
 			for b := a + 1; b < len(idxs); b++ {
 				i, j := idxs[a], idxs[b]

@@ -68,7 +68,11 @@ func LoadTID(d *ckpt.Dec) TID {
 // backbone, so its Clock-contract checkpoint does not need to preserve
 // segment sharing.
 func (c *Sparse) Save(e *ckpt.Enc) {
-	e.Int(c.n)
+	// The count must be a plain uvarint: Load reads it with Len. (An
+	// earlier version wrote it with Int — zigzag — which doubles every
+	// nonnegative count on the wire; tcvet's ckptsym analyzer now
+	// rejects that mismatch statically.)
+	e.Uvarint(uint64(c.n))
 	e.U64(c.rev)
 	for t := 0; t < c.n; t++ {
 		e.Svarint(int64(c.Get(TID(t))))
