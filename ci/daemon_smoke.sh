@@ -1,0 +1,155 @@
+#!/usr/bin/env bash
+# Daemon integration smoke, run by the CI daemon lane and fine to run
+# locally (`bash ci/daemon_smoke.sh`). Three phases:
+#
+#   1. Start tcraced and drive 8 concurrent remote sessions, one per
+#      registry engine; every remote report must match the local run
+#      of the same trace line for line (elapsed time stripped), and
+#      -daemon-stats must account for the finished sessions.
+#   2. kill -9 the daemon while 4 throttled sessions are mid-stream,
+#      restart it on the same spool, resume all 4 with
+#      -resume-session, and require byte-identical reports again —
+#      the restart nobody notices.
+#   3. Budget eviction: a daemon with a tiny retained-bytes cap must
+#      evict a wcp session with exit code 4 and leave a resumable
+#      checkpoint behind; an unbudgeted daemon on the same spool
+#      finishes the session with the reference report.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+DPID=""
+cleanup() {
+  rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "== failure diagnostics (exit $rc)" >&2
+    tail -n 5 "$TMP"/*.err >&2 2>/dev/null || true
+  fi
+  [ -n "$DPID" ] && kill -9 "$DPID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$TMP/tcrace" ./cmd/tcrace
+go build -o "$TMP/tcraced" ./cmd/tcraced
+go build -o "$TMP/tracegen" ./cmd/tracegen
+
+# One mixed workload big enough for many checkpoint cadences and a
+# few seconds of throttled feeding.
+"$TMP/tracegen" -pattern mixed -threads 8 -locks 6 -vars 64 \
+  -events 120000 -sync 0.3 -seed 42 -o "$TMP/trace.txt"
+
+SOCK="$TMP/d.sock"
+SPOOL="$TMP/spool"
+ENGINES="hb-tree hb-vc shb-tree shb-vc maz-tree maz-vc wcp-tree wcp-vc"
+
+start_daemon() {
+  # A kill -9'd daemon leaves its socket file behind; remove it so the
+  # restart can bind (and so the listen probe below sees the new one).
+  rm -f "$SOCK"
+  "$TMP/tcraced" -listen "$SOCK" -spool "$SPOOL" -quiet "$@" \
+    > "$TMP/daemon.out" 2> "$TMP/daemon.err" &
+  DPID=$!
+  for _ in $(seq 100); do
+    [ -S "$SOCK" ] && return 0
+    sleep 0.1
+  done
+  echo "tcraced did not start listening" >&2
+  cat "$TMP/daemon.err" >&2
+  exit 1
+}
+
+stop_daemon() {
+  kill "$DPID" 2>/dev/null || true
+  wait "$DPID" 2>/dev/null || true
+  DPID=""
+}
+
+strip_time() { sed 's/ detected in .*//' "$1"; }
+
+# tcrace exits 0 (clean) or 1 (races found); anything else is failure.
+run_tcrace() {
+  local rc=0
+  "$@" || rc=$?
+  if [ "$rc" -gt 1 ]; then
+    echo "tcrace failed (exit $rc): $*" >&2
+    return "$rc"
+  fi
+}
+
+echo "== local reference reports"
+for e in $ENGINES; do
+  run_tcrace "$TMP/tcrace" -engine "$e" "$TMP/trace.txt" > "$TMP/local-$e.out"
+done
+
+echo "== phase 1: 8 concurrent remote sessions"
+start_daemon -checkpoint-every 1000
+pids=""
+for e in $ENGINES; do
+  ( run_tcrace "$TMP/tcrace" -remote "$SOCK" -session "smoke-$e" -engine "$e" \
+      "$TMP/trace.txt" > "$TMP/remote-$e.out" 2> "$TMP/remote-$e.err" ) &
+  pids="$pids $!"
+done
+for p in $pids; do
+  wait "$p" || { echo "a remote session failed"; cat "$TMP"/remote-*.err >&2; exit 1; }
+done
+for e in $ENGINES; do
+  diff <(strip_time "$TMP/local-$e.out") <(strip_time "$TMP/remote-$e.out") \
+    || { echo "remote report for $e differs from the local run" >&2; exit 1; }
+done
+"$TMP/tcrace" -daemon-stats "$SOCK" > "$TMP/stats.json"
+grep -q '"sessions_finished": 8' "$TMP/stats.json" \
+  || { echo "daemon stats did not account 8 finished sessions:" >&2; cat "$TMP/stats.json" >&2; exit 1; }
+stop_daemon
+echo "phase 1 ok: 8/8 remote reports identical, stats consistent"
+
+echo "== phase 2: kill -9 mid-stream, restart, resume"
+rm -rf "$SPOOL"
+# Throttle so the sessions are mid-stream seconds after start, with
+# many 500-event spool checkpoints already written.
+start_daemon -checkpoint-every 500 -max-events-per-sec 20000
+KILL_ENGINES="hb-tree shb-vc maz-tree wcp-vc"
+for e in $KILL_ENGINES; do
+  ( "$TMP/tcrace" -remote "$SOCK" -session "kill-$e" -engine "$e" \
+      "$TMP/trace.txt" > /dev/null 2>&1 || true ) &
+done
+sleep 2
+kill -9 "$DPID"
+wait "$DPID" 2>/dev/null || true
+DPID=""
+wait # the severed clients
+start_daemon -checkpoint-every 500
+for e in $KILL_ENGINES; do
+  run_tcrace "$TMP/tcrace" -remote "$SOCK" -session "kill-$e" -engine "$e" \
+    -resume-session "$TMP/trace.txt" > "$TMP/resumed-$e.out" 2> "$TMP/resumed-$e.err"
+  grep -q "resumed at" "$TMP/resumed-$e.err" \
+    || { echo "$e did not resume from a spooled checkpoint:" >&2; cat "$TMP/resumed-$e.err" >&2; exit 1; }
+  diff <(strip_time "$TMP/local-$e.out") <(strip_time "$TMP/resumed-$e.out") \
+    || { echo "resumed report for $e differs from the local run" >&2; exit 1; }
+done
+stop_daemon
+echo "phase 2 ok: 4/4 sessions resumed after kill -9 with identical reports"
+
+echo "== phase 3: budget eviction + resume"
+rm -rf "$SPOOL"
+start_daemon -max-retained-bytes 1 -mem-check-every 64 -checkpoint-every 500
+rc=0
+"$TMP/tcrace" -remote "$SOCK" -session evict-smoke -engine wcp-tree \
+  "$TMP/trace.txt" > /dev/null 2> "$TMP/evict.err" || rc=$?
+[ "$rc" -eq 4 ] \
+  || { echo "expected eviction exit code 4, got $rc:" >&2; cat "$TMP/evict.err" >&2; exit 1; }
+grep -q "resume-session" "$TMP/evict.err" \
+  || { echo "eviction message lacks the resume hint:" >&2; cat "$TMP/evict.err" >&2; exit 1; }
+stop_daemon
+start_daemon   # unbudgeted, same spool
+run_tcrace "$TMP/tcrace" -remote "$SOCK" -session evict-smoke -engine wcp-tree \
+  -resume-session "$TMP/trace.txt" > "$TMP/evict-resumed.out" 2> "$TMP/evict-resumed.err"
+grep -q "resumed at" "$TMP/evict-resumed.err" \
+  || { echo "evicted session did not resume:" >&2; cat "$TMP/evict-resumed.err" >&2; exit 1; }
+diff <(strip_time "$TMP/local-wcp-tree.out") <(strip_time "$TMP/evict-resumed.out") \
+  || { echo "post-eviction report differs from the local run" >&2; exit 1; }
+stop_daemon
+echo "phase 3 ok: evicted with exit 4, resumed to the identical report"
+
+echo "daemon smoke passed"

@@ -19,6 +19,9 @@
 //	tcrace -reclaim-slots churny.txt      # bounded clocks under thread churn
 //	tcrace -engine wcp-tree -summary-cap 4096 t.txt # age rule-(a) summaries
 //	tcrace -intern-cap 100000 month.txt   # evict cold identifier names
+//	tcrace -remote 127.0.0.1:7455 t.txt   # run the session in a tcraced daemon
+//	tcrace -remote /run/tcraced.sock -session nightly -resume-session t.txt
+//	tcrace -daemon-stats 127.0.0.1:7455   # print daemon statistics as JSON
 //
 // Ingestion is batched by default; -scalar forces the per-event loop
 // and -pipeline N overlaps decoding with analysis through a ring of N
@@ -54,6 +57,19 @@
 // fresh identity, which is sound for race detection but makes reported
 // ids for such names differ from an uncapped run.
 //
+// -remote ADDR runs the session in a tcraced daemon instead of
+// in-process: the trace is decoded (and, unless -no-validate,
+// checked) locally, shipped over the daemon's framed wire protocol,
+// and the report — byte-identical to a local run — is rendered from
+// the daemon's result. The daemon checkpoints every session to its
+// spool, so a killed daemon or a -resume-session rerun continues from
+// the spooled frontier, re-feeding only the tail; -session names the
+// session (default: derived from the trace filename). A session the
+// daemon evicts over budget exits with code 4 and is resumable the
+// same way. -daemon-stats ADDR prints the daemon's live statistics
+// (sessions, engines, event/race rates, retained bytes) as JSON and
+// exits. An example transcript lives in the tcraced command doc.
+//
 // Prints the race summary and up to 64 sample pairs, plus timing and —
 // with -work — the data-structure work counters. Engine names come
 // from the registry (see -list).
@@ -64,18 +80,25 @@
 //	1  analysis completed, races detected
 //	2  usage or I/O error (bad flags, unreadable input, malformed trace)
 //	3  corrupt or truncated checkpoint (-resume)
+//	4  remote session evicted over budget (-remote; resume with -resume-session)
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
 	"time"
 
 	"treeclock"
+	"treeclock/internal/daemon"
+	"treeclock/internal/trace"
 )
 
 // Exit codes; see the package comment.
@@ -84,6 +107,7 @@ const (
 	exitRaces   = 1
 	exitUsage   = 2
 	exitCorrupt = 3
+	exitEvicted = 4
 )
 
 func main() {
@@ -97,6 +121,7 @@ Exit codes:
   1  analysis completed, races detected
   2  usage or I/O error (bad flags, unreadable input, malformed trace)
   3  corrupt or truncated checkpoint (-resume)
+  4  remote session evicted over budget (-remote; resume with -resume-session)
 `
 
 // printUsage writes the flag summary and the exit-code contract to w.
@@ -132,6 +157,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		reclaimSlots = fs.Bool("reclaim-slots", false, "reclaim fully-joined threads' clock slots so thread-churn streams keep bounded clock width (hb/shb/maz; reported thread ids become slot numbers)")
 		summaryCap   = fs.Int("summary-cap", 0, "age out dominated rule-(a) acquire summaries above roughly N live entries (wcp engines; 0 = unbounded)")
 		internCap    = fs.Int("intern-cap", 0, "evict the coldest interned identifier names above N per space (text input; evicted names reappear as fresh ids; 0 = unbounded)")
+		remote       = fs.String("remote", "", "run the session in a tcraced daemon at this address (host:port or a unix socket path) instead of in-process")
+		session      = fs.String("session", "", "daemon session id (with -remote; default: derived from the trace filename)")
+		resumeSess   = fs.Bool("resume-session", false, "resume the daemon session from its server-side checkpoint and re-feed only the tail (with -remote)")
+		daemonStats  = fs.String("daemon-stats", "", "print a tcraced daemon's statistics snapshot as JSON and exit")
 	)
 	// flag reports parse errors to fs.Output on its own; Usage is
 	// rendered once, to stdout for -h and to stderr for usage errors.
@@ -150,6 +179,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-10s %s\n", info.Name, info.Doc)
 		}
 		return exitClean
+	}
+
+	if *daemonStats != "" {
+		return printDaemonStats(*daemonStats, stdout, stderr)
+	}
+	if *remote == "" && (*session != "" || *resumeSess) {
+		fmt.Fprintf(stderr, "tcrace: -session and -resume-session require -remote\n")
+		return exitUsage
 	}
 
 	name := *engineFlag
@@ -175,6 +212,56 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		defer f.Close()
 		in = f
+	}
+
+	if *format != "text" && *format != "bin" {
+		fmt.Fprintf(stderr, "tcrace: unknown format %q\n", *format)
+		return exitUsage
+	}
+	if *workers < 0 {
+		fmt.Fprintf(stderr, "tcrace: -workers must be >= 0 (got %d)\n", *workers)
+		return exitUsage
+	}
+
+	if *remote != "" {
+		switch {
+		case *checkpoint != "" || *resume != "":
+			fmt.Fprintf(stderr, "tcrace: -checkpoint/-resume are local-run flags; the daemon spools checkpoints server-side (continue with -resume-session)\n")
+			return exitUsage
+		case *work:
+			fmt.Fprintf(stderr, "tcrace: -work is not available for remote runs (the counters live in the daemon)\n")
+			return exitUsage
+		case *pipeline != 0 || *scalar:
+			fmt.Fprintf(stderr, "tcrace: -pipeline/-scalar tune local ingestion and do not apply to remote runs\n")
+			return exitUsage
+		case *internCap > 0 && *format == "bin":
+			fmt.Fprintf(stderr, "tcrace: -intern-cap requires text input\n")
+			return exitUsage
+		}
+		id := *session
+		if id == "" {
+			name := ""
+			if fs.NArg() > 0 {
+				name = fs.Arg(0)
+			}
+			id = defaultSessionID(name)
+		}
+		r := &remoteRun{
+			addr:       *remote,
+			sessionID:  id,
+			engine:     name,
+			binary:     *format == "bin",
+			validate:   !*noValidate,
+			workers:    *workers,
+			flatWeak:   *flatWeak,
+			reclaim:    *reclaimSlots,
+			summaryCap: *summaryCap,
+			internCap:  *internCap,
+			resume:     *resumeSess,
+			progress:   *progress,
+			samples:    *samples,
+		}
+		return r.run(in, stdout, stderr)
 	}
 
 	opts := []treeclock.StreamOption{}
@@ -208,13 +295,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "progress: %d events (%.2fM ev/s)\n", p.Events, p.Rate/1e6)
 		}))
 	}
-	switch *format {
-	case "text":
-	case "bin":
+	if *format == "bin" {
 		opts = append(opts, treeclock.StreamBinary())
-	default:
-		fmt.Fprintf(stderr, "tcrace: unknown format %q\n", *format)
-		return exitUsage
 	}
 	var st treeclock.WorkStats
 	if *work {
@@ -238,11 +320,6 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		opts = append(opts, treeclock.ResumeFrom(bytes.NewReader(data)))
 	}
 
-	if *workers < 0 {
-		fmt.Fprintf(stderr, "tcrace: -workers must be >= 0 (got %d)\n", *workers)
-		return exitUsage
-	}
-
 	start := time.Now()
 	var res *treeclock.StreamResult
 	var err error
@@ -263,21 +340,33 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return exitUsage
 	}
 
+	var workPtr *treeclock.WorkStats
+	if *work {
+		workPtr = &st
+	}
+	return printReport(stdout, res, elapsed, *workers != 1, workPtr, *samples)
+}
+
+// printReport renders the analysis report. Local and remote runs share
+// it, so the two paths produce line-for-line comparable output (only
+// the elapsed time differs by nature). Returns the exit code implied
+// by the race summary.
+func printReport(stdout io.Writer, res *treeclock.StreamResult, elapsed time.Duration, sharded bool, work *treeclock.WorkStats, samples int) int {
 	fmt.Fprintf(stdout, "trace: %d events, %d threads, %d vars, %d locks (streamed, no prior metadata)\n",
 		res.Events, res.Meta.Threads, res.Meta.Vars, res.Meta.Locks)
-	if *workers != 1 {
+	if sharded {
 		fmt.Fprintf(stdout, "analysis sharded across worker replicas (variable-partitioned; results identical to sequential)\n")
 	}
 	fmt.Fprintf(stdout, "%s: %d concurrent conflicting pairs detected in %v\n",
 		res.Engine, res.Summary.Total, elapsed.Round(time.Microsecond))
-	if *work {
+	if work != nil {
 		fmt.Fprintf(stdout, "work: %d entries touched, %d changed (VTWork), %d joins, %d copies, %d deep copies\n",
-			st.Entries, st.Changed, st.Joins, st.Copies, st.DeepCopies)
+			work.Entries, work.Changed, work.Joins, work.Copies, work.DeepCopies)
 	}
-	if len(res.Samples) > 0 && *samples > 0 {
+	if len(res.Samples) > 0 && samples > 0 {
 		fmt.Fprintln(stdout, "sample pairs:")
 		for i, p := range res.Samples {
-			if i >= *samples {
+			if i >= samples {
 				fmt.Fprintf(stdout, "  ... (%d samples kept)\n", len(res.Samples))
 				break
 			}
@@ -288,4 +377,157 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return exitRaces
 	}
 	return exitClean
+}
+
+// remoteRun is the -remote client: decode (and validate) the trace
+// locally, ship it to a tcraced daemon over the framed wire protocol,
+// and render the daemon's result exactly as a local run would.
+type remoteRun struct {
+	addr       string
+	sessionID  string
+	engine     string
+	binary     bool
+	validate   bool
+	workers    int
+	flatWeak   bool
+	reclaim    bool
+	summaryCap int
+	internCap  int
+	resume     bool
+	progress   uint64
+	samples    int
+}
+
+func (r *remoteRun) run(in io.Reader, stdout, stderr io.Writer) int {
+	var src trace.EventSource
+	if r.binary {
+		src = trace.NewBinaryScanner(in)
+	} else {
+		s := trace.NewScanner(in)
+		if r.internCap > 0 {
+			s.SetInternCap(r.internCap)
+		}
+		src = s
+	}
+	if r.validate {
+		src = trace.NewValidator(src)
+	}
+
+	c, err := daemon.Dial(r.addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "tcrace: %v\n", err)
+		return exitUsage
+	}
+	defer c.Close()
+	if r.progress > 0 {
+		c.OnProgress(func(events, retained uint64) {
+			fmt.Fprintf(stderr, "progress: %d events (remote session, %d bytes retained)\n", events, retained)
+		})
+	}
+
+	// -workers 0 means GOMAXPROCS locally; resolve it client-side so
+	// the open frame carries an explicit count.
+	workers := r.workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	opts := []daemon.OpenOption{}
+	if workers > 1 {
+		opts = append(opts, daemon.OpenWorkers(workers))
+	}
+	if r.flatWeak {
+		opts = append(opts, daemon.OpenFlatWeak())
+	}
+	if r.reclaim {
+		opts = append(opts, daemon.OpenSlotReclaim())
+	}
+	if r.summaryCap > 0 {
+		opts = append(opts, daemon.OpenSummaryCap(r.summaryCap))
+	}
+	if r.resume {
+		opts = append(opts, daemon.OpenResume())
+	}
+
+	start := time.Now()
+	pos, err := c.Open(r.sessionID, r.engine, opts...)
+	if err != nil {
+		fmt.Fprintf(stderr, "tcrace: %v\n", err)
+		return exitUsage
+	}
+	if pos > 0 {
+		fmt.Fprintf(stderr, "tcrace: session %q resumed at %d events; re-feeding the tail\n", r.sessionID, pos)
+	}
+	if _, err := c.FeedSource(src, pos); err != nil {
+		return r.fail(err, stderr)
+	}
+	res, err := c.Finish()
+	if err != nil {
+		return r.fail(err, stderr)
+	}
+	elapsed := time.Since(start)
+	return printReport(stdout, res, elapsed, r.workers != 1, nil, r.samples)
+}
+
+// fail maps a remote-session error to its exit code: evictions are
+// resumable and get their own code, anything else is a usage/transport
+// failure.
+func (r *remoteRun) fail(err error, stderr io.Writer) int {
+	fmt.Fprintf(stderr, "tcrace: %v\n", err)
+	var ev *daemon.EvictedError
+	if errors.As(err, &ev) {
+		fmt.Fprintf(stderr, "tcrace: the daemon kept a checkpoint; continue with -resume-session -session %s\n", r.sessionID)
+		return exitEvicted
+	}
+	return exitUsage
+}
+
+// printDaemonStats implements -daemon-stats: one round-trip for the
+// statistics snapshot, printed as indented JSON.
+func printDaemonStats(addr string, stdout, stderr io.Writer) int {
+	c, err := daemon.Dial(addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "tcrace: %v\n", err)
+		return exitUsage
+	}
+	defer c.Close()
+	st, err := c.Stats()
+	if err != nil {
+		fmt.Fprintf(stderr, "tcrace: %v\n", err)
+		return exitUsage
+	}
+	out, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "tcrace: %v\n", err)
+		return exitUsage
+	}
+	fmt.Fprintln(stdout, string(out))
+	return exitClean
+}
+
+// defaultSessionID derives a daemon session id from the trace path:
+// the file's base name with unsafe bytes mapped to '_', or
+// "tcrace-stdin" for standard input. Concurrent runs over the same
+// file need explicit -session ids (a daemon serves one live session
+// per id).
+func defaultSessionID(path string) string {
+	if path == "" {
+		return "tcrace-stdin"
+	}
+	b := []byte(filepath.Base(path))
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			b[i] = '_'
+		}
+	}
+	id := strings.TrimLeft(string(b), ".-")
+	if id == "" {
+		id = "tcrace"
+	}
+	if len(id) > 128 {
+		id = id[:128]
+	}
+	return id
 }

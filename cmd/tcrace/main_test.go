@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"treeclock/internal/daemon"
 )
 
 // writeTrace drops a trace file into a temp dir and returns its path.
@@ -33,7 +36,8 @@ func runCmd(t *testing.T, stdin string, args ...string) (code int, stdout, stder
 }
 
 // TestExitCodes pins the documented exit-code contract: 0 clean,
-// 1 races, 2 usage/I-O, 3 corrupt checkpoint.
+// 1 races, 2 usage/I-O, 3 corrupt checkpoint (4, remote eviction, is
+// pinned by TestRemoteEvictResume).
 func TestExitCodes(t *testing.T) {
 	t.Run("clean", func(t *testing.T) {
 		code, out, _ := runCmd(t, cleanTrace)
@@ -174,6 +178,7 @@ func TestHelpDocumentsExitCodes(t *testing.T) {
 		"1  analysis completed, races detected",
 		"2  usage or I/O error (bad flags, unreadable input, malformed trace)",
 		"3  corrupt or truncated checkpoint (-resume)",
+		"4  remote session evicted over budget (-remote; resume with -resume-session)",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("-h output missing %q:\n%s", want, out)
@@ -264,6 +269,123 @@ func TestResumeAndCheckpointSamePath(t *testing.T) {
 	}
 	if got, want := stripTiming(out), stripTiming(ref); got != want {
 		t.Fatalf("rewritten-checkpoint report differs:\n--- resumed\n%s--- reference\n%s", got, want)
+	}
+}
+
+// startTestDaemon brings up an in-process tcraced server for the
+// -remote client tests.
+func startTestDaemon(t *testing.T, spool string, mod func(*daemon.Config)) *daemon.Server {
+	t.Helper()
+	cfg := daemon.Config{
+		Addr:     "127.0.0.1:0",
+		SpoolDir: spool,
+		Now:      time.Now,
+		Sleep:    time.Sleep,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	srv, err := daemon.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// TestRemoteMatchesLocal pins that -remote renders the same report as
+// an in-process run of the same trace (modulo the elapsed time), and
+// that -daemon-stats round-trips a JSON snapshot.
+func TestRemoteMatchesLocal(t *testing.T) {
+	srv := startTestDaemon(t, t.TempDir(), nil)
+	var sb strings.Builder
+	for i := 0; i < 300; i++ {
+		sb.WriteString(cleanTrace)
+		sb.WriteString(racyTrace)
+	}
+	input := sb.String()
+	codeLocal, local, _ := runCmd(t, input)
+	codeRemote, remote, errOut := runCmd(t, input,
+		"-remote", srv.Addr().String(), "-session", "cli-match")
+	if codeRemote != codeLocal {
+		t.Fatalf("remote exit %d, local exit %d (stderr: %s)", codeRemote, codeLocal, errOut)
+	}
+	if got, want := stripTiming(remote), stripTiming(local); got != want {
+		t.Fatalf("remote report differs:\n--- remote\n%s--- local\n%s", got, want)
+	}
+
+	code, out, errOut := runCmd(t, "", "-daemon-stats", srv.Addr().String())
+	if code != exitClean {
+		t.Fatalf("-daemon-stats: exit %d (stderr: %s)", code, errOut)
+	}
+	for _, want := range []string{"active_sessions", "sessions_finished", "events_total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-daemon-stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRemoteEvictResume pins exit code 4: a budgeted daemon evicts the
+// session with a spooled checkpoint, and -resume-session on a roomier
+// daemon sharing the spool finishes with a report identical to an
+// uninterrupted local run.
+func TestRemoteEvictResume(t *testing.T) {
+	spool := t.TempDir()
+	budgeted := startTestDaemon(t, spool, func(c *daemon.Config) {
+		c.MaxRetainedBytes = 1
+		c.MemCheckEvery = 64
+	})
+	var sb strings.Builder
+	for i := 0; i < 1000; i++ {
+		sb.WriteString(cleanTrace)
+	}
+	input := sb.String()
+	codeRef, ref, _ := runCmd(t, input, "-engine", "wcp-tree")
+	if codeRef != exitClean {
+		t.Fatalf("reference run: exit %d", codeRef)
+	}
+	code, _, errOut := runCmd(t, input,
+		"-engine", "wcp-tree", "-remote", budgeted.Addr().String(), "-session", "cli-evict")
+	if code != exitEvicted {
+		t.Fatalf("budgeted run: exit %d, want %d (stderr: %s)", code, exitEvicted, errOut)
+	}
+	if !strings.Contains(errOut, "-resume-session") {
+		t.Fatalf("eviction stderr misses the resume hint:\n%s", errOut)
+	}
+
+	roomy := startTestDaemon(t, spool, nil)
+	code, out, errOut := runCmd(t, input,
+		"-engine", "wcp-tree", "-remote", roomy.Addr().String(), "-session", "cli-evict", "-resume-session")
+	if code != exitClean {
+		t.Fatalf("resumed run: exit %d (stderr: %s)", code, errOut)
+	}
+	if !strings.Contains(errOut, "resumed at") {
+		t.Fatalf("resume note missing from stderr:\n%s", errOut)
+	}
+	if got, want := stripTiming(out), stripTiming(ref); got != want {
+		t.Fatalf("resumed remote report differs:\n--- resumed\n%s--- reference\n%s", got, want)
+	}
+}
+
+// TestRemoteUsageErrors pins the flag subset -remote accepts.
+func TestRemoteUsageErrors(t *testing.T) {
+	cases := map[string][]string{
+		"session without remote": {"-session", "x"},
+		"resume without remote":  {"-resume-session"},
+		"work":                   {"-remote", "x", "-work"},
+		"checkpoint":             {"-remote", "x", "-checkpoint", "c"},
+		"resume file":            {"-remote", "x", "-resume", "c"},
+		"scalar":                 {"-remote", "x", "-scalar"},
+		"pipeline":               {"-remote", "x", "-pipeline", "4"},
+		"intern-cap on binary":   {"-remote", "x", "-format", "bin", "-intern-cap", "5"},
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			if code, _, errOut := runCmd(t, cleanTrace, args...); code != exitUsage {
+				t.Fatalf("exit %d, want %d (stderr: %s)", code, exitUsage, errOut)
+			}
+		})
 	}
 }
 

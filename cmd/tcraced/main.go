@@ -1,0 +1,174 @@
+// Command tcraced is the multi-tenant analysis daemon: a long-lived
+// server that accepts trace sessions over TCP or a unix socket and
+// runs each one as a push-mode treeclock.Session, multiplexed across a
+// bounded pool with per-session budgets.
+//
+// Usage:
+//
+//	tcraced                                  # listen on 127.0.0.1:7455
+//	tcraced -listen 0.0.0.0:9000             # explicit TCP endpoint
+//	tcraced -listen /run/tcraced.sock        # unix socket (inferred)
+//	tcraced -max-sessions 16                 # bound the session pool
+//	tcraced -max-retained-bytes 268435456    # evict sessions over 256 MiB
+//	tcraced -max-events-per-sec 5e6          # throttle each feed to 5M ev/s
+//	tcraced -spool /var/lib/tcraced          # durable checkpoint directory
+//
+// Clients speak the length-prefixed binary framing of
+// treeclock/internal/daemon; tcrace -remote is the stock client. A
+// typical exchange:
+//
+//	$ tcraced -spool /tmp/spool &
+//	tcraced: listening on 127.0.0.1:7455 (spool /tmp/spool)
+//	$ tcrace -remote 127.0.0.1:7455 -engine wcp-tree big.txt
+//	trace: 40000000 events, 64 threads, 4096 vars, 128 locks (streamed, no prior metadata)
+//	wcp-tree: 12 concurrent conflicting pairs detected in 9.207s
+//	$ tcrace -daemon-stats 127.0.0.1:7455
+//	{ "uptime_sec": 41, "sessions_finished": 1, ... }
+//
+// Every session checkpoints to <spool>/<session id>.ckpt on a cadence
+// (-checkpoint-every), on detach, on eviction, and on abrupt
+// disconnect — so killing the daemon (even kill -9 between cadence
+// points) loses at most the events after the last checkpoint, and a
+// restarted daemon resumes the session from its spooled frontier when
+// the client re-opens it with the same id and re-feeds the tail. The
+// finished report is byte-identical to an uninterrupted library run.
+//
+// Budgets are per session: -max-retained-bytes evicts an over-budget
+// session with a final checkpoint (the client sees the resumable
+// position), and -max-events-per-sec throttles the feed with a token
+// bucket rather than rejecting it. SIGINT/SIGTERM shut the daemon
+// down cleanly: live sessions get a courtesy checkpoint on the way
+// out.
+//
+// Exit codes:
+//
+//	0  clean shutdown (signal or test-driven Close)
+//	1  the listener failed while serving
+//	2  usage error (bad flags, unusable listen address or spool)
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"treeclock/internal/daemon"
+)
+
+// Exit codes; see the package comment.
+const (
+	exitClean = 0
+	exitServe = 1
+	exitUsage = 2
+)
+
+// hookServer, when set by a test, receives the listening server right
+// before Serve, instead of installing signal handlers — the test owns
+// shutdown.
+var hookServer func(*daemon.Server)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// exitCodesDoc is appended to -h output; the cmd test pins it.
+const exitCodesDoc = `
+Exit codes:
+  0  clean shutdown (signal or test-driven Close)
+  1  the listener failed while serving
+  2  usage error (bad flags, unusable listen address or spool)
+`
+
+// printUsage writes the flag summary and the exit-code contract to w.
+func printUsage(fs *flag.FlagSet, w io.Writer) {
+	fmt.Fprintf(w, "usage: tcraced [flags]\n\nFlags:\n")
+	fs.SetOutput(w)
+	fs.PrintDefaults()
+	fmt.Fprint(w, exitCodesDoc)
+}
+
+// run is the whole daemon, factored from main so tests can drive a
+// full serve/shutdown cycle in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tcraced", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		listen        = fs.String("listen", "127.0.0.1:7455", "listen address: host:port for tcp, a path for a unix socket")
+		network       = fs.String("network", "", "listen network: tcp or unix (empty = inferred from -listen)")
+		spool         = fs.String("spool", filepath.Join(os.TempDir(), "tcraced-spool"), "spool directory for per-session resume checkpoints")
+		maxSessions   = fs.Int("max-sessions", 64, "concurrently active session bound; opens beyond it wait for a slot")
+		maxRetained   = fs.Uint64("max-retained-bytes", 0, "per-session retained-state budget; over-budget sessions are evicted with a final checkpoint (0 = unbudgeted)")
+		maxRate       = fs.Float64("max-events-per-sec", 0, "per-session feed-rate budget, enforced by throttling (0 = unthrottled)")
+		ckptEvery     = fs.Uint64("checkpoint-every", 0, "events between spool checkpoints per session (0 = one per million events)")
+		progressEvery = fs.Uint64("progress-every", 1<<16, "events between progress frames to each client")
+		memEvery      = fs.Uint64("mem-check-every", 1<<12, "events between per-session memory-budget samples")
+		quiet         = fs.Bool("quiet", false, "suppress per-session operational log lines on stderr")
+	)
+	fs.Usage = func() {}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			printUsage(fs, stdout)
+			return exitClean
+		}
+		printUsage(fs, stderr)
+		return exitUsage
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "tcraced: unexpected argument %q\n", fs.Arg(0))
+		return exitUsage
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(stderr, "tcraced: "+format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	srv, err := daemon.New(daemon.Config{
+		Network:          *network,
+		Addr:             *listen,
+		SpoolDir:         *spool,
+		MaxSessions:      *maxSessions,
+		MaxRetainedBytes: *maxRetained,
+		MaxEventsPerSec:  *maxRate,
+		CheckpointEvery:  *ckptEvery,
+		ProgressEvery:    *progressEvery,
+		MemCheckEvery:    *memEvery,
+		Now:              time.Now,
+		Sleep:            time.Sleep,
+		Logf:             logf,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "tcraced: %v\n", err)
+		return exitUsage
+	}
+	fmt.Fprintf(stdout, "tcraced: listening on %s (spool %s)\n", srv.Addr(), *spool)
+
+	if hookServer != nil {
+		hookServer(srv)
+	} else {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			s := <-sig
+			fmt.Fprintf(stdout, "tcraced: %v: shutting down\n", s)
+			srv.Close()
+		}()
+		defer signal.Stop(sig)
+	}
+
+	if err := srv.Serve(); err != nil {
+		fmt.Fprintf(stderr, "tcraced: serve: %v\n", err)
+		srv.Close()
+		return exitServe
+	}
+	srv.Close()
+	fmt.Fprintf(stdout, "tcraced: shut down\n")
+	return exitClean
+}

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"treeclock"
+	"treeclock/internal/daemon"
+)
+
+// runDaemon starts run() in a goroutine with the test hook installed
+// and returns the listening server, a memoized shutdown func (Close +
+// wait, returning the exit code), and the captured stdout.
+func runDaemon(t *testing.T, args ...string) (*daemon.Server, func() int, *bytes.Buffer) {
+	t.Helper()
+	ready := make(chan *daemon.Server, 1)
+	hookServer = func(s *daemon.Server) { ready <- s }
+	t.Cleanup(func() { hookServer = nil })
+	var out, errBuf bytes.Buffer
+	done := make(chan int, 1)
+	go func() { done <- run(args, &out, &errBuf) }()
+	var srv *daemon.Server
+	select {
+	case srv = <-ready:
+	case code := <-done:
+		t.Fatalf("daemon exited before listening: code %d (stderr: %s)", code, errBuf.String())
+	}
+	var once sync.Once
+	code := -1
+	shutdown := func() int {
+		once.Do(func() {
+			srv.Close()
+			select {
+			case code = <-done:
+			case <-time.After(10 * time.Second):
+				t.Error("daemon did not exit after Close")
+			}
+		})
+		return code
+	}
+	t.Cleanup(func() { shutdown() })
+	return srv, shutdown, &out
+}
+
+// TestHelpDocumentsExitCodes pins that -h exits 0 and prints the
+// exit-code contract on stdout.
+func TestHelpDocumentsExitCodes(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errBuf); code != exitClean {
+		t.Fatalf("-h: exit %d, want %d", code, exitClean)
+	}
+	if errBuf.Len() != 0 {
+		t.Fatalf("-h wrote to stderr:\n%s", errBuf.String())
+	}
+	for _, want := range []string{
+		"usage: tcraced",
+		"Exit codes:",
+		"0  clean shutdown (signal or test-driven Close)",
+		"1  the listener failed while serving",
+		"2  usage error (bad flags, unusable listen address or spool)",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("-h output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestUsageErrors pins exit 2 for bad invocations.
+func TestUsageErrors(t *testing.T) {
+	cases := map[string][]string{
+		"bad flag":       {"-no-such-flag"},
+		"stray arg":      {"stray"},
+		"bad listen":     {"-listen", "127.0.0.1:notaport", "-spool", t.TempDir()},
+		"unusable spool": {"-listen", "127.0.0.1:0", "-spool", filepath.Join(writeFile(t), "sub")},
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			var out, errBuf bytes.Buffer
+			if code := run(args, &out, &errBuf); code != exitUsage {
+				t.Fatalf("exit %d, want %d (stderr: %s)", code, exitUsage, errBuf.String())
+			}
+		})
+	}
+}
+
+// writeFile creates a plain file so using it as a directory prefix
+// fails.
+func writeFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "plainfile")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestServeSession drives a full session against an in-process daemon
+// started through run(): open, feed, finish, and byte-compare the
+// result with a direct library run.
+func TestServeSession(t *testing.T) {
+	srv, shutdown, out := runDaemon(t,
+		"-listen", "127.0.0.1:0", "-spool", t.TempDir(), "-quiet")
+
+	tr := treeclock.GenerateMixed(treeclock.GenConfig{
+		Threads: 4, Locks: 3, Vars: 16, Events: 1200, SyncFrac: 0.3, Seed: 9,
+	})
+	want, err := treeclock.RunStreamSource("hb-tree", treeclock.NewTraceReplayer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := daemon.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	pos, err := c.Open("cmdtest", "hb-tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos != 0 {
+		t.Fatalf("fresh session opened at %d", pos)
+	}
+	if _, err := c.FeedSource(treeclock.NewTraceReplayer(tr), 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Summary.Total != want.Summary.Total || got.Events != want.Events {
+		t.Fatalf("daemon result diverges: got %d races / %d events, want %d / %d",
+			got.Summary.Total, got.Events, want.Summary.Total, want.Events)
+	}
+
+	if code := shutdown(); code != exitClean {
+		t.Fatalf("daemon exit %d, want %d", code, exitClean)
+	}
+	if !strings.Contains(out.String(), "listening on") {
+		t.Fatalf("startup line missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "shut down") {
+		t.Fatalf("shutdown line missing:\n%s", out.String())
+	}
+}

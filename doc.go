@@ -272,7 +272,47 @@
 // alongside ctx.Err(), with no goroutines left behind. cmd/tcrace
 // surfaces all of it (-checkpoint, -checkpoint-every, -resume) with a
 // documented exit-code contract: 0 clean, 1 races found, 2 usage or
-// I/O error, 3 corrupt checkpoint.
+// I/O error, 3 corrupt checkpoint, 4 remote session evicted.
+//
+// # Analysis as a service
+//
+// The streaming drivers are thin wrappers over a first-class Session:
+// Open(engine, opts...) constructs and validates the configuration in
+// one place, Feed(batch) pushes events incrementally, Snapshot(w)
+// checkpoints mid-stream, Mem() reports retained-state accounting,
+// and Result()/Close() seal the run. Everything the four RunStream*
+// entry points do — sequential or sharded, pull or push — flows
+// through this one core, so incremental feeding, mid-stream
+// checkpointing, budget inspection and eviction/resume are library
+// capabilities, not daemon-private forks.
+//
+// internal/daemon and cmd/tcraced build the multi-tenant service on
+// top: a long-lived server multiplexing concurrent trace sessions
+// over TCP or unix sockets. The wire protocol is length-prefixed
+// binary framing (a uint32 length, a one-byte frame type, a payload
+// that reuses the checkpoint codec for structured frames and bare
+// varints for event batches); the client opens a named session,
+// streams event frames, and receives progress, the final result — or
+// an eviction. Session lifecycle is built for restarts nobody
+// notices: every session checkpoints to a per-session spool file on
+// a cadence, on detach and on disconnect, so a client (or the whole
+// daemon) can die at any moment and a session with the same id plus
+// Resume continues from the spooled frontier, re-feeding only the
+// tail, with the finished report byte-identical to an uninterrupted
+// library run — proven by fault-injected restart-equivalence tests
+// across engines and worker counts, and again end to end (real
+// kill -9, real processes) by the CI daemon lane.
+//
+// Two per-session budgets keep tenants isolated: a retained-bytes cap
+// enforced through the MemStats accounting (over-budget sessions are
+// evicted with a final checkpoint and a resumable position) and an
+// events/sec cap enforced by throttling. A statistics endpoint
+// reports uptime, the live session table, per-engine occupancy, and
+// event/race rates over a sliding window. cmd/tcrace is the stock
+// client: -remote ships a locally decoded trace to a daemon and
+// renders the identical report, -resume-session continues an
+// interrupted or evicted session (exit code 4 marks an eviction),
+// and -daemon-stats prints the statistics snapshot as JSON.
 //
 // # Static analysis
 //

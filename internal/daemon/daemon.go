@@ -1,0 +1,288 @@
+// Package daemon implements tcraced, the multi-tenant analysis
+// service: a long-lived server that multiplexes many concurrent trace
+// sessions — each one a treeclock.Session fed push-mode over the wire
+// protocol of proto.go — across a bounded worker pool with per-session
+// budgets.
+//
+// # Session lifecycle
+//
+// A client connects, sends the preamble and an open frame naming the
+// session, the engine and the option subset a push-mode Session
+// accepts. The server admits the session (waiting for a pool slot if
+// the daemon is at capacity), restores it from its spool checkpoint
+// when the open requests a resume, and replies with the position to
+// feed from — zero for a fresh session, the checkpointed frontier for
+// a resumed one. The client then streams event frames; the server
+// feeds them into the Session, writes cadence checkpoints to the spool
+// (so a kill -9 at any moment leaves a resumable frontier behind), and
+// sends periodic progress frames. A finish frame seals the stream:
+// the result frame carries the byte-identical StreamResult a library
+// run of the same events would produce, and the spool checkpoint is
+// removed. A detach frame instead snapshots the session to the spool
+// and parts cleanly; an abrupt disconnect gets the same courtesy
+// snapshot on a best-effort basis.
+//
+// # Budgets
+//
+// Two per-session budgets keep one tenant from starving the rest. The
+// retained-bytes budget (Config.MaxRetainedBytes) is enforced against
+// the engine's own memory accounting, sampled every MemCheckEvery
+// events: a session over budget is evicted — snapshotted to its spool,
+// sent an evicted frame with the resumable position, and disconnected.
+// The events/sec budget (Config.MaxEventsPerSec) is a token bucket
+// that throttles the feed loop, smoothing bursts instead of rejecting
+// them. Both use the injected clock (Config.Now/Sleep), so the daemon
+// package itself stays deterministic and testable — the detrange
+// analyzer holds it to that.
+package daemon
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config parameterizes a Server. The zero value is not usable: Now
+// and Sleep must be supplied (cmd/tcraced passes time.Now and
+// time.Sleep; tests pass a fake clock), and SpoolDir must name a
+// directory the daemon may write checkpoints into.
+type Config struct {
+	// Network and Addr are the listen endpoint, as for net.Listen.
+	// An empty Network is inferred: "unix" when Addr contains a path
+	// separator, "tcp" otherwise.
+	Network string
+	Addr    string
+
+	// SpoolDir holds the per-session checkpoint files
+	// (<SpoolDir>/<session id>.ckpt), created if missing. Checkpoints
+	// are what make daemon restarts invisible: sessions resume from
+	// their spooled frontier and re-feed only the tail.
+	SpoolDir string
+
+	// MaxSessions bounds the concurrently active sessions (default 64).
+	// Opens beyond the bound wait for a slot rather than failing.
+	MaxSessions int
+
+	// MaxRetainedBytes is the per-session retained-state budget; a
+	// session whose engine reports more is evicted with a final
+	// checkpoint. Zero means no budget.
+	MaxRetainedBytes uint64
+
+	// MaxEventsPerSec is the per-session feed-rate budget, enforced by
+	// throttling (not rejection). Zero means unthrottled.
+	MaxEventsPerSec float64
+
+	// CheckpointEvery is the spool checkpoint cadence in events
+	// (0 selects the library default of one per million events).
+	CheckpointEvery uint64
+
+	// ProgressEvery is the progress-frame cadence in events
+	// (default 65536).
+	ProgressEvery uint64
+
+	// MemCheckEvery is the budget-sampling cadence in events
+	// (default 4096). Sampling quiesces sharded sessions, so the
+	// cadence trades enforcement latency against barrier cost.
+	MemCheckEvery uint64
+
+	// Now and Sleep are the daemon's clock, injected so scheduling is
+	// testable with a fake clock. Required.
+	Now   func() time.Time
+	Sleep func(time.Duration)
+
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Server is one daemon instance: a listener, the live-session table,
+// the statistics registry and the admission pool.
+type Server struct {
+	cfg   Config
+	ln    net.Listener
+	stats *statistics
+	slots chan struct{} // admission pool: one token per active session
+	quit  chan struct{} // closed by Close; aborts admission waits
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	live   map[string]struct{} // session ids currently being served
+	closed bool
+
+	wg sync.WaitGroup // tracks connection handlers
+}
+
+// New validates cfg, applies defaults, creates the spool directory
+// and starts listening. The returned server serves connections once
+// Serve is called.
+func New(cfg Config) (*Server, error) {
+	if cfg.Now == nil || cfg.Sleep == nil {
+		return nil, fmt.Errorf("daemon: Config.Now and Config.Sleep are required")
+	}
+	if cfg.SpoolDir == "" {
+		return nil, fmt.Errorf("daemon: Config.SpoolDir is required")
+	}
+	if cfg.Network == "" {
+		if strings.ContainsRune(cfg.Addr, '/') {
+			cfg.Network = "unix"
+		} else {
+			cfg.Network = "tcp"
+		}
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 64
+	}
+	if cfg.ProgressEvery == 0 {
+		cfg.ProgressEvery = 1 << 16
+	}
+	if cfg.MemCheckEvery == 0 {
+		cfg.MemCheckEvery = 1 << 12
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(cfg.SpoolDir, 0o755); err != nil {
+		return nil, fmt.Errorf("daemon: creating spool dir: %w", err)
+	}
+	ln, err := net.Listen(cfg.Network, cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: listen: %w", err)
+	}
+	return &Server{
+		cfg:   cfg,
+		ln:    ln,
+		stats: newStatistics(cfg.Now),
+		slots: make(chan struct{}, cfg.MaxSessions),
+		quit:  make(chan struct{}),
+		conns: make(map[net.Conn]struct{}),
+		live:  make(map[string]struct{}),
+	}, nil
+}
+
+// Addr returns the listener's address (useful with ":0" listens).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Serve accepts connections until Close. It returns nil after a clean
+// Close, the accept error otherwise.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close stops the listener and severs every live connection, then
+// waits for the handlers to finish their cleanup — each active session
+// writes a final courtesy checkpoint to its spool on the way out, so a
+// closed daemon's sessions are resumable by the next one. Close is
+// idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.quit)
+	err := s.ln.Close()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// handle serves one connection: verify the preamble, then dispatch on
+// the first frames — stats requests answer in place, an open frame
+// hands the connection to the session loop.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+
+	var magic [len(connMagic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return
+	}
+	if string(magic[:]) != connMagic {
+		writeFrame(bw, frameError, []byte(fmt.Sprintf("tcraced: bad protocol preamble %q", magic[:])))
+		return
+	}
+
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case frameStats:
+			rep, err := s.stats.snapshotJSON()
+			if err != nil {
+				writeFrame(bw, frameError, []byte("tcraced: "+err.Error()))
+				return
+			}
+			if writeFrame(bw, frameStatsRep, rep) != nil {
+				return
+			}
+		case frameOpen:
+			spec, err := decodeOpen(payload)
+			if err != nil {
+				writeFrame(bw, frameError, []byte("tcraced: bad open frame: "+err.Error()))
+				return
+			}
+			s.serveSession(conn, br, bw, spec)
+			return
+		default:
+			writeFrame(bw, frameError, []byte(fmt.Sprintf("tcraced: unexpected frame %q before open", typ)))
+			return
+		}
+	}
+}
+
+// sessionIDOK validates a session id: non-empty, bounded, and made of
+// name-safe bytes only, so the id can be a spool filename without any
+// path-traversal surface.
+func sessionIDOK(id string) bool {
+	if id == "" || len(id) > 128 || id[0] == '.' || id[0] == '-' {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,238 @@
+package daemon
+
+// The daemon's live statistics: aggregate counters, per-second rate
+// windows, per-engine occupancy and the session table, snapshotted as
+// JSON for the stats frame and the tcrace -daemon-stats client.
+//
+// All mutation happens on session-handler goroutines under one mutex;
+// the Session objects themselves are never touched from the stats
+// path (a Session is single-goroutine by contract), so a stats
+// request can never perturb an analysis in flight. Races/sec is
+// bucketed at session completion — races are only known when a result
+// is assembled — while events/sec accrues continuously from the feed
+// loop.
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"time"
+)
+
+// rateWindow is a ring of per-second buckets; rate() averages the
+// window's trailing full seconds.
+type rateWindow struct {
+	buckets [rateWindowSize]uint64
+	seconds [rateWindowSize]int64
+}
+
+const (
+	rateWindowSize = 16 // ring capacity in seconds
+	rateSpan       = 10 // seconds averaged by rate()
+)
+
+// add credits n to the current second's bucket.
+func (w *rateWindow) add(now time.Time, n uint64) {
+	s := now.Unix()
+	i := ((s % rateWindowSize) + rateWindowSize) % rateWindowSize
+	if w.seconds[i] != s {
+		w.seconds[i], w.buckets[i] = s, 0
+	}
+	w.buckets[i] += n
+}
+
+// rate averages the rateSpan seconds ending at now (inclusive).
+func (w *rateWindow) rate(now time.Time) float64 {
+	var sum uint64
+	s := now.Unix()
+	for d := int64(0); d < rateSpan; d++ {
+		sec := s - d
+		i := ((sec % rateWindowSize) + rateWindowSize) % rateWindowSize
+		if w.seconds[i] == sec {
+			sum += w.buckets[i]
+		}
+	}
+	return float64(sum) / rateSpan
+}
+
+// SessionInfo is one row of the session table.
+type SessionInfo struct {
+	// ID is the client-chosen session name.
+	ID string `json:"id"`
+	// Engine is the registry engine name.
+	Engine string `json:"engine"`
+	// Workers is the sharded worker count (1 = sequential).
+	Workers int `json:"workers"`
+	// Resumed is the position the session resumed from (0 = fresh).
+	Resumed uint64 `json:"resumed"`
+	// Events is the absolute trace position fed so far.
+	Events uint64 `json:"events"`
+	// RetainedBytes is the last budget sample (0 until sampled, and
+	// always 0 for engines without memory accounting).
+	RetainedBytes uint64 `json:"retained_bytes"`
+}
+
+// EngineLoad is one engine's occupancy: how many live sessions run it.
+type EngineLoad struct {
+	Engine   string `json:"engine"`
+	Sessions int    `json:"sessions"`
+}
+
+// Stats is the daemon statistics snapshot (the stats frame payload,
+// JSON-encoded).
+type Stats struct {
+	// UptimeSec is seconds since the daemon started.
+	UptimeSec int64 `json:"uptime_sec"`
+	// ActiveSessions is the number of sessions currently being served.
+	ActiveSessions int `json:"active_sessions"`
+	// Lifetime session dispositions.
+	SessionsOpened   uint64 `json:"sessions_opened"`
+	SessionsFinished uint64 `json:"sessions_finished"`
+	SessionsEvicted  uint64 `json:"sessions_evicted"`
+	SessionsDetached uint64 `json:"sessions_detached"`
+	SessionsResumed  uint64 `json:"sessions_resumed"`
+	// EventsTotal counts events fed across all sessions, ever.
+	EventsTotal uint64 `json:"events_total"`
+	// RacesTotal counts races reported by finished sessions.
+	RacesTotal uint64 `json:"races_total"`
+	// EventsPerSec is the trailing-window feed rate across sessions.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// RacesPerSec is the trailing-window race-completion rate (races
+	// are bucketed when their session finishes).
+	RacesPerSec float64 `json:"races_per_sec"`
+	// RetainedBytes sums the live sessions' last budget samples.
+	RetainedBytes uint64 `json:"retained_bytes"`
+	// Engines is the per-engine occupancy of live sessions, sorted by
+	// engine name.
+	Engines []EngineLoad `json:"engines"`
+	// Sessions is the live session table, sorted by id.
+	Sessions []SessionInfo `json:"sessions"`
+}
+
+// statistics is the mutable registry behind Stats.
+type statistics struct {
+	mu       sync.Mutex
+	now      func() time.Time
+	start    time.Time
+	opened   uint64
+	finished uint64
+	evicted  uint64
+	detached uint64
+	resumed  uint64
+	events   uint64
+	races    uint64
+	evRate   rateWindow
+	raceRate rateWindow
+	sessions map[string]*SessionInfo
+}
+
+func newStatistics(now func() time.Time) *statistics {
+	return &statistics{now: now, start: now(), sessions: make(map[string]*SessionInfo)}
+}
+
+// sessionOpened registers a newly admitted session.
+func (st *statistics) sessionOpened(spec *openSpec, pos uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.opened++
+	if spec.Resume {
+		st.resumed++
+	}
+	workers := spec.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	st.sessions[spec.ID] = &SessionInfo{
+		ID:      spec.ID,
+		Engine:  spec.Engine,
+		Workers: workers,
+		Resumed: pos,
+		Events:  pos,
+	}
+}
+
+// sessionFed advances a session's position and credits the feed rate.
+func (st *statistics) sessionFed(id string, events, delta uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.events += delta
+	st.evRate.add(st.now(), delta)
+	if e := st.sessions[id]; e != nil {
+		e.Events = events
+	}
+}
+
+// sessionRetained records a budget sample.
+func (st *statistics) sessionRetained(id string, retained uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e := st.sessions[id]; e != nil {
+		e.RetainedBytes = retained
+	}
+}
+
+// sessionFinished credits a completed session's races.
+func (st *statistics) sessionFinished(id string, races uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.races += races
+	st.raceRate.add(st.now(), races)
+}
+
+// sessionClosed removes a session from the live table under its
+// disposition.
+func (st *statistics) sessionClosed(id, outcome string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.sessions, id)
+	switch outcome {
+	case "finished":
+		st.finished++
+	case "evicted":
+		st.evicted++
+	case "detached":
+		st.detached++
+	}
+}
+
+// snapshot assembles a consistent Stats value.
+func (st *statistics) snapshot() *Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	now := st.now()
+	s := &Stats{
+		UptimeSec:        int64(now.Sub(st.start).Seconds()),
+		ActiveSessions:   len(st.sessions),
+		SessionsOpened:   st.opened,
+		SessionsFinished: st.finished,
+		SessionsEvicted:  st.evicted,
+		SessionsDetached: st.detached,
+		SessionsResumed:  st.resumed,
+		EventsTotal:      st.events,
+		RacesTotal:       st.races,
+		EventsPerSec:     st.evRate.rate(now),
+		RacesPerSec:      st.raceRate.rate(now),
+	}
+	occupancy := make(map[string]int)
+	for _, e := range st.sessions {
+		row := *e
+		s.Sessions = append(s.Sessions, row)
+		s.RetainedBytes += e.RetainedBytes
+		occupancy[e.Engine]++
+	}
+	sort.Slice(s.Sessions, func(i, j int) bool { return s.Sessions[i].ID < s.Sessions[j].ID })
+	engines := make([]string, 0, len(occupancy))
+	for name := range occupancy {
+		engines = append(engines, name)
+	}
+	sort.Strings(engines)
+	for _, name := range engines {
+		s.Engines = append(s.Engines, EngineLoad{Engine: name, Sessions: occupancy[name]})
+	}
+	return s
+}
+
+// snapshotJSON is snapshot marshaled for the stats frame.
+func (st *statistics) snapshotJSON() ([]byte, error) {
+	return json.MarshalIndent(st.snapshot(), "", "  ")
+}

@@ -35,7 +35,7 @@ var Detrange = &Analyzer{
 
 // detrangePkgs are the packages (by final import-path element) whose
 // control flow must be a pure function of the event stream.
-var detrangePkgs = map[string]bool{"engine": true, "parallel": true, "wcp": true, "ckpt": true}
+var detrangePkgs = map[string]bool{"engine": true, "parallel": true, "wcp": true, "ckpt": true, "daemon": true}
 
 func runDetrange(pass *Pass) error {
 	info := pass.Pkg.Info()

@@ -1,0 +1,160 @@
+package parallel
+
+import (
+	"sync"
+
+	"treeclock/internal/trace"
+)
+
+// Group is the push-mode fan-out transport: the same worker goroutines,
+// SPSC rings and refcounted shared batches Run uses to drain a source,
+// exposed as an object a caller can feed incrementally. Run is a Group
+// wrapped around a pull loop; a streaming session (a daemon feeding
+// client batches as they arrive over a socket) is a Group driven
+// directly.
+//
+// All producer-side methods — Feed, FeedShared, Barrier, Close — must
+// be called from a single goroutine, matching the single-producer
+// contract of the underlying rings. Workers run until Close.
+type Group struct {
+	rings []*spscRing
+	wg    sync.WaitGroup
+	n     int
+	queue int
+	batch int
+	free  chan []trace.Event // lazy copy-mode buffer pool
+	// events is the global trace position of the next event to be fed:
+	// StartAt plus everything delivered so far. Producer-goroutine only.
+	events uint64
+	closed bool
+}
+
+// NewGroup starts one worker goroutine per replica and returns the
+// group ready to be fed. Only the Queue, BatchSize and StartAt fields
+// of opts apply; cancellation and checkpoint cadence are pull-loop
+// concerns that push-mode callers express directly (stop feeding;
+// call Barrier).
+func NewGroup(replicas []Replica, opts Options) *Group {
+	queue := opts.Queue
+	if queue <= 0 {
+		queue = 8
+	}
+	g := &Group{
+		rings:  make([]*spscRing, len(replicas)),
+		n:      len(replicas),
+		queue:  queue,
+		batch:  batchSize(opts),
+		events: opts.StartAt,
+	}
+	for w := range replicas {
+		g.rings[w] = newRing(queue)
+		g.wg.Add(1)
+		go g.worker(replicas[w], g.rings[w])
+	}
+	return g
+}
+
+// worker is one replica's consume loop: process data batches in ring
+// order, park at barriers, exit when the ring closes.
+func (g *Group) worker(rep Replica, ring *spscRing) {
+	defer g.wg.Done()
+	for {
+		b, ok := ring.Pop()
+		if !ok {
+			return
+		}
+		if b.pause != nil {
+			b.pause.Done()
+			<-b.resume
+			continue
+		}
+		rep.ProcessBatchAt(b.base, b.events)
+		b.release()
+	}
+}
+
+// Events returns the global trace position of the next event to be
+// fed (StartAt plus all events delivered so far).
+func (g *Group) Events() uint64 { return g.events }
+
+// FeedShared fans evs out to every worker without copying: all workers
+// read the same underlying slice, and the last one to finish hands the
+// buffer to recycle. The caller must not touch evs again until recycle
+// runs. Blocks while the slowest worker's ring is full.
+func (g *Group) FeedShared(evs []trace.Event, recycle func([]trace.Event)) {
+	b := &sharedBatch{events: evs, base: g.events, recycle: recycle}
+	b.refs.Store(int32(g.n))
+	for _, ring := range g.rings {
+		ring.Push(b)
+	}
+	g.events += uint64(len(evs))
+}
+
+// Feed copies evs into pooled buffers (chunked to the batch size) and
+// fans each chunk out to every worker. The caller keeps ownership of
+// evs; use FeedShared to skip the copy when the buffer's lifetime can
+// be handed over.
+func (g *Group) Feed(evs []trace.Event) {
+	for len(evs) > 0 {
+		n := g.batch
+		if n > len(evs) {
+			n = len(evs)
+		}
+		buf := g.buffer()
+		c := copy(buf[:n], evs[:n])
+		g.FeedShared(buf[:c], g.recycleBuffer)
+		evs = evs[n:]
+	}
+}
+
+// buffer takes a decode/copy buffer from the pool, creating the pool
+// on first use (the zero-copy paths never need one). Producer-only, so
+// the lazy init is unsynchronized by contract.
+func (g *Group) buffer() []trace.Event {
+	if g.free == nil {
+		// Sized past the rings' capacity so the producer only blocks
+		// when the slowest worker is genuinely behind.
+		g.free = make(chan []trace.Event, g.queue+2)
+		for i := 0; i < cap(g.free); i++ {
+			g.free <- make([]trace.Event, g.batch)
+		}
+	}
+	return <-g.free
+}
+
+// recycleBuffer returns a pool buffer once the last worker releases it.
+func (g *Group) recycleBuffer(evs []trace.Event) { g.free <- evs[:cap(evs)] }
+
+// Barrier pauses every worker at the current trace position and runs
+// fn (if non-nil) while they are parked, so fn may read all replica
+// state without synchronization: the rings are FIFO, so by the time
+// all workers have arrived each has processed every event fed so far
+// and nothing else. Returns fn's error after releasing the workers.
+func (g *Group) Barrier(fn func(events uint64) error) error {
+	var arrived sync.WaitGroup
+	arrived.Add(g.n)
+	b := &sharedBatch{pause: &arrived, resume: make(chan struct{})}
+	for _, ring := range g.rings {
+		ring.Push(b)
+	}
+	arrived.Wait()
+	var err error
+	if fn != nil {
+		err = fn(g.events)
+	}
+	close(b.resume)
+	return err
+}
+
+// Close marks the stream complete and waits for every worker to drain
+// its ring and exit. Idempotent; no Feed/FeedShared/Barrier may follow.
+func (g *Group) Close() {
+	if g.closed {
+		return
+	}
+	g.closed = true
+	for _, ring := range g.rings {
+		ring.Close()
+	}
+	g.wg.Wait()
+}

@@ -119,9 +119,17 @@ func (b *sharedBatch) release() {
 // events delivered; the error is the source's (decode or validation
 // failure). On error the workers still finish the batches already
 // delivered — callers should discard their results.
+//
+// Run is the pull-mode wrapper around Group: it decodes (or forwards)
+// batches from src and feeds each into the group. Sync events need no
+// special casing — sequencing whole batches in trace order through
+// FIFO rings means every worker observes every event, sync or access,
+// in exactly the trace's order. Between batches the loop honors
+// cancellation and checkpoint boundaries (see Options); both act at
+// batch granularity, so every worker's replica is at a well-defined
+// trace position when either fires.
 func Run(src trace.EventSource, replicas []Replica, opts Options) (uint64, error) {
-	n := len(replicas)
-	if n == 0 {
+	if len(replicas) == 0 {
 		// Nothing consumes the events; drain for the count and error so
 		// the degenerate call still honors the source contract.
 		var events uint64
@@ -134,63 +142,12 @@ func Run(src trace.EventSource, replicas []Replica, opts Options) (uint64, error
 			}
 		}
 	}
-	queue := opts.Queue
-	if queue <= 0 {
-		queue = 8
-	}
+	g := NewGroup(replicas, opts)
+	defer g.Close()
 
-	rings := make([]*spscRing, n)
-	var wg sync.WaitGroup
-	for w := 0; w < n; w++ {
-		rings[w] = newRing(queue)
-		wg.Add(1)
-		go func(rep Replica, ring *spscRing) {
-			defer wg.Done()
-			for {
-				b, ok := ring.Pop()
-				if !ok {
-					return
-				}
-				if b.pause != nil {
-					b.pause.Done()
-					<-b.resume
-					continue
-				}
-				rep.ProcessBatchAt(b.base, b.events)
-				b.release()
-			}
-		}(replicas[w], rings[w])
-	}
-
-	events, err := dispatch(src, rings, n, opts)
-	for _, ring := range rings {
-		ring.Close()
-	}
-	wg.Wait()
-	return events, err
-}
-
-// dispatch is the coordinator loop: it decodes (or forwards) batches
-// from src and sequences each into every worker's ring. Sync events
-// need no special casing here — sequencing whole batches in trace
-// order through FIFO rings means every worker observes every event,
-// sync or access, in exactly the trace's order. Between batches the
-// coordinator honors cancellation and checkpoint boundaries (see
-// Options); both act at batch granularity, so every worker's replica
-// is at a well-defined trace position when either fires.
-func dispatch(src trace.EventSource, rings []*spscRing, n int, opts Options) (uint64, error) {
-	events := opts.StartAt
 	nextCkpt := opts.CheckpointEvery
-	for nextCkpt > 0 && nextCkpt <= events {
+	for nextCkpt > 0 && nextCkpt <= g.Events() {
 		nextCkpt += opts.CheckpointEvery
-	}
-	fanOut := func(evs []trace.Event, recycle func([]trace.Event)) {
-		b := &sharedBatch{events: evs, base: events, recycle: recycle}
-		b.refs.Store(int32(n))
-		for _, ring := range rings {
-			ring.Push(b)
-		}
-		events += uint64(len(evs))
 	}
 	cancelled := func() bool {
 		if opts.Ctx == nil {
@@ -203,24 +160,14 @@ func dispatch(src trace.EventSource, rings []*spscRing, n int, opts Options) (ui
 			return false
 		}
 	}
-	// barrier pauses every worker at the current trace position, runs
-	// the checkpoint callback, and releases them. Rings are FIFO, so by
-	// the time all workers have arrived they have each processed every
-	// event dispatched so far and nothing else.
-	barrier := func() error {
-		if opts.CheckpointEvery == 0 || events < nextCkpt {
+	// checkpoint takes a group barrier when the cadence is due and runs
+	// the checkpoint callback with every worker quiesced.
+	checkpoint := func() error {
+		if opts.CheckpointEvery == 0 || g.Events() < nextCkpt {
 			return nil
 		}
-		var arrived sync.WaitGroup
-		arrived.Add(n)
-		b := &sharedBatch{pause: &arrived, resume: make(chan struct{})}
-		for _, ring := range rings {
-			ring.Push(b)
-		}
-		arrived.Wait()
-		err := opts.Checkpoint(events)
-		close(b.resume)
-		for nextCkpt <= events {
+		err := g.Barrier(opts.Checkpoint)
+		for nextCkpt <= g.Events() {
 			nextCkpt += opts.CheckpointEvery
 		}
 		return err
@@ -231,43 +178,37 @@ func dispatch(src trace.EventSource, rings []*spscRing, n int, opts Options) (ui
 		// each one straight back to its ring.
 		for {
 			if cancelled() {
-				return events, opts.Ctx.Err()
+				return g.Events(), opts.Ctx.Err()
 			}
 			evs, ok := p.AcquireBatch()
 			if !ok {
-				return events, p.Err()
+				return g.Events(), p.Err()
 			}
-			fanOut(evs, p.ReleaseBatch)
-			if err := barrier(); err != nil {
-				return events, err
+			g.FeedShared(evs, p.ReleaseBatch)
+			if err := checkpoint(); err != nil {
+				return g.Events(), err
 			}
 		}
 	}
 
-	// Plain source: decode into a free pool of reusable buffers, sized
-	// past the rings' capacity so the coordinator only blocks when the
-	// slowest worker is genuinely behind.
-	free := make(chan []trace.Event, len(rings[0].buf)+2)
-	for i := 0; i < cap(free); i++ {
-		free <- make([]trace.Event, batchSize(opts))
-	}
-	recycle := func(evs []trace.Event) { free <- evs[:cap(evs)] }
+	// Plain source: decode into the group's free pool of reusable
+	// buffers and hand each filled buffer over zero-copy.
 	for {
 		if cancelled() {
-			return events, opts.Ctx.Err()
+			return g.Events(), opts.Ctx.Err()
 		}
-		buf := <-free
+		buf := g.buffer()
 		c, ok := trace.ReadBatch(src, buf)
 		if c > 0 {
-			fanOut(buf[:c], recycle)
+			g.FeedShared(buf[:c], g.recycleBuffer)
 		} else {
-			free <- buf
+			g.recycleBuffer(buf)
 		}
 		if !ok {
-			return events, src.Err()
+			return g.Events(), src.Err()
 		}
-		if err := barrier(); err != nil {
-			return events, err
+		if err := checkpoint(); err != nil {
+			return g.Events(), err
 		}
 	}
 }

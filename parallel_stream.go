@@ -7,17 +7,11 @@ package treeclock
 // result is byte-identical to a sequential run.
 
 import (
-	"bytes"
 	"fmt"
 	"io"
 	"runtime"
 
-	"treeclock/internal/analysis"
-	"treeclock/internal/core"
-	"treeclock/internal/engine"
-	"treeclock/internal/parallel"
 	"treeclock/internal/trace"
-	"treeclock/internal/vc"
 )
 
 // RunStreamParallel is RunStream with the analysis sharded across
@@ -61,7 +55,8 @@ func RunStreamParallelSource(engineName string, src EventSource, opts ...StreamO
 // parallelConfig resolves options for the parallel entry points:
 // workers defaults to GOMAXPROCS, and the parallel path is taken even
 // at one worker (so "parallel with N=1" exercises the sharded runtime
-// rather than silently falling back).
+// rather than silently falling back). The driving itself is Session's
+// sharded pull path — these entry points carry no driver of their own.
 func parallelConfig(opts []StreamOption) streamConfig {
 	cfg := streamConfig{format: FormatText, analysis: true}
 	for _, opt := range opts {
@@ -72,146 +67,4 @@ func parallelConfig(opts []StreamOption) streamConfig {
 	}
 	cfg.forceParallel = true
 	return cfg
-}
-
-// runStreamParallel shards the analysis of src across cfg.workers
-// replicas and merges their results. Called from runStream once the
-// configuration asks for more than one worker (or a parallel entry
-// point forces the path).
-func runStreamParallel(info EngineInfo, src trace.EventSource, cfg streamConfig) (*StreamResult, error) {
-	n := cfg.workers
-	if n < 1 {
-		n = 1
-	}
-	if cfg.validate {
-		// Validation is sequential by nature (lock discipline follows
-		// trace order) and runs on the coordinator side, exactly once.
-		src = trace.NewValidator(src)
-	}
-	if cfg.pipeline > 0 {
-		p := trace.NewPipeline(src, cfg.pipeline, trace.DefaultBatchSize)
-		defer p.Close()
-		src = p
-	}
-	if cfg.progressFn != nil {
-		src = wrapProgress(src, &cfg)
-	}
-
-	// One full replica per worker, each owning one variable shard. A
-	// shared WorkStats sink would race across workers, so each replica
-	// counts into its own and the totals are summed at the end.
-	engines := make([]streamEngine, n)
-	replicas := make([]parallel.Replica, n)
-	var sinks []WorkStats
-	if cfg.stats != nil {
-		sinks = make([]WorkStats, n)
-	}
-	for w := 0; w < n; w++ {
-		var sink *WorkStats
-		if cfg.stats != nil {
-			sink = &sinks[w]
-		}
-		owns := parallel.Owns(w, n)
-		if !cfg.analysis {
-			// Without analysis there is nothing to shard; the replicas
-			// would all do identical work. Keep the contract (the path
-			// still runs) but let every worker skip the gating closure.
-			owns = nil
-		}
-		var err error
-		if info.Clock == "tree" {
-			engines[w], err = newStreamEngine[*core.TreeClock](info.Order, core.Factory(sink), &cfg, owns)
-		} else {
-			engines[w], err = newStreamEngine[*vc.VectorClock](info.Order, vc.Factory(sink), &cfg, owns)
-		}
-		if err != nil {
-			return nil, err
-		}
-		replicas[w] = engines[w]
-	}
-
-	// Checkpoint/resume: every replica's state goes into (and comes
-	// back from) the checkpoint, in worker order, and the coordinator
-	// takes snapshots at barriers where all workers stand at the same
-	// trace position.
-	var (
-		startAt uint64
-		cs      trace.CheckpointableSource
-	)
-	if cfg.ckptSink != nil || cfg.resume != nil {
-		var err error
-		cs, err = asCheckpointable(src)
-		if err != nil {
-			return nil, err
-		}
-		if !engines[0].Checkpointable() {
-			return nil, fmt.Errorf("treeclock: engine %q does not support checkpointing", info.Name)
-		}
-		if cfg.resume != nil {
-			if startAt, err = restoreCheckpoint(&cfg, info.Name, n, cs, engines); err != nil {
-				return nil, err
-			}
-		}
-	}
-	popts := parallel.Options{Ctx: cfg.ctx, StartAt: startAt}
-	if cfg.ckptSink != nil {
-		var scratch bytes.Buffer
-		popts.CheckpointEvery = cfg.ckptEvery
-		popts.Checkpoint = func(events uint64) error {
-			return emitCheckpoint(&cfg, &scratch, info.Name, n, events, cs, engines)
-		}
-	}
-
-	events, err := parallel.Run(src, replicas, popts)
-	if err == nil {
-		for w, e := range engines {
-			if e.Events() != events {
-				return nil, fmt.Errorf("treeclock: internal error: worker %d processed %d of %d events", w, e.Events(), events)
-			}
-		}
-	}
-
-	// Replica clock evolution is identical everywhere, so worker 0
-	// speaks for timestamps and metadata; the sharded analysis state
-	// merges across all workers.
-	sum, samples, ts := engines[0].Finish()
-	if cfg.analysis {
-		accs := make([]*analysis.Accumulator, n)
-		for w, e := range engines {
-			accs[w] = e.Acc()
-		}
-		sum, samples = analysis.MergeAccumulators(accs)
-	}
-	res := &StreamResult{
-		Engine:     info.Name,
-		Meta:       engines[0].Meta(),
-		Events:     events,
-		Summary:    sum,
-		Samples:    samples,
-		Timestamps: ts,
-	}
-	var mems []engine.MemStats
-	for _, e := range engines {
-		if ms, ok := e.Mem(); ok {
-			mems = append(mems, ms)
-		}
-	}
-	if len(mems) > 0 {
-		ms := engine.MergeMemStats(mems)
-		res.Mem = &ms
-	}
-	if cfg.stats != nil {
-		for i := range sinks {
-			cfg.stats.Add(sinks[i])
-		}
-	}
-	if err != nil {
-		// The workers have drained every batch dispatched before the
-		// failure (cancellation, a mid-stream decode error, a checkpoint
-		// write error), so the partial result is internally consistent:
-		// counts, merged MemStats and metadata all describe exactly the
-		// events delivered.
-		return res, err
-	}
-	return res, nil
 }

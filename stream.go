@@ -16,13 +16,11 @@ import (
 	"sort"
 
 	"treeclock/internal/analysis"
-	"treeclock/internal/core"
 	"treeclock/internal/engine"
 	"treeclock/internal/hb"
 	"treeclock/internal/maz"
 	"treeclock/internal/shb"
 	"treeclock/internal/trace"
-	"treeclock/internal/vc"
 	"treeclock/internal/vt"
 	"treeclock/internal/wcp"
 )
@@ -488,93 +486,17 @@ func RunStreamSource(engineName string, src EventSource, opts ...StreamOption) (
 	return runStream(engineName, src, cfg)
 }
 
-// runStream wraps src according to cfg and drains it through the named
-// engine — sequentially, or sharded across workers when the
-// configuration asks for more than one.
+// runStream is the single funnel behind all four RunStream* entry
+// points: open a session over the configuration, drain src through it
+// pull-mode, close. Validation, the drivers and result assembly all
+// live on Session.
 func runStream(engineName string, src trace.EventSource, cfg streamConfig) (*StreamResult, error) {
-	info, ok := engineRegistry[engineName]
-	if !ok {
-		return nil, fmt.Errorf("treeclock: unknown engine %q (have %v)", engineName, Engines())
-	}
-	if cfg.scalar && cfg.pipeline > 0 {
-		return nil, fmt.Errorf("treeclock: StreamScalar and WithPipeline are mutually exclusive")
-	}
-	if cfg.scalar && (cfg.workers > 1 || cfg.forceParallel) {
-		return nil, fmt.Errorf("treeclock: StreamScalar and WithWorkers are mutually exclusive")
-	}
-	if (cfg.ckptSink != nil || cfg.resume != nil) && cfg.pipeline > 0 {
-		return nil, fmt.Errorf("treeclock: WithCheckpoint/ResumeFrom and WithPipeline are mutually exclusive (the pipelined decoder is not checkpointable)")
-	}
-	// Interner eviction lives in the text tokenizer; the cap is applied
-	// to the unwrapped scanner before any input is consumed, and the
-	// scanner is remembered so the result can report the interner's
-	// retained-state accounting.
-	var scanner trace.InternCapable
-	if cfg.internCap > 0 {
-		sc, ok := src.(trace.InternCapable)
-		if !ok {
-			return nil, fmt.Errorf("treeclock: WithInternCap requires text input (source %T has no interned names)", src)
-		}
-		scanner = sc
-		scanner.SetInternCap(cfg.internCap)
-	}
-	if cfg.workers > 1 || cfg.forceParallel {
-		res, err := runStreamParallel(info, src, cfg)
-		foldInternStats(res, scanner)
-		return res, err
-	}
-	if cfg.validate {
-		src = trace.NewValidator(src)
-	}
-	if cfg.pipeline > 0 {
-		// The pipeline wraps the (validated) decoder, so tokenizing and
-		// discipline checks both run in the decode goroutine.
-		p := trace.NewPipeline(src, cfg.pipeline, trace.DefaultBatchSize)
-		defer p.Close()
-		src = p
-	}
-	if cfg.progressFn != nil {
-		src = wrapProgress(src, &cfg)
-	}
-	if cfg.pipeline <= 0 && cfg.scalar {
-		src = scalarSource{src}
-	}
-	var (
-		e   streamEngine
-		err error
-	)
-	if info.Clock == "tree" {
-		e, err = newStreamEngine[*core.TreeClock](info.Order, core.Factory(cfg.stats), &cfg, nil)
-	} else {
-		e, err = newStreamEngine[*vc.VectorClock](info.Order, vc.Factory(cfg.stats), &cfg, nil)
-	}
+	s, err := newSession(engineName, cfg)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.ckptSink != nil || cfg.resume != nil {
-		cs, err := asCheckpointable(src)
-		if err != nil {
-			return nil, err
-		}
-		if !e.Checkpointable() {
-			return nil, fmt.Errorf("treeclock: engine %q does not support checkpointing", engineName)
-		}
-		if cfg.resume != nil {
-			if _, err := restoreCheckpoint(&cfg, engineName, 1, cs, []streamEngine{e}); err != nil {
-				return nil, err
-			}
-		}
-	}
-	err = driveSequential(e, src, &cfg, engineName)
-	res := finishResult(engineName, e)
-	foldInternStats(res, scanner)
-	if err != nil {
-		// The result still carries the consistent partial state (events
-		// processed, retained-state accounting) for callers that want it
-		// — a cancelled run's progress, a crashed run's accounting.
-		return res, err
-	}
-	return res, nil
+	defer s.Close()
+	return s.Run(src)
 }
 
 // driveSequential is the explicit batch loop the sequential path runs
@@ -628,24 +550,6 @@ func nextBoundary(events, every uint64) uint64 {
 		next += every
 	}
 	return next
-}
-
-// finishResult assembles a StreamResult from a drained (or
-// interrupted) engine.
-func finishResult(engineName string, e streamEngine) *StreamResult {
-	sum, samples, ts := e.Finish()
-	res := &StreamResult{
-		Engine:     engineName,
-		Meta:       e.Meta(),
-		Events:     e.Events(),
-		Summary:    sum,
-		Samples:    samples,
-		Timestamps: ts,
-	}
-	if ms, ok := e.Mem(); ok {
-		res.Mem = &ms
-	}
-	return res
 }
 
 // foldInternStats adds the capped interner's retained-state accounting
